@@ -1,0 +1,85 @@
+// Document search — the paper's DBLP scenario: each document is the set of
+// distinct words in its title+abstract; semantic overlap search finds
+// related documents even when they use different terminology.
+//
+// This demo exercises the *text pipeline* (tokenizer -> dictionary) on raw
+// strings, then searches with Koios, comparing k and alpha settings.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "koios/koios.h"
+
+namespace {
+
+// A miniature "paper abstract" corpus. Documents 0-2 are about set
+// similarity; 3-5 about graph matching; 6-8 about unrelated systems topics.
+const char* kDocuments[] = {
+    "Set similarity search with overlap measures for data cleaning tasks",
+    "Efficient set similarity joins using prefix filtering and overlap",
+    "Fuzzy set matching tolerates typos in string collections overlap",
+    "Maximum bipartite graph matching with the Hungarian algorithm",
+    "Weighted graph matching and assignment problems a survey",
+    "Bipartite matching bounds for combinatorial assignment problems",
+    "A transactional storage engine for high throughput workloads",
+    "Query optimization in distributed database systems with statistics",
+    "Consensus protocols for replicated state machines in clusters",
+};
+
+}  // namespace
+
+int main() {
+  using namespace koios;
+
+  // ---- text pipeline -------------------------------------------------------
+  text::Dictionary dict;
+  index::SetCollection docs;
+  text::TokenizerOptions tokenizer_options;
+  for (const char* doc : kDocuments) {
+    std::vector<TokenId> ids;
+    for (const auto& word : text::TokenizeToSet(doc, tokenizer_options)) {
+      ids.push_back(dict.Intern(word));
+    }
+    docs.AddSet(ids);
+  }
+  std::printf("indexed %zu documents, %zu distinct words\n\n", docs.size(),
+              dict.size());
+
+  // ---- embeddings ----------------------------------------------------------
+  embedding::SyntheticModelSpec model_spec;
+  model_spec.vocab_size = dict.size() + 8;
+  model_spec.dim = 32;
+  model_spec.avg_cluster_size = 4.0;
+  model_spec.noise_sigma = 0.3;
+  model_spec.seed = 3;
+  embedding::SyntheticEmbeddingModel model(model_spec);
+  sim::CosineEmbeddingSimilarity similarity(&model.store());
+  index::InvertedIndex inverted(docs);
+  sim::ExactKnnIndex knn(inverted.Vocabulary(), &similarity);
+  core::KoiosSearcher searcher(&docs, &knn);
+
+  // ---- query ---------------------------------------------------------------
+  const std::string query_text =
+      "searching set collections by similarity and overlap";
+  std::vector<TokenId> query;
+  for (const auto& word : text::TokenizeToSet(query_text, tokenizer_options)) {
+    query.push_back(dict.Intern(word));
+  }
+  std::printf("query: \"%s\"\n\n", query_text.c_str());
+
+  for (double alpha : {0.9, 0.7}) {
+    core::SearchParams params;
+    params.k = 3;
+    params.alpha = alpha;
+    const auto result = searcher.Search(query, params);
+    std::printf("top-%zu with alpha = %.1f:\n", params.k, alpha);
+    for (const auto& entry : result.topk) {
+      std::printf("  [SO %.2f] %s\n", entry.score, kDocuments[entry.set]);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Lower alpha admits weaker word pairs into the matching, pulling in\n"
+      "documents related through vocabulary overlap rather than exact terms.\n");
+  return 0;
+}

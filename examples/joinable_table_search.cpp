@@ -1,0 +1,76 @@
+// Joinable-table search — the paper's motivating data-lake scenario: given
+// a query column, find columns in a repository that can be *semantically*
+// joined with it, i.e. whose value sets have high semantic overlap even
+// when the value strings differ (synonyms, formatting variants, typos).
+//
+// The demo generates an OpenData-like repository of "columns" (sets of
+// cell values drawn from Zipfian concepts), runs vanilla top-k and
+// semantic top-k side by side, and shows the joinable columns that vanilla
+// overlap misses — the paper's Fig. 8 observation, as a runnable program.
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "koios/koios.h"
+
+int main() {
+  using namespace koios;
+
+  // OpenData-like repository of columns (scaled down for the demo).
+  data::CorpusSpec spec = data::OpenDataSpec(0.02);
+  spec.max_set_size = 300;
+  data::Corpus corpus = data::GenerateCorpus(spec);
+  std::printf("repository: %zu columns, vocabulary %zu values\n",
+              corpus.NumSets(), corpus.vocabulary.size());
+
+  // Synthetic embeddings: concept clusters play the role of synonym groups
+  // ("NYC" / "New York City") and near-duplicates across formatting.
+  embedding::SyntheticModelSpec model_spec;
+  model_spec.vocab_size = spec.vocab_size;
+  model_spec.dim = 48;
+  model_spec.avg_cluster_size = 10.0;
+  model_spec.noise_sigma = 0.35;
+  model_spec.coverage = 0.85;  // some cell values are out-of-vocabulary
+  model_spec.seed = 11;
+  embedding::SyntheticEmbeddingModel model(model_spec);
+  sim::CosineEmbeddingSimilarity similarity(&model.store());
+  sim::ExactKnnIndex knn(corpus.vocabulary, &similarity);
+
+  core::KoiosSearcher searcher(&corpus.sets, &knn);
+  baselines::VanillaTopK vanilla(&corpus.sets);
+
+  // Query: one of the repository's own columns.
+  const SetId query_column = 17;
+  std::vector<TokenId> query(corpus.sets.Tokens(query_column).begin(),
+                             corpus.sets.Tokens(query_column).end());
+  std::printf("query: column %u with %zu values\n\n", query_column,
+              query.size());
+
+  core::SearchParams params;
+  params.k = 8;
+  params.alpha = 0.75;
+  const auto semantic = searcher.Search(query, params);
+  const auto syntactic = vanilla.Search(query, params.k);
+
+  std::set<SetId> vanilla_sets;
+  for (const auto& e : syntactic.topk) vanilla_sets.insert(e.set);
+
+  std::printf("%-8s | %-18s | %-16s | %s\n", "column", "semantic overlap",
+              "vanilla overlap", "found by vanilla search?");
+  std::printf("%s\n", std::string(70, '-').c_str());
+  std::vector<TokenId> sorted_query = query;
+  std::sort(sorted_query.begin(), sorted_query.end());
+  for (const auto& entry : semantic.topk) {
+    const size_t vanilla_score =
+        corpus.sets.VanillaOverlap(sorted_query, entry.set);
+    std::printf("%-8u | %18.2f | %16zu | %s\n", entry.set, entry.score,
+                vanilla_score,
+                vanilla_sets.count(entry.set) ? "yes" : "NO  <- semantic-only");
+  }
+
+  std::printf("\nColumns marked NO are joinable through synonym/variant value"
+              " matches that\nexact-match overlap cannot see (paper Fig. 8).\n");
+  std::printf("\nfilter statistics for the semantic search:\n%s\n",
+              semantic.stats.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,64 @@
+// make_corpus — writes a synthetic string repository to a text file (one
+// set per line, whitespace-separated elements), in the format koios_cli
+// consumes. Together they give a full file-driven workflow:
+//
+//   ./make_corpus /tmp/repo.txt --sets 500 --words 800 --seed 7
+//   ./koios_cli /tmp/repo.txt --k 5 --alpha 0.5
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "koios/data/string_corpus.h"
+
+int main(int argc, char** argv) {
+  using namespace koios;
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <output.txt> [--sets N] [--words N] [--typos N]"
+                 " [--min-size N] [--max-size N] [--seed S]\n",
+                 argv[0]);
+    return 2;
+  }
+  data::StringCorpusSpec spec;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string arg = argv[i];
+    const long value = std::atol(argv[i + 1]);
+    if (arg == "--sets") {
+      spec.num_sets = static_cast<size_t>(value);
+    } else if (arg == "--words") {
+      spec.num_base_words = static_cast<size_t>(value);
+    } else if (arg == "--typos") {
+      spec.typos_per_word = static_cast<size_t>(value);
+    } else if (arg == "--min-size") {
+      spec.min_set_size = static_cast<size_t>(value);
+    } else if (arg == "--max-size") {
+      spec.max_set_size = static_cast<size_t>(value);
+    } else if (arg == "--seed") {
+      spec.seed = static_cast<uint64_t>(value);
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  const data::StringCorpus corpus = data::GenerateStringCorpus(spec);
+  std::ofstream out(argv[1]);
+  if (!out) {
+    std::fprintf(stderr, "cannot create %s\n", argv[1]);
+    return 1;
+  }
+  for (SetId id = 0; id < corpus.sets.size(); ++id) {
+    bool first = true;
+    for (TokenId t : corpus.sets.Tokens(id)) {
+      if (!first) out << ' ';
+      out << corpus.dict.TokenOf(t);
+      first = false;
+    }
+    out << '\n';
+  }
+  std::printf("wrote %zu sets (%zu distinct elements) to %s\n",
+              corpus.sets.size(), corpus.vocabulary.size(), argv[1]);
+  return 0;
+}

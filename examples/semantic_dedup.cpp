@@ -1,0 +1,62 @@
+// Semantic deduplication — a data-cleaning application of semantic overlap:
+// find near-duplicate records (sets of field values) whose values differ by
+// typos, using q-gram Jaccard as the element similarity. Demonstrates that
+// Koios is similarity-function agnostic: the same engine that runs on
+// embeddings runs on purely syntactic similarities (paper §IV).
+#include <cstdio>
+#include <vector>
+
+#include "koios/koios.h"
+#include "koios/data/string_corpus.h"
+
+int main() {
+  using namespace koios;
+
+  // A corpus of "records" over a typo-rich string vocabulary.
+  data::StringCorpusSpec spec;
+  spec.num_sets = 400;
+  spec.num_base_words = 500;
+  spec.typos_per_word = 2;
+  spec.min_set_size = 5;
+  spec.max_set_size = 12;
+  spec.seed = 99;
+  data::StringCorpus corpus = data::GenerateStringCorpus(spec);
+  std::printf("records: %zu, distinct values: %zu\n\n", corpus.sets.size(),
+              corpus.vocabulary.size());
+
+  // Element similarity: Jaccard over character 3-grams (no embeddings).
+  sim::JaccardQGramSimilarity similarity(&corpus.dict, 3);
+  sim::ExactKnnIndex knn(corpus.vocabulary, &similarity);
+  core::KoiosSearcher searcher(&corpus.sets, &knn);
+
+  // Pick a record and look for its near-duplicates.
+  const SetId record = 42;
+  std::vector<TokenId> query(corpus.sets.Tokens(record).begin(),
+                             corpus.sets.Tokens(record).end());
+  std::printf("query record %u:\n ", record);
+  for (TokenId t : query) std::printf(" %s", corpus.dict.TokenOf(t).c_str());
+  std::printf("\n\n");
+
+  core::SearchParams params;
+  params.k = 5;
+  params.alpha = 0.5;  // typo variants share ~half their 3-grams
+  const auto result = searcher.Search(query, params);
+
+  std::printf("nearest records by semantic overlap (dedup candidates):\n");
+  for (const auto& entry : result.topk) {
+    const double normalized = entry.score / static_cast<double>(query.size());
+    std::printf("  record %-5u SO %.2f (normalized %.2f)%s\n", entry.set,
+                entry.score, normalized,
+                entry.set == record ? "  <- the record itself" : "");
+    std::printf("   ");
+    for (TokenId t : corpus.sets.Tokens(entry.set)) {
+      std::printf(" %s", corpus.dict.TokenOf(t).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nRecords scoring close to the query size are near-duplicates: their"
+      "\nvalues pair up one-to-one with high q-gram similarity (typo"
+      " variants).\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Top-k vanilla overlap search (|Q ∩ C|), the syntactic comparison point of
+// the paper's quality study (Fig. 8). Implemented with the classic
+// ScanCount approach over the inverted index.
+#ifndef KOIOS_BASELINES_VANILLA_TOPK_H_
+#define KOIOS_BASELINES_VANILLA_TOPK_H_
+
+#include <span>
+
+#include "koios/core/search_types.h"
+#include "koios/index/inverted_index.h"
+#include "koios/index/set_collection.h"
+
+namespace koios::baselines {
+
+class VanillaTopK {
+ public:
+  explicit VanillaTopK(const index::SetCollection* sets);
+
+  /// Top-k sets by exact-match overlap with `query`; scores are integral
+  /// overlaps. Sets with zero overlap never enter the result.
+  core::SearchResult Search(std::span<const TokenId> query, size_t k) const;
+
+ private:
+  const index::SetCollection* sets_;
+  index::InvertedIndex inverted_;
+};
+
+}  // namespace koios::baselines
+
+#endif  // KOIOS_BASELINES_VANILLA_TOPK_H_

@@ -1,0 +1,64 @@
+#include "koios/core/bucket_index.h"
+
+#include <cassert>
+
+namespace koios::core {
+
+void BucketIndex::Insert(SetId set, uint32_t m, Score s_i) {
+  const bool inserted = buckets_[m].emplace(s_i, set).second;
+  assert(inserted);
+  (void)inserted;
+  ++count_;
+}
+
+void BucketIndex::Move(SetId set, uint32_t m_old, Score s_old, uint32_t m_new,
+                       Score s_new) {
+  Remove(set, m_old, s_old);
+  Insert(set, m_new, s_new);
+}
+
+void BucketIndex::Remove(SetId set, uint32_t m, Score s_i) {
+  auto it = buckets_.find(m);
+  assert(it != buckets_.end());
+  const size_t erased = it->second.erase({s_i, set});
+  assert(erased == 1);
+  (void)erased;
+  if (it->second.empty()) buckets_.erase(it);
+  --count_;
+}
+
+size_t BucketIndex::Prune(Score sim, Score theta,
+                          const std::function<void(SetId)>& on_prune) {
+  size_t pruned = 0;
+  for (auto bucket_it = buckets_.begin(); bucket_it != buckets_.end();) {
+    const Score m = static_cast<Score>(bucket_it->first);
+    // Prune while S_i + m*sim is strictly below theta (eps-guarded so ties
+    // are never pruned — Lemma 2 requires strict inequality).
+    const Score cutoff = theta - m * sim - kScoreEps;
+    Bucket& bucket = bucket_it->second;
+    auto it = bucket.begin();
+    while (it != bucket.end() && it->first < cutoff) {
+      on_prune(it->second);
+      it = bucket.erase(it);
+      ++pruned;
+      --count_;
+    }
+    if (bucket.empty()) {
+      bucket_it = buckets_.erase(bucket_it);
+    } else {
+      ++bucket_it;
+    }
+  }
+  return pruned;
+}
+
+size_t BucketIndex::MemoryUsageBytes() const {
+  size_t bytes = 0;
+  for (const auto& [_, bucket] : buckets_) {
+    bytes += sizeof(uint32_t) +
+             bucket.size() * (sizeof(std::pair<Score, SetId>) + 4 * sizeof(void*));
+  }
+  return bytes;
+}
+
+}  // namespace koios::core

@@ -1,0 +1,52 @@
+// The bucketized iUB filter (paper §V): candidate sets are grouped by their
+// number of remaining matchable elements m; within a bucket, sets are
+// ordered by ascending partial score S_i. When the stream similarity drops
+// to s, every set with S_i + m·s below θlb is prunable — and because the
+// pruning condition S_i ≤ θlb − m·s has an identical right-hand side for
+// all sets of a bucket, a scan of each bucket's ascending prefix prunes
+// everything prunable without touching surviving sets.
+#ifndef KOIOS_CORE_BUCKET_INDEX_H_
+#define KOIOS_CORE_BUCKET_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "koios/util/types.h"
+
+namespace koios::core {
+
+class BucketIndex {
+ public:
+  /// Insert a candidate with remaining-capacity `m` and partial score `s_i`.
+  void Insert(SetId set, uint32_t m, Score s_i);
+
+  /// Relocate a candidate after it accepted a stream edge (m decreases by
+  /// one, S_i grows).
+  void Move(SetId set, uint32_t m_old, Score s_old, uint32_t m_new, Score s_new);
+
+  /// Remove a candidate outright (it was pruned by another filter).
+  void Remove(SetId set, uint32_t m, Score s_i);
+
+  /// Prunes every set with S_i + m·sim < theta - eps, invoking `on_prune`
+  /// for each and removing it. Returns the number pruned. Each bucket scan
+  /// stops at the first survivor (ascending S_i order).
+  size_t Prune(Score sim, Score theta,
+               const std::function<void(SetId)>& on_prune);
+
+  size_t size() const { return count_; }
+  size_t num_buckets() const { return buckets_.size(); }
+
+  size_t MemoryUsageBytes() const;
+
+ private:
+  using Bucket = std::set<std::pair<Score, SetId>>;  // ascending S_i
+  std::map<uint32_t, Bucket> buckets_;
+  size_t count_ = 0;
+};
+
+}  // namespace koios::core
+
+#endif  // KOIOS_CORE_BUCKET_INDEX_H_

@@ -1,0 +1,3 @@
+#include "koios/core/candidate_state.h"
+
+// Header-only implementation; translation unit kept for the build graph.

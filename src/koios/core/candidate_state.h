@@ -1,0 +1,145 @@
+// Per-candidate refinement state: the partial greedy matching (iLB, §V),
+// the matched-element bookkeeping needed to validate stream edges, and the
+// incremental bounds.
+#ifndef KOIOS_CORE_CANDIDATE_STATE_H_
+#define KOIOS_CORE_CANDIDATE_STATE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "koios/util/types.h"
+
+namespace koios::core {
+
+/// State of one candidate set during refinement.
+///
+/// Lower bound (iLB): the partial greedy matching built from the token
+/// stream. Because tuples arrive in non-increasing similarity order,
+/// accepting every *valid* edge (both endpoints unmatched) reproduces
+/// exactly the greedy matching restricted to the edges seen so far, which
+/// is the largest possible iLB (Lemma 5). Self-match tuples (sim 1.0)
+/// arrive first, so the score is automatically initialized to the vanilla
+/// overlap |Q ∩ C| as the paper prescribes (§V).
+///
+/// Upper bound (iUB): NOTE — this deviates from the paper's Lemma 6, which
+/// claims SO(C) <= S_i + m_i * s with S_i the greedy partial score. That
+/// bound is unsound: the optimal matching may *re-match* greedily matched
+/// elements and exceed it (take w(q1,t1)=1.0, w(q1,t2)=w(q2,t1)=0.99,
+/// w(q2,t2)=0.85: after the stream passes 0.85, S_i=1.85, m_i=0, yet
+/// SO=1.98). We use a provably sound bound with identical update mechanics
+/// and cost: let R be the first min(|Q|,|C|) distinct query elements seen
+/// with an edge to C (stream order makes the first edge of a row its row
+/// maximum, and makes these rows the globally largest row maxima). Then
+///
+///   SO(C) <= Σ_{q ∈ R} rowmax(q) + (min(|Q|,|C|) − |R|) * s
+///
+/// because an optimal matching matches at most min(|Q|,|C|) query
+/// elements, each contributing at most its row maximum, and every row
+/// outside R has maximum <= s (unseen) and <= every retained row maximum.
+/// The bucket filter of §V carries over unchanged with key m = capacity −
+/// |R| and value rowsum. See DESIGN.md §"Deviations".
+class CandidateState {
+ public:
+  CandidateState() = default;
+  CandidateState(SetId set, uint32_t set_size, uint32_t query_size)
+      : set_(set),
+        set_size_(set_size),
+        capacity_(std::min(set_size, query_size)) {}
+
+  SetId set() const { return set_; }
+  uint32_t set_size() const { return set_size_; }
+
+  /// l — number of greedily matched element pairs.
+  uint32_t matched() const { return matched_; }
+
+  /// S_i — score of the partial greedy matching; also the current iLB
+  /// (it dominates the single-heaviest-edge bound of Lemma 3a because the
+  /// first accepted edge *is* the heaviest incident edge).
+  Score partial_score() const { return partial_score_; }
+
+  /// Number of retained row maxima |R| (capped at min(|Q|, |C|)).
+  uint32_t rows_seen() const { return static_cast<uint32_t>(seen_rows_.size()); }
+
+  /// m = min(|Q|, |C|) − |R| — the bucket key of §V: how many matchable
+  /// elements have no retained row maximum yet.
+  uint32_t remaining() const {
+    return capacity_ - rows_seen();
+  }
+
+  /// Σ of retained row maxima (the bucket value).
+  Score row_sum() const { return row_sum_; }
+
+  /// Sound iUB given the current stream similarity `s` (see class comment).
+  Score UpperBound(Score s) const {
+    return row_sum_ + static_cast<Score>(remaining()) * s;
+  }
+
+  /// Sound upper bound once the stream is exhausted: a query row without a
+  /// retained maximum either has no α-edge to this set at all (when |R| <
+  /// capacity every incident row was retained) or is dominated by the
+  /// retained top-capacity row maxima — so the slack term vanishes and
+  /// SO(C) <= Σ retained row maxima.
+  Score FinalUpperBound() const { return row_sum_; }
+
+  /// Registers a stream edge (query_pos → this set, similarity s) for the
+  /// upper bound. Returns true if the bound state changed (a new row max
+  /// was retained), i.e. the set must move buckets.
+  bool AddRow(uint32_t query_pos, Score s) {
+    if (seen_rows_.size() >= capacity_) return false;
+    auto it = std::lower_bound(seen_rows_.begin(), seen_rows_.end(), query_pos);
+    if (it != seen_rows_.end() && *it == query_pos) return false;
+    seen_rows_.insert(it, query_pos);
+    row_sum_ += s;
+    return true;
+  }
+
+  bool QueryMatched(uint32_t query_pos) const {
+    return std::binary_search(matched_query_.begin(), matched_query_.end(),
+                              query_pos);
+  }
+  bool TokenMatched(TokenId token) const {
+    return std::binary_search(matched_tokens_.begin(), matched_tokens_.end(),
+                              token);
+  }
+
+  /// True if the stream edge (query_pos, token) is *valid*, i.e. both
+  /// endpoints are currently unmatched and capacity remains.
+  bool EdgeValid(uint32_t query_pos, TokenId token) const {
+    return matched_ < capacity_ && !QueryMatched(query_pos) &&
+           !TokenMatched(token);
+  }
+
+  /// Accepts a valid edge into the partial greedy matching.
+  void AddMatch(uint32_t query_pos, TokenId token, Score sim) {
+    matched_query_.insert(
+        std::upper_bound(matched_query_.begin(), matched_query_.end(), query_pos),
+        query_pos);
+    matched_tokens_.insert(
+        std::upper_bound(matched_tokens_.begin(), matched_tokens_.end(), token),
+        token);
+    ++matched_;
+    partial_score_ += sim;
+  }
+
+  size_t MemoryUsageBytes() const {
+    return sizeof(*this) + matched_query_.capacity() * sizeof(uint32_t) +
+           matched_tokens_.capacity() * sizeof(TokenId) +
+           seen_rows_.capacity() * sizeof(uint32_t);
+  }
+
+ private:
+  SetId set_ = kInvalidSet;
+  uint32_t set_size_ = 0;
+  uint32_t capacity_ = 0;  // min(|Q|, |C|)
+  uint32_t matched_ = 0;
+  Score partial_score_ = 0.0;
+  Score row_sum_ = 0.0;
+  std::vector<uint32_t> matched_query_;   // sorted query positions (greedy LB)
+  std::vector<TokenId> matched_tokens_;   // sorted matched set tokens (greedy LB)
+  std::vector<uint32_t> seen_rows_;       // sorted retained rows (iUB)
+};
+
+}  // namespace koios::core
+
+#endif  // KOIOS_CORE_CANDIDATE_STATE_H_

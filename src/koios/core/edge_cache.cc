@@ -1,0 +1,72 @@
+#include "koios/core/edge_cache.h"
+
+#include <algorithm>
+
+namespace koios::core {
+
+EdgeCache::EdgeCache(sim::TokenStream* stream) {
+  while (auto tuple = stream->Next()) {
+    tuples_.push_back(*tuple);
+    edges_[tuple->token].push_back(
+        {tuple->query_pos, tuple->sim});
+  }
+}
+
+matching::WeightMatrix EdgeCache::BuildMatrix(
+    std::span<const TokenId> candidate_tokens,
+    std::vector<uint32_t>* query_rows, std::vector<uint32_t>* set_cols) const {
+  query_rows->clear();
+  set_cols->clear();
+
+  // Collect incident edges per candidate column.
+  struct Coord {
+    uint32_t q, c;
+    double w;
+  };
+  std::vector<Coord> coords;
+  for (uint32_t cj = 0; cj < candidate_tokens.size(); ++cj) {
+    for (const CachedEdge& e : EdgesOf(candidate_tokens[cj])) {
+      coords.push_back({e.query_pos, cj, e.sim});
+    }
+  }
+  if (coords.empty()) return matching::WeightMatrix(0, 0);
+
+  // Compact row/col id spaces.
+  std::vector<uint32_t> rows, cols;
+  for (const auto& co : coords) {
+    rows.push_back(co.q);
+    cols.push_back(co.c);
+  }
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  *query_rows = rows;
+  *set_cols = cols;
+
+  matching::WeightMatrix m(rows.size(), cols.size());
+  auto row_of = [&rows](uint32_t q) {
+    return static_cast<size_t>(std::lower_bound(rows.begin(), rows.end(), q) -
+                               rows.begin());
+  };
+  auto col_of = [&cols](uint32_t c) {
+    return static_cast<size_t>(std::lower_bound(cols.begin(), cols.end(), c) -
+                               cols.begin());
+  };
+  for (const auto& co : coords) {
+    double& slot = m.At(row_of(co.q), col_of(co.c));
+    slot = std::max(slot, co.w);
+  }
+  return m;
+}
+
+size_t EdgeCache::MemoryUsageBytes() const {
+  size_t bytes = tuples_.capacity() * sizeof(sim::StreamTuple);
+  for (const auto& [_, list] : edges_) {
+    bytes += sizeof(TokenId) + list.capacity() * sizeof(CachedEdge) +
+             2 * sizeof(void*);
+  }
+  return bytes;
+}
+
+}  // namespace koios::core

@@ -1,0 +1,65 @@
+// Materialized token stream + similarity cache.
+//
+// Refinement consumes the stream Ie to exhaustion (every pair (qi, t) with
+// sim >= α, in non-increasing similarity order). We materialize that
+// sequence once per query: (1) partitioned search can replay the same
+// global order in every partition, and (2) the α-surviving edges double as
+// the similarity cache the paper reuses when initializing the matching
+// matrices during post-processing (§VIII-A3), so no similarity is ever
+// computed twice.
+#ifndef KOIOS_CORE_EDGE_CACHE_H_
+#define KOIOS_CORE_EDGE_CACHE_H_
+
+#include <cstddef>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "koios/matching/hungarian.h"
+#include "koios/sim/token_stream.h"
+#include "koios/util/types.h"
+
+namespace koios::core {
+
+/// One α-surviving edge incident to vocabulary token `t`: the query
+/// position and the similarity.
+struct CachedEdge {
+  uint32_t query_pos = 0;
+  double sim = 0.0;  // double: cached weights must match the oracle exactly
+};
+
+class EdgeCache {
+ public:
+  /// Drains `stream` and records every tuple (order preserved in
+  /// `tuples()`, per-token edge lists in `EdgesOf`).
+  explicit EdgeCache(sim::TokenStream* stream);
+
+  /// The full stream in emission order.
+  const std::vector<sim::StreamTuple>& tuples() const { return tuples_; }
+
+  /// α-surviving edges of token `t` (empty if none).
+  std::span<const CachedEdge> EdgesOf(TokenId t) const {
+    auto it = edges_.find(t);
+    if (it == edges_.end()) return {};
+    return it->second;
+  }
+
+  /// Builds the bipartite weight matrix of the query vs the tokens of a
+  /// candidate set, restricted to nodes with at least one edge. Returns
+  /// the number of query rows/set columns used via the out vectors (row r
+  /// corresponds to query position query_rows[r], column c to
+  /// candidate_tokens[set_cols[c]]).
+  matching::WeightMatrix BuildMatrix(std::span<const TokenId> candidate_tokens,
+                                     std::vector<uint32_t>* query_rows,
+                                     std::vector<uint32_t>* set_cols) const;
+
+  size_t MemoryUsageBytes() const;
+
+ private:
+  std::vector<sim::StreamTuple> tuples_;
+  std::unordered_map<TokenId, std::vector<CachedEdge>> edges_;
+};
+
+}  // namespace koios::core
+
+#endif  // KOIOS_CORE_EDGE_CACHE_H_

@@ -1,0 +1,151 @@
+#include "koios/core/normalized_search.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "koios/core/candidate_state.h"
+#include "koios/core/edge_cache.h"
+#include "koios/matching/hungarian.h"
+#include "koios/matching/semantic_overlap.h"
+#include "koios/sim/token_stream.h"
+#include "koios/util/timer.h"
+#include "koios/util/top_k_list.h"
+
+namespace koios::core {
+
+Score NormalizedOverlap(std::span<const TokenId> query,
+                        std::span<const TokenId> candidate,
+                        const sim::SimilarityFunction& sim, Score alpha) {
+  if (query.empty() || candidate.empty()) return 0.0;
+  const Score so = matching::SemanticOverlap(query, candidate, sim, alpha);
+  return so / static_cast<Score>(std::min(query.size(), candidate.size()));
+}
+
+NormalizedSearcher::NormalizedSearcher(const index::SetCollection* sets,
+                                       sim::SimilarityIndex* index)
+    : sets_(sets), index_(index), inverted_(*sets) {}
+
+SearchResult NormalizedSearcher::Search(std::span<const TokenId> query,
+                                        const SearchParams& params) {
+  SearchResult result;
+  if (query.empty() || sets_->size() == 0) return result;
+  util::WallTimer timer;
+
+  sim::TokenStream stream(
+      std::vector<TokenId>(query.begin(), query.end()), index_, params.alpha,
+      [this](TokenId t) { return inverted_.InVocabulary(t); });
+  EdgeCache cache(&stream);
+
+  // ---- refinement with per-candidate normalized bounds --------------------
+  std::unordered_map<SetId, CandidateState> candidates;
+  std::vector<uint8_t> pruned(sets_->size(), 0);
+  util::TopKList<SetId> llb(params.k);  // normalized lower bounds
+
+  auto cap_of = [&](const CandidateState& state) {
+    return static_cast<Score>(
+        std::min<size_t>(query.size(), state.set_size()));
+  };
+
+  for (const sim::StreamTuple& tuple : cache.tuples()) {
+    const Score s = tuple.sim;
+    const Score theta = llb.Bottom();
+    for (SetId id : inverted_.Postings(tuple.token)) {
+      if (pruned[id]) continue;
+      auto it = candidates.find(id);
+      if (it == candidates.end()) {
+        ++result.stats.candidates;
+        CandidateState state(id, static_cast<uint32_t>(sets_->SetSize(id)),
+                             static_cast<uint32_t>(query.size()));
+        // Arrival bound: UB = cap * s, so NSO <= s regardless of cap.
+        if (params.use_iub_filter && s < theta - kScoreEps) {
+          pruned[id] = 1;
+          ++result.stats.iub_filtered;
+          continue;
+        }
+        it = candidates.emplace(id, state).first;
+      }
+      CandidateState& state = it->second;
+      state.AddRow(tuple.query_pos, s);
+      if (state.EdgeValid(tuple.query_pos, tuple.token)) {
+        state.AddMatch(tuple.query_pos, tuple.token, s);
+        llb.Offer(id, state.partial_score() / cap_of(state));
+      }
+      // Per-candidate normalized upper bound (no shared bucket cutoff).
+      if (params.use_iub_filter &&
+          state.UpperBound(s) / cap_of(state) < llb.Bottom() - kScoreEps) {
+        pruned[id] = 1;
+        candidates.erase(it);
+        ++result.stats.iub_filtered;
+      }
+    }
+    ++result.stats.stream_tuples;
+  }
+  // Final sweep: slack term vanishes after exhaustion.
+  for (auto it = candidates.begin(); it != candidates.end();) {
+    if (params.use_iub_filter &&
+        it->second.FinalUpperBound() / cap_of(it->second) <
+            llb.Bottom() - kScoreEps) {
+      pruned[it->second.set()] = 1;
+      ++result.stats.iub_filtered;
+      it = candidates.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  result.stats.postprocess_sets += candidates.size();
+  result.stats.timers.Accumulate("refinement", timer.ElapsedSeconds());
+
+  // ---- verification: window over normalized upper bounds ------------------
+  timer.Restart();
+  struct Item {
+    Score nub;     // normalized upper bound (exact after verification)
+    Score cap;
+    bool exact = false;
+  };
+  std::vector<std::pair<Score, SetId>> order;  // (nub, id) descending
+  std::unordered_map<SetId, Item> items;
+  for (const auto& [id, state] : candidates) {
+    const Score cap = cap_of(state);
+    Item item{state.FinalUpperBound() / cap, cap, false};
+    items.emplace(id, item);
+    order.emplace_back(item.nub, id);
+  }
+  std::sort(order.begin(), order.end(), std::greater<>());
+
+  // Verify in descending bound order until the k-th best verified score
+  // dominates every remaining bound.
+  util::TopKList<SetId> topk(params.k);
+  size_t verified = 0;
+  for (const auto& [nub, id] : order) {
+    if (topk.Full() && nub < topk.Bottom() - kScoreEps) break;  // dominated
+    Item& item = items[id];
+    std::vector<uint32_t> rows, cols;
+    const matching::WeightMatrix m =
+        cache.BuildMatrix(sets_->Tokens(id), &rows, &cols);
+    const Score prune_threshold =
+        params.use_em_early_termination && topk.Full()
+            ? topk.Bottom() * item.cap
+            : -1.0;
+    const matching::MatchResult match =
+        matching::HungarianMatcher::Solve(m, prune_threshold);
+    ++verified;
+    if (match.early_terminated) {
+      ++result.stats.em_early_terminated;
+      continue;
+    }
+    ++result.stats.em_computed;
+    const Score nso = match.score / item.cap;
+    item.exact = true;
+    if (nso > 0.0) topk.Offer(id, nso);
+  }
+  (void)verified;
+  result.stats.timers.Accumulate("postprocess", timer.ElapsedSeconds());
+
+  for (const auto& [id, score] : topk.Descending()) {
+    result.topk.push_back({id, score, /*exact=*/true});
+  }
+  return result;
+}
+
+}  // namespace koios::core

@@ -1,0 +1,210 @@
+#include "koios/core/postprocess.h"
+
+#include <algorithm>
+#include <cassert>
+#include <future>
+#include <set>
+#include <unordered_map>
+
+#include "koios/matching/hungarian.h"
+#include "koios/util/top_k_list.h"
+
+namespace koios::core {
+
+namespace {
+
+struct Item {
+  SetId set = kInvalidSet;
+  Score lb = 0.0;
+  Score ub = 0.0;
+  bool checked = false;  // SO known exactly or membership certified (No-EM)
+  bool exact = false;    // lb == ub == SO
+};
+
+struct EmOutcome {
+  SetId set = kInvalidSet;
+  bool early_terminated = false;
+  Score so = 0.0;
+};
+
+// Descending (ub, set) ordering for the alive window.
+struct ByUbDesc {
+  bool operator()(const std::pair<Score, SetId>& a,
+                  const std::pair<Score, SetId>& b) const {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  }
+};
+
+}  // namespace
+
+PostProcessor::PostProcessor(const index::SetCollection* sets,
+                             const EdgeCache* cache,
+                             const SearchParams& params,
+                             GlobalThreshold* global_theta,
+                             util::ThreadPool* pool)
+    : sets_(sets),
+      cache_(cache),
+      params_(params),
+      global_theta_(global_theta),
+      pool_(pool) {}
+
+Score PostProcessor::ThetaLb(Score local) const {
+  if (global_theta_ == nullptr) return local;
+  return std::max(local, global_theta_->Get());
+}
+
+// Invariant-based formulation of Algorithm 2. All alive candidates live in
+// one set ordered by descending upper bound. θub is the k-th largest alive
+// upper bound. The top-k-by-UB *window* is the result candidate list (the
+// paper's Lub); everything below is the paper's Qub. The loop ends when
+// every window entry is checked:
+//  * an EM'd entry C in the window has SO(C) = ub(C) >= ub(X) >= SO(X) for
+//    any alive X outside the window, and
+//  * a No-EM entry C has LB(C) >= θub >= ub(X) >= SO(X)  (Lemma 7),
+// so the window provably dominates everything else; pruned sets were
+// certified SO < θlb <= θ*k earlier.
+std::vector<ResultEntry> PostProcessor::Run(RefinementOutput refinement,
+                                            SearchStats* stats) {
+  auto llb = std::move(refinement.llb);
+
+  std::unordered_map<SetId, Item> items;
+  std::set<std::pair<Score, SetId>, ByUbDesc> alive;  // (ub, set), desc
+  items.reserve(refinement.survivors.size());
+  for (const CandidateState& state : refinement.survivors) {
+    Item item;
+    item.set = state.set();
+    item.lb = state.partial_score();
+    item.ub = state.FinalUpperBound();  // stream exhausted: no slack term
+    items.emplace(item.set, item);
+    alive.insert({item.ub, item.set});
+  }
+  stats->memory.AddPeak(
+      "postprocess.alive",
+      alive.size() * (sizeof(std::pair<Score, SetId>) + 4 * sizeof(void*)));
+  stats->memory.AddPeak("postprocess.items", items.size() * sizeof(Item));
+
+  const size_t batch_size =
+      (pool_ != nullptr && params_.num_threads > 1) ? params_.num_threads : 1;
+
+  auto prune_below_theta = [&] {
+    const Score theta_lb = ThetaLb(llb.Bottom());
+    while (!alive.empty()) {
+      const auto lowest = std::prev(alive.end());  // smallest ub
+      if (lowest->first >= theta_lb - kScoreEps) break;
+      items.erase(lowest->second);
+      alive.erase(lowest);
+      ++stats->postprocess_ub_pruned;
+    }
+  };
+
+  while (!alive.empty()) {
+    prune_below_theta();
+
+    // The window: first min(k, |alive|) entries by descending ub. θub is
+    // the window's smallest ub (0 while fewer than k alive, which makes
+    // No-EM admit everything — correct, since then every alive set is in
+    // the top-k).
+    Score theta_ub = 0.0;
+    {
+      auto it = alive.begin();
+      for (size_t i = 0; i + 1 < params_.k && it != alive.end(); ++i) ++it;
+      if (it != alive.end() && alive.size() >= params_.k) theta_ub = it->first;
+    }
+
+    // Collect unchecked window entries (descending ub), applying No-EM.
+    std::vector<SetId> to_process;
+    bool admitted_any = false;
+    {
+      auto it = alive.begin();
+      for (size_t i = 0; i < params_.k && it != alive.end(); ++i, ++it) {
+        Item& item = items[it->second];
+        if (item.checked) continue;
+        if (params_.use_no_em_filter && item.lb >= theta_ub - kScoreEps) {
+          item.checked = true;
+          ++stats->no_em_skipped;
+          admitted_any = true;
+          continue;
+        }
+        to_process.push_back(item.set);
+        if (to_process.size() >= batch_size) break;
+      }
+    }
+    if (to_process.empty()) {
+      if (admitted_any) continue;  // window changed; re-evaluate
+      break;                       // window fully checked — done
+    }
+
+    // Exact matching (parallel batch; θlb snapshot shared by the batch).
+    const Score prune_threshold =
+        params_.use_em_early_termination ? ThetaLb(llb.Bottom()) : -1.0;
+    auto run_em = [&](SetId id) -> EmOutcome {
+      std::vector<uint32_t> rows, cols;
+      const matching::WeightMatrix m =
+          cache_->BuildMatrix(sets_->Tokens(id), &rows, &cols);
+      const matching::MatchResult r =
+          matching::HungarianMatcher::Solve(m, prune_threshold);
+      return {id, r.early_terminated, r.score};
+    };
+
+    std::vector<EmOutcome> outcomes;
+    if (batch_size > 1 && to_process.size() > 1) {
+      std::vector<std::future<EmOutcome>> futures;
+      futures.reserve(to_process.size());
+      for (SetId id : to_process) {
+        futures.push_back(pool_->Submit([&run_em, id] { return run_em(id); }));
+      }
+      for (auto& f : futures) outcomes.push_back(f.get());
+    } else {
+      for (SetId id : to_process) outcomes.push_back(run_em(id));
+    }
+
+    for (const EmOutcome& outcome : outcomes) {
+      Item& item = items[outcome.set];
+      if (outcome.early_terminated) {
+        // SO < θlb certified mid-matching: cannot be in the top-k.
+        ++stats->em_early_terminated;
+        alive.erase({item.ub, item.set});
+        items.erase(outcome.set);
+        continue;
+      }
+      ++stats->em_computed;
+      alive.erase({item.ub, item.set});
+      item.lb = item.ub = outcome.so;
+      item.exact = true;
+      item.checked = true;
+      alive.insert({item.ub, item.set});  // repositions by the exact score
+      llb.Offer(outcome.set, outcome.so);
+      if (global_theta_ != nullptr) global_theta_->Publish(llb.Bottom());
+    }
+  }
+
+  // Harvest the window; optionally verify No-EM admissions so every
+  // reported score is the exact SO (needed for cross-partition merging).
+  std::vector<ResultEntry> result;
+  auto it = alive.begin();
+  for (size_t i = 0; i < params_.k && it != alive.end(); ++i, ++it) {
+    Item& item = items[it->second];
+    ResultEntry entry;
+    entry.set = item.set;
+    entry.exact = item.exact;
+    entry.score = item.exact ? item.ub : item.lb;
+    if (!item.exact && params_.verify_result_scores) {
+      std::vector<uint32_t> rows, cols;
+      const matching::WeightMatrix m =
+          cache_->BuildMatrix(sets_->Tokens(item.set), &rows, &cols);
+      entry.score = matching::HungarianMatcher::Solve(m).score;
+      entry.exact = true;
+      ++stats->result_verification_ems;
+    }
+    result.push_back(entry);
+  }
+  std::sort(result.begin(), result.end(),
+            [](const ResultEntry& a, const ResultEntry& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.set < b.set;
+            });
+  return result;
+}
+
+}  // namespace koios::core

@@ -1,0 +1,63 @@
+// The post-processing phase of Koios (paper §VI, Algorithm 2): verify the
+// surviving candidates with exact bipartite matching, skipping it whenever
+// the No-EM filter (Lemma 7) certifies membership and aborting it whenever
+// the Hungarian dual bound drops below θlb (EM early termination, Lemma 8).
+#ifndef KOIOS_CORE_POSTPROCESS_H_
+#define KOIOS_CORE_POSTPROCESS_H_
+
+#include <atomic>
+#include <vector>
+
+#include "koios/core/edge_cache.h"
+#include "koios/core/refinement.h"
+#include "koios/core/search_types.h"
+#include "koios/index/set_collection.h"
+#include "koios/util/thread_pool.h"
+
+namespace koios::core {
+
+/// θlb shared across concurrently searched partitions (paper §VI: "all
+/// partitions share a global θlb that is the maximum of the θlb").
+/// Monotone non-decreasing maximum of published values.
+class GlobalThreshold {
+ public:
+  void Publish(Score theta) {
+    Score current = value_.load(std::memory_order_relaxed);
+    while (theta > current &&
+           !value_.compare_exchange_weak(current, theta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  Score Get() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<Score> value_{0.0};
+};
+
+class PostProcessor {
+ public:
+  /// `global_theta` may be null (unpartitioned search). `pool` may be null;
+  /// with a pool, exact matchings run in parallel batches of
+  /// params.num_threads as in the paper ("all sets in Lub are queued and
+  /// evaluated in parallel in the background").
+  PostProcessor(const index::SetCollection* sets, const EdgeCache* cache,
+                const SearchParams& params, GlobalThreshold* global_theta,
+                util::ThreadPool* pool);
+
+  /// Consumes the refinement output and returns the top-k result entries in
+  /// non-increasing score order.
+  std::vector<ResultEntry> Run(RefinementOutput refinement, SearchStats* stats);
+
+ private:
+  Score ThetaLb(Score local) const;
+
+  const index::SetCollection* sets_;
+  const EdgeCache* cache_;
+  SearchParams params_;
+  GlobalThreshold* global_theta_;
+  util::ThreadPool* pool_;
+};
+
+}  // namespace koios::core
+
+#endif  // KOIOS_CORE_POSTPROCESS_H_

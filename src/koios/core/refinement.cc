@@ -1,0 +1,155 @@
+#include "koios/core/refinement.h"
+
+#include <algorithm>
+
+#include "koios/core/postprocess.h"
+
+namespace koios::core {
+
+RefinementPhase::RefinementPhase(const index::SetCollection* sets,
+                                 const index::InvertedIndex* inverted,
+                                 size_t query_size, const SearchParams& params)
+    : sets_(sets),
+      inverted_(inverted),
+      query_size_(query_size),
+      params_(params) {}
+
+RefinementOutput RefinementPhase::Run(const EdgeCache& cache,
+                                      SearchStats* stats,
+                                      GlobalThreshold* global_theta) {
+  RefinementOutput out;
+  out.llb = util::TopKList<SetId>(params_.k);
+
+  std::vector<SetStatus> status(sets_->size(), SetStatus::kUnseen);
+  std::unordered_map<SetId, CandidateState> candidates;
+  BucketIndex buckets;
+
+  auto current_theta = [&]() -> Score {
+    const Score local = out.llb.Bottom();
+    if (global_theta == nullptr) return local;
+    return std::max(local, global_theta->Get());
+  };
+  Score theta_lb = current_theta();
+  Score last_sim = 1.0;
+
+  auto prune_candidate = [&](SetId id) {
+    status[id] = SetStatus::kPruned;
+    candidates.erase(id);
+    ++stats->iub_filtered;
+  };
+
+  for (const sim::StreamTuple& tuple : cache.tuples()) {
+    const Score s = tuple.sim;
+    last_sim = s;
+
+    // Bucketized iUB filter: the arrival of similarity s tightens every
+    // candidate's upper bound to S_i + m_i * s; scan each bucket's
+    // ascending-S_i prefix (§V). Without the bucket index (ablation), each
+    // candidate is checked individually.
+    if (params_.use_iub_filter) {
+      if (params_.use_bucket_index) {
+        buckets.Prune(s, theta_lb, prune_candidate);
+      } else {
+        for (auto it = candidates.begin(); it != candidates.end();) {
+          if (it->second.UpperBound(s) < theta_lb - kScoreEps) {
+            status[it->first] = SetStatus::kPruned;
+            ++stats->iub_filtered;
+            it = candidates.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+    }
+
+    // Probe the inverted index and update the sets containing this token.
+    for (SetId id : inverted_->Postings(tuple.token)) {
+      if (status[id] == SetStatus::kPruned) continue;
+
+      auto it = candidates.find(id);
+      if (it == candidates.end()) {
+        // First sighting: s is this set's maximum element similarity to
+        // any query element, so UB(C) = min(|Q|, |C|) * s (Lemma 2).
+        ++stats->candidates;
+        CandidateState state(id, static_cast<uint32_t>(sets_->SetSize(id)),
+                             static_cast<uint32_t>(query_size_));
+        if (params_.use_iub_filter &&
+            state.UpperBound(s) < theta_lb - kScoreEps) {
+          status[id] = SetStatus::kPruned;
+          ++stats->iub_filtered;
+          continue;
+        }
+        status[id] = SetStatus::kCandidate;
+        it = candidates.emplace(id, state).first;
+        if (params_.use_iub_filter && params_.use_bucket_index) {
+          buckets.Insert(id, state.remaining(), state.row_sum());
+        }
+      }
+
+      CandidateState& state = it->second;
+
+      // iUB row update: retain this row's maximum if the row is new and
+      // capacity remains (see CandidateState's class comment for the sound
+      // bound replacing the paper's Lemma 6).
+      if (params_.use_iub_filter && params_.use_bucket_index) {
+        const uint32_t m_old = state.remaining();
+        const Score r_old = state.row_sum();
+        if (state.AddRow(tuple.query_pos, s)) {
+          buckets.Move(id, m_old, r_old, state.remaining(), state.row_sum());
+          ++stats->bucket_moves;
+        }
+      } else {
+        state.AddRow(tuple.query_pos, s);
+      }
+
+      // Partial greedy matching update (iLB, Lemma 5): accept the edge iff
+      // both endpoints are unmatched. Stream order makes this the true
+      // greedy matching over the edges seen so far.
+      if (state.EdgeValid(tuple.query_pos, tuple.token)) {
+        state.AddMatch(tuple.query_pos, tuple.token, s);
+        // LB grew; the running top-k list and θlb may improve (Lemma 4).
+        out.llb.Offer(id, state.partial_score());
+        if (global_theta != nullptr && out.llb.Full()) {
+          global_theta->Publish(out.llb.Bottom());
+        }
+        theta_lb = current_theta();
+      }
+    }
+    ++stats->stream_tuples;
+  }
+
+  // Final sweep after stream exhaustion: the slack term vanishes (a row
+  // without a retained maximum has no α-edge left — FinalUpperBound), which
+  // for the bucket filter is exactly a prune pass with sim = 0.
+  if (params_.use_iub_filter) {
+    if (params_.use_bucket_index) {
+      buckets.Prune(0.0, theta_lb, prune_candidate);
+    } else {
+      for (auto it = candidates.begin(); it != candidates.end();) {
+        if (it->second.FinalUpperBound() < theta_lb - kScoreEps) {
+          status[it->first] = SetStatus::kPruned;
+          ++stats->iub_filtered;
+          it = candidates.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+  out.survivors.reserve(candidates.size());
+  size_t candidate_bytes = 0;
+  for (auto& [id, state] : candidates) {
+    candidate_bytes += state.MemoryUsageBytes();
+    out.survivors.push_back(std::move(state));
+  }
+  out.last_sim = last_sim;
+  stats->postprocess_sets += out.survivors.size();
+  stats->memory.AddPeak("refinement.candidates", candidate_bytes);
+  stats->memory.AddPeak("refinement.buckets", buckets.MemoryUsageBytes());
+  stats->memory.AddPeak("refinement.status", status.capacity());
+  stats->memory.AddPeak("refinement.llb", out.llb.MemoryUsageBytes());
+  return out;
+}
+
+}  // namespace koios::core

@@ -1,0 +1,63 @@
+// The refinement phase of Koios (paper §IV–V, Algorithm 1): stream element
+// pairs in non-increasing similarity order, surface candidate sets through
+// the inverted index, maintain incremental bounds, and prune aggressively
+// with the UB / iUB filters before any exact matching is attempted.
+#ifndef KOIOS_CORE_REFINEMENT_H_
+#define KOIOS_CORE_REFINEMENT_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "koios/core/bucket_index.h"
+#include "koios/core/candidate_state.h"
+#include "koios/core/edge_cache.h"
+#include "koios/core/search_types.h"
+#include "koios/index/inverted_index.h"
+#include "koios/index/set_collection.h"
+#include "koios/util/top_k_list.h"
+
+namespace koios::core {
+
+class GlobalThreshold;  // postprocess.h
+
+struct RefinementOutput {
+  /// Candidates that survived all refinement filters (order unspecified).
+  std::vector<CandidateState> survivors;
+  /// Running top-k lower-bound list; its Bottom() is θlb.
+  util::TopKList<SetId> llb{1};
+  /// Last (smallest) similarity emitted by the stream (diagnostic; the
+  /// survivors' final upper bound is CandidateState::FinalUpperBound(),
+  /// whose slack term vanishes at exhaustion).
+  Score last_sim = 0.0;
+};
+
+class RefinementPhase {
+ public:
+  /// `sets` is the full collection; `inverted` indexes the sets of this
+  /// partition only (or all sets when unpartitioned).
+  RefinementPhase(const index::SetCollection* sets,
+                  const index::InvertedIndex* inverted, size_t query_size,
+                  const SearchParams& params);
+
+  /// Replays the materialized stream and applies Algorithm 1 + the
+  /// bucketized iUB filter. Counters are accumulated into `stats`.
+  ///
+  /// `global_theta` (nullable) is the cross-partition θlb of §VI: any
+  /// partition's k-th best lower bound is a valid lower bound on the
+  /// *merged* θ*k, so partitions can prune with the maximum across all of
+  /// them without affecting the merged result's exactness.
+  RefinementOutput Run(const EdgeCache& cache, SearchStats* stats,
+                       GlobalThreshold* global_theta = nullptr);
+
+ private:
+  enum class SetStatus : uint8_t { kUnseen = 0, kCandidate = 1, kPruned = 2 };
+
+  const index::SetCollection* sets_;
+  const index::InvertedIndex* inverted_;
+  size_t query_size_;
+  SearchParams params_;
+};
+
+}  // namespace koios::core
+
+#endif  // KOIOS_CORE_REFINEMENT_H_

@@ -1,0 +1,63 @@
+// Parameter and result types of the Koios top-k semantic overlap search.
+#ifndef KOIOS_CORE_SEARCH_TYPES_H_
+#define KOIOS_CORE_SEARCH_TYPES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "koios/core/stats.h"
+#include "koios/util/types.h"
+
+namespace koios::core {
+
+/// Per-query search parameters. Filter toggles exist for the ablation
+/// benchmarks; all default to the paper's configuration (everything on).
+struct SearchParams {
+  size_t k = 10;
+  Score alpha = 0.8;
+  /// Worker threads for parallel exact matching during post-processing and
+  /// for parallel partition search.
+  size_t num_threads = 1;
+
+  // --- ablation toggles -------------------------------------------------
+  /// iUB-Filter with bucketized updates (refinement, §V).
+  bool use_iub_filter = true;
+  /// Use the bucket partitioning for iUB updates; when false, every
+  /// candidate's upper bound is re-checked on every stream tuple (the
+  /// "naive" update strategy §V argues against).
+  bool use_bucket_index = true;
+  /// No-EM filter (post-processing, Lemma 7).
+  bool use_no_em_filter = true;
+  /// Hungarian early termination (post-processing, Lemma 8).
+  bool use_em_early_termination = true;
+
+  /// Compute the exact SO of every reported result set even when the
+  /// No-EM filter certified membership without verification. Needed for
+  /// exact cross-partition merging; counted separately in the stats.
+  bool verify_result_scores = true;
+};
+
+/// One result entry: a set and its semantic overlap.
+struct ResultEntry {
+  SetId set = kInvalidSet;
+  Score score = 0.0;
+  /// True if `score` is the exact SO; false if it is the certified lower
+  /// bound of a set admitted by the No-EM filter without verification.
+  bool exact = true;
+};
+
+struct SearchResult {
+  /// Top-k sets in non-increasing score order (may hold fewer than k
+  /// entries when fewer candidates exist).
+  std::vector<ResultEntry> topk;
+  SearchStats stats;
+
+  /// θk of the result: smallest score in the list (0 if empty).
+  Score KthScore() const {
+    return topk.empty() ? 0.0 : topk.back().score;
+  }
+};
+
+}  // namespace koios::core
+
+#endif  // KOIOS_CORE_SEARCH_TYPES_H_

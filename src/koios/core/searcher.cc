@@ -1,0 +1,126 @@
+#include "koios/core/searcher.h"
+
+#include <algorithm>
+#include <cassert>
+#include <future>
+
+#include "koios/core/edge_cache.h"
+#include "koios/core/refinement.h"
+#include "koios/sim/token_stream.h"
+#include "koios/util/rng.h"
+#include "koios/util/thread_pool.h"
+#include "koios/util/timer.h"
+
+namespace koios::core {
+
+KoiosSearcher::KoiosSearcher(const index::SetCollection* sets,
+                             sim::SimilarityIndex* index,
+                             const SearcherOptions& options)
+    : sets_(sets), index_(index), options_(options) {
+  const size_t p = std::max<size_t>(1, options_.num_partitions);
+  // Random partition assignment (paper §VI: "we randomly partition the
+  // repository"); expected equal sizes.
+  std::vector<std::vector<SetId>> members(p);
+  util::Rng rng(options_.partition_seed);
+  for (SetId id = 0; id < sets_->size(); ++id) {
+    members[p == 1 ? 0 : rng.NextBounded(p)].push_back(id);
+  }
+  partition_inverted_.reserve(p);
+  for (const auto& subset : members) {
+    partition_inverted_.emplace_back(*sets_, subset);
+  }
+}
+
+bool KoiosSearcher::InVocabulary(TokenId token) const {
+  for (const auto& inverted : partition_inverted_) {
+    if (inverted.InVocabulary(token)) return true;
+  }
+  return false;
+}
+
+size_t KoiosSearcher::IndexMemoryUsageBytes() const {
+  size_t bytes = 0;
+  for (const auto& inverted : partition_inverted_) {
+    bytes += inverted.MemoryUsageBytes();
+  }
+  return bytes;
+}
+
+SearchResult KoiosSearcher::Search(std::span<const TokenId> query,
+                                   const SearchParams& params) {
+  assert(params.k >= 1);
+  assert(params.alpha > 0.0);
+  SearchResult result;
+  if (query.empty() || sets_->size() == 0) return result;
+
+  // ---- shared refinement input: materialize the token stream once -------
+  util::WallTimer stream_timer;
+  sim::TokenStream stream(
+      std::vector<TokenId>(query.begin(), query.end()), index_, params.alpha,
+      [this](TokenId t) { return InVocabulary(t); });
+  EdgeCache cache(&stream);
+  result.stats.timers.Accumulate("refinement", stream_timer.ElapsedSeconds());
+  result.stats.memory.AddPeak("stream.edge_cache", cache.MemoryUsageBytes());
+  result.stats.memory.AddPeak("index.inverted", IndexMemoryUsageBytes());
+
+  // ---- per-partition search under a shared global θlb -------------------
+  GlobalThreshold global_theta;
+  const size_t p = partition_inverted_.size();
+  std::vector<std::vector<ResultEntry>> partial(p);
+  std::vector<SearchStats> partial_stats(p);
+
+  auto search_partition = [&](size_t part, util::ThreadPool* em_pool) {
+    SearchStats& stats = partial_stats[part];
+    RefinementPhase refinement(sets_, &partition_inverted_[part], query.size(),
+                               params);
+    util::WallTimer timer;
+    RefinementOutput refined =
+        refinement.Run(cache, &stats, p > 1 ? &global_theta : nullptr);
+    stats.timers.Accumulate("refinement", timer.ElapsedSeconds());
+
+    timer.Restart();
+    PostProcessor post(sets_, &cache, params, p > 1 ? &global_theta : nullptr,
+                       em_pool);
+    partial[part] = post.Run(std::move(refined), &stats);
+    stats.timers.Accumulate("postprocess", timer.ElapsedSeconds());
+  };
+
+  if (p == 1) {
+    // Unpartitioned: parallelism goes to the exact-matching batches.
+    if (params.num_threads > 1) {
+      util::ThreadPool pool(params.num_threads);
+      search_partition(0, &pool);
+    } else {
+      search_partition(0, nullptr);
+    }
+  } else if (params.num_threads > 1) {
+    // Partitions in parallel, exact matching inline within each.
+    util::ThreadPool pool(params.num_threads);
+    std::vector<std::future<void>> futures;
+    futures.reserve(p);
+    for (size_t part = 0; part < p; ++part) {
+      futures.push_back(
+          pool.Submit([&search_partition, part] { search_partition(part, nullptr); }));
+    }
+    for (auto& f : futures) f.get();
+  } else {
+    for (size_t part = 0; part < p; ++part) search_partition(part, nullptr);
+  }
+
+  // ---- merge-sort the per-partition top-k lists --------------------------
+  std::vector<ResultEntry> merged;
+  for (size_t part = 0; part < p; ++part) {
+    merged.insert(merged.end(), partial[part].begin(), partial[part].end());
+    result.stats.Merge(partial_stats[part]);
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const ResultEntry& a, const ResultEntry& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.set < b.set;
+            });
+  if (merged.size() > params.k) merged.resize(params.k);
+  result.topk = std::move(merged);
+  return result;
+}
+
+}  // namespace koios::core

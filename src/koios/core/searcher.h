@@ -1,0 +1,55 @@
+// KoiosSearcher — the public entry point: top-k semantic overlap search
+// over a set repository, with optional random partitioning searched under a
+// shared global θlb (paper §VI).
+#ifndef KOIOS_CORE_SEARCHER_H_
+#define KOIOS_CORE_SEARCHER_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "koios/core/postprocess.h"
+#include "koios/core/search_types.h"
+#include "koios/index/inverted_index.h"
+#include "koios/index/set_collection.h"
+#include "koios/sim/similarity.h"
+
+namespace koios::core {
+
+struct SearcherOptions {
+  /// Random partitions of the repository; each is searched independently
+  /// (in parallel when SearchParams::num_threads > 1) and the per-partition
+  /// top-k lists are merged. 1 = unpartitioned.
+  size_t num_partitions = 1;
+  uint64_t partition_seed = 7;
+};
+
+class KoiosSearcher {
+ public:
+  /// `sets`: the repository L. `index`: a neighbor index over L's
+  /// vocabulary (exact for exact search). Both must outlive the searcher.
+  KoiosSearcher(const index::SetCollection* sets, sim::SimilarityIndex* index,
+                const SearcherOptions& options = {});
+
+  /// Top-k semantic overlap search for `query` (distinct tokens).
+  SearchResult Search(std::span<const TokenId> query,
+                      const SearchParams& params);
+
+  size_t num_partitions() const { return partition_inverted_.size(); }
+
+  /// True if `token` occurs in the repository vocabulary D.
+  bool InVocabulary(TokenId token) const;
+
+  /// Aggregate index footprint (inverted indexes across partitions).
+  size_t IndexMemoryUsageBytes() const;
+
+ private:
+  const index::SetCollection* sets_;
+  sim::SimilarityIndex* index_;
+  SearcherOptions options_;
+  std::vector<index::InvertedIndex> partition_inverted_;
+};
+
+}  // namespace koios::core
+
+#endif  // KOIOS_CORE_SEARCHER_H_

@@ -1,0 +1,24 @@
+#include "koios/core/stats.h"
+
+#include <sstream>
+
+namespace koios::core {
+
+std::string SearchStats::ToString() const {
+  std::ostringstream out;
+  out << "refinement:  tuples=" << stream_tuples << " candidates=" << candidates
+      << " iub_filtered=" << iub_filtered << " bucket_moves=" << bucket_moves
+      << "\n";
+  out << "postprocess: sets=" << postprocess_sets << " no_em=" << no_em_skipped
+      << " em_early_term=" << em_early_terminated << " em=" << em_computed
+      << " ub_pruned=" << postprocess_ub_pruned
+      << " verify_ems=" << result_verification_ems << "\n";
+  out << "time:        ";
+  for (const auto& [name, secs] : timers.phases()) {
+    out << name << "=" << secs << "s ";
+  }
+  out << "\nmemory:      " << util::MemoryTracker::FormatBytes(memory.TotalBytes());
+  return out.str();
+}
+
+}  // namespace koios::core

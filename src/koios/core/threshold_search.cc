@@ -1,0 +1,122 @@
+#include "koios/core/threshold_search.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "koios/core/bucket_index.h"
+#include "koios/core/candidate_state.h"
+#include "koios/core/edge_cache.h"
+#include "koios/matching/hungarian.h"
+#include "koios/sim/token_stream.h"
+#include "koios/util/timer.h"
+
+namespace koios::core {
+
+ThresholdSearcher::ThresholdSearcher(const index::SetCollection* sets,
+                                     sim::SimilarityIndex* index)
+    : sets_(sets), index_(index), inverted_(*sets) {}
+
+std::vector<ResultEntry> ThresholdSearcher::Search(
+    std::span<const TokenId> query, const ThresholdParams& params,
+    SearchStats* stats) {
+  SearchStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  std::vector<ResultEntry> result;
+  if (query.empty() || sets_->size() == 0) return result;
+
+  util::WallTimer timer;
+  sim::TokenStream stream(
+      std::vector<TokenId>(query.begin(), query.end()), index_, params.alpha,
+      [this](TokenId t) { return inverted_.InVocabulary(t); });
+  EdgeCache cache(&stream);
+
+  // ---- refinement with the fixed threshold θ -----------------------------
+  const Score theta = params.theta;
+  std::unordered_map<SetId, CandidateState> candidates;
+  std::vector<uint8_t> pruned(sets_->size(), 0);
+  BucketIndex buckets;
+
+  auto prune = [&](SetId id) {
+    pruned[id] = 1;
+    candidates.erase(id);
+    ++stats->iub_filtered;
+  };
+
+  for (const sim::StreamTuple& tuple : cache.tuples()) {
+    const Score s = tuple.sim;
+    buckets.Prune(s, theta, prune);
+    for (SetId id : inverted_.Postings(tuple.token)) {
+      if (pruned[id]) continue;
+      auto it = candidates.find(id);
+      if (it == candidates.end()) {
+        ++stats->candidates;
+        CandidateState state(id, static_cast<uint32_t>(sets_->SetSize(id)),
+                             static_cast<uint32_t>(query.size()));
+        if (state.UpperBound(s) < theta - kScoreEps) {
+          pruned[id] = 1;
+          ++stats->iub_filtered;
+          continue;
+        }
+        it = candidates.emplace(id, state).first;
+        buckets.Insert(id, state.remaining(), state.row_sum());
+      }
+      CandidateState& state = it->second;
+      const uint32_t m_old = state.remaining();
+      const Score r_old = state.row_sum();
+      if (state.AddRow(tuple.query_pos, s)) {
+        buckets.Move(id, m_old, r_old, state.remaining(), state.row_sum());
+        ++stats->bucket_moves;
+      }
+      if (state.EdgeValid(tuple.query_pos, tuple.token)) {
+        state.AddMatch(tuple.query_pos, tuple.token, s);
+      }
+    }
+    ++stats->stream_tuples;
+  }
+  buckets.Prune(0.0, theta, prune);  // FinalUpperBound sweep
+  stats->timers.Accumulate("refinement", timer.ElapsedSeconds());
+
+  // ---- verification -------------------------------------------------------
+  timer.Restart();
+  stats->postprocess_sets += candidates.size();
+  for (const auto& [id, state] : candidates) {
+    ResultEntry entry;
+    entry.set = id;
+    if (params.use_lb_admission &&
+        state.partial_score() >= theta - kScoreEps && !params.verify_scores) {
+      // Greedy lower bound certifies membership; skip the matching.
+      entry.score = state.partial_score();
+      entry.exact = false;
+      ++stats->no_em_skipped;
+      result.push_back(entry);
+      continue;
+    }
+    std::vector<uint32_t> rows, cols;
+    const matching::WeightMatrix m =
+        cache.BuildMatrix(sets_->Tokens(id), &rows, &cols);
+    const double prune_threshold =
+        params.use_em_early_termination ? theta : -1.0;
+    const matching::MatchResult match =
+        matching::HungarianMatcher::Solve(m, prune_threshold);
+    if (match.early_terminated) {
+      ++stats->em_early_terminated;
+      continue;  // certified SO < theta
+    }
+    ++stats->em_computed;
+    if (match.score >= theta - kScoreEps) {
+      entry.score = match.score;
+      entry.exact = true;
+      result.push_back(entry);
+    }
+  }
+  stats->timers.Accumulate("postprocess", timer.ElapsedSeconds());
+
+  std::sort(result.begin(), result.end(),
+            [](const ResultEntry& a, const ResultEntry& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.set < b.set;
+            });
+  return result;
+}
+
+}  // namespace koios::core

@@ -1,0 +1,90 @@
+#include "koios/data/query_benchmark.h"
+
+#include <algorithm>
+
+namespace koios::data {
+
+std::string CardinalityInterval::Label() const {
+  return std::to_string(lo) + "-" + std::to_string(hi);
+}
+
+namespace {
+
+std::vector<CardinalityInterval> ScaleIntervals(
+    std::vector<CardinalityInterval> intervals, size_t paper_max,
+    size_t actual_max) {
+  // Presets are expressed in the paper's coordinates; when the corpus is a
+  // scaled-down replica, rescale interval bounds proportionally so each
+  // interval keeps roughly its share of the cardinality range.
+  if (actual_max >= paper_max || actual_max == 0) return intervals;
+  const double f = static_cast<double>(actual_max) / static_cast<double>(paper_max);
+  for (auto& iv : intervals) {
+    iv.lo = static_cast<size_t>(iv.lo * f);
+    iv.hi = std::max(iv.lo + 1, static_cast<size_t>(iv.hi * f));
+  }
+  intervals.front().lo = std::min<size_t>(intervals.front().lo, 10);
+  intervals.back().hi = actual_max + 1;
+  return intervals;
+}
+
+}  // namespace
+
+std::vector<CardinalityInterval> OpenDataIntervals(size_t max_size) {
+  std::vector<CardinalityInterval> iv = {{10, 750},    {750, 1000},
+                                         {1000, 1500}, {1500, 2500},
+                                         {2500, 5000}, {5000, 32000}};
+  return ScaleIntervals(std::move(iv), 32000, max_size);
+}
+
+std::vector<CardinalityInterval> WdcIntervals(size_t max_size) {
+  std::vector<CardinalityInterval> iv = {
+      {10, 250}, {250, 500}, {500, 750}, {750, 1000}, {1000, 11000}};
+  return ScaleIntervals(std::move(iv), 11000, max_size);
+}
+
+std::vector<BenchmarkQuery> SampleQueriesByInterval(
+    const Corpus& corpus, const std::vector<CardinalityInterval>& intervals,
+    size_t per_interval, util::Rng* rng) {
+  std::vector<BenchmarkQuery> queries;
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    std::vector<SetId> pool;
+    for (SetId id = 0; id < corpus.sets.size(); ++id) {
+      const size_t size = corpus.sets.SetSize(id);
+      if (size >= intervals[i].lo && size < intervals[i].hi) pool.push_back(id);
+    }
+    // Partial Fisher-Yates: uniform sample without replacement.
+    const size_t take = std::min(per_interval, pool.size());
+    for (size_t j = 0; j < take; ++j) {
+      const size_t pick = j + rng->NextBounded(pool.size() - j);
+      std::swap(pool[j], pool[pick]);
+      BenchmarkQuery query;
+      query.source_set = pool[j];
+      const auto tokens = corpus.sets.Tokens(pool[j]);
+      query.tokens.assign(tokens.begin(), tokens.end());
+      query.interval = i;
+      queries.push_back(std::move(query));
+    }
+  }
+  return queries;
+}
+
+std::vector<BenchmarkQuery> SampleQueriesUniform(const Corpus& corpus,
+                                                 size_t count,
+                                                 util::Rng* rng) {
+  std::vector<SetId> pool(corpus.sets.size());
+  for (SetId id = 0; id < corpus.sets.size(); ++id) pool[id] = id;
+  std::vector<BenchmarkQuery> queries;
+  const size_t take = std::min(count, pool.size());
+  for (size_t j = 0; j < take; ++j) {
+    const size_t pick = j + rng->NextBounded(pool.size() - j);
+    std::swap(pool[j], pool[pick]);
+    BenchmarkQuery query;
+    query.source_set = pool[j];
+    const auto tokens = corpus.sets.Tokens(pool[j]);
+    query.tokens.assign(tokens.begin(), tokens.end());
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+}  // namespace koios::data

@@ -1,0 +1,50 @@
+// Query benchmark generation (paper §VIII-A2): query sets are sampled from
+// the corpus itself, uniformly within cardinality intervals so skewed
+// repositories do not bias the benchmark toward small queries.
+#ifndef KOIOS_DATA_QUERY_BENCHMARK_H_
+#define KOIOS_DATA_QUERY_BENCHMARK_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "koios/data/corpus.h"
+#include "koios/util/rng.h"
+#include "koios/util/types.h"
+
+namespace koios::data {
+
+struct CardinalityInterval {
+  size_t lo = 0;  // inclusive
+  size_t hi = 0;  // exclusive
+
+  std::string Label() const;
+};
+
+/// One benchmark query: a set drawn from the corpus.
+struct BenchmarkQuery {
+  SetId source_set = kInvalidSet;
+  std::vector<TokenId> tokens;
+  size_t interval = 0;  // index into the interval list (0 if none)
+};
+
+/// The paper's interval tables, scaled to a corpus' actual max size:
+/// OpenData: 10-750, 750-1k, 1k-1.5k, 1.5k-2.5k, 2.5k-5k, 5k-32k;
+/// WDC: 10-250, 250-500, 500-750, 750-1k, 1k-11k.
+std::vector<CardinalityInterval> OpenDataIntervals(size_t max_size);
+std::vector<CardinalityInterval> WdcIntervals(size_t max_size);
+
+/// Uniformly samples up to `per_interval` query sets per interval (without
+/// replacement). Intervals with no matching sets are skipped.
+std::vector<BenchmarkQuery> SampleQueriesByInterval(
+    const Corpus& corpus, const std::vector<CardinalityInterval>& intervals,
+    size_t per_interval, util::Rng* rng);
+
+/// Uniform sampling of `count` query sets regardless of cardinality
+/// (DBLP / Twitter style).
+std::vector<BenchmarkQuery> SampleQueriesUniform(const Corpus& corpus,
+                                                 size_t count, util::Rng* rng);
+
+}  // namespace koios::data
+
+#endif  // KOIOS_DATA_QUERY_BENCHMARK_H_

@@ -1,0 +1,37 @@
+#include "koios/embedding/embedding_store.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace koios::embedding {
+
+void EmbeddingStore::Add(TokenId token, std::span<const float> vector) {
+  assert(vector.size() == dim_);
+  if (token >= row_of_.size()) row_of_.resize(token + 1, kNoRow);
+  assert(row_of_[token] == kNoRow && "token added twice");
+
+  double norm_sq = 0.0;
+  for (float v : vector) norm_sq += static_cast<double>(v) * v;
+  const double inv = norm_sq > 0.0 ? 1.0 / std::sqrt(norm_sq) : 0.0;
+
+  row_of_[token] = static_cast<uint32_t>(rows_);
+  data_.reserve(data_.size() + dim_);
+  for (float v : vector) data_.push_back(static_cast<float>(v * inv));
+  ++rows_;
+}
+
+std::span<const float> EmbeddingStore::VectorOf(TokenId token) const {
+  assert(Has(token));
+  return {&data_[static_cast<size_t>(row_of_[token]) * dim_], dim_};
+}
+
+double EmbeddingStore::Cosine(TokenId a, TokenId b) const {
+  if (!Has(a) || !Has(b)) return 0.0;
+  const float* pa = &data_[static_cast<size_t>(row_of_[a]) * dim_];
+  const float* pb = &data_[static_cast<size_t>(row_of_[b]) * dim_];
+  double dot = 0.0;
+  for (size_t i = 0; i < dim_; ++i) dot += static_cast<double>(pa[i]) * pb[i];
+  return dot;
+}
+
+}  // namespace koios::embedding

@@ -1,0 +1,59 @@
+// Dense embedding storage. Stands in for the pre-trained FastText vectors
+// the paper uses (§VIII): Koios only ever consumes embeddings through
+// cosine similarity, so any L2-normalized vector table with a realistic
+// similarity distribution exercises the same code paths.
+#ifndef KOIOS_EMBEDDING_EMBEDDING_STORE_H_
+#define KOIOS_EMBEDDING_EMBEDDING_STORE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "koios/util/types.h"
+
+namespace koios::embedding {
+
+/// Row-major matrix of token embeddings, indexed by TokenId. Tokens without
+/// a vector (out-of-vocabulary, "OOV") have no row; cosine similarity
+/// against them is 0 except for the identical-token case, which the token
+/// stream handles separately (paper §V: "we deal with out-of-vocabulary
+/// elements" by always emitting the query token's self-match).
+class EmbeddingStore {
+ public:
+  explicit EmbeddingStore(size_t dim) : dim_(dim) {}
+
+  /// Registers `vector` (size dim) for `token`; the vector is L2-normalized
+  /// on insertion. Tokens must be added at most once.
+  void Add(TokenId token, std::span<const float> vector);
+
+  bool Has(TokenId token) const {
+    return token < row_of_.size() && row_of_[token] != kNoRow;
+  }
+
+  /// Normalized vector of `token`; asserts coverage.
+  std::span<const float> VectorOf(TokenId token) const;
+
+  /// Cosine similarity in [-1, 1] (dot product of normalized rows).
+  /// Returns 0 if either token is OOV.
+  double Cosine(TokenId a, TokenId b) const;
+
+  size_t dim() const { return dim_; }
+  /// Number of covered (non-OOV) tokens.
+  size_t covered() const { return rows_; }
+
+  size_t MemoryUsageBytes() const {
+    return data_.capacity() * sizeof(float) + row_of_.capacity() * sizeof(uint32_t);
+  }
+
+ private:
+  static constexpr uint32_t kNoRow = 0xFFFFFFFFu;
+
+  size_t dim_;
+  size_t rows_ = 0;
+  std::vector<float> data_;       // rows_ x dim_
+  std::vector<uint32_t> row_of_;  // TokenId -> row index or kNoRow
+};
+
+}  // namespace koios::embedding
+
+#endif  // KOIOS_EMBEDDING_EMBEDDING_STORE_H_

@@ -1,0 +1,58 @@
+#include "koios/embedding/synthetic_model.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace koios::embedding {
+
+namespace {
+
+std::vector<float> RandomUnitVector(size_t dim, koios::util::Rng* rng) {
+  std::vector<float> v(dim);
+  double norm_sq = 0.0;
+  for (auto& x : v) {
+    x = static_cast<float>(rng->NextGaussian());
+    norm_sq += static_cast<double>(x) * x;
+  }
+  const double inv = norm_sq > 0.0 ? 1.0 / std::sqrt(norm_sq) : 0.0;
+  for (auto& x : v) x = static_cast<float>(x * inv);
+  return v;
+}
+
+}  // namespace
+
+SyntheticEmbeddingModel::SyntheticEmbeddingModel(const SyntheticModelSpec& spec)
+    : spec_(spec), store_(spec.dim) {
+  assert(spec.vocab_size > 0);
+  assert(spec.dim >= 4);
+  assert(spec.avg_cluster_size >= 1.0);
+
+  util::Rng rng(spec.seed);
+  cluster_of_.resize(spec.vocab_size);
+
+  // Assign tokens to clusters with geometric-ish sizes averaging
+  // avg_cluster_size, sequentially over the id space. Corpus generators
+  // draw token ids Zipfian-style, so low-id clusters become frequent
+  // concepts — mirroring how frequent words share neighborhoods.
+  const double p_new_cluster = 1.0 / spec.avg_cluster_size;
+  uint32_t cluster = 0;
+  std::vector<float> centroid = RandomUnitVector(spec.dim, &rng);
+  std::vector<float> member(spec.dim);
+  for (TokenId t = 0; t < spec.vocab_size; ++t) {
+    if (t > 0 && rng.NextBool(p_new_cluster)) {
+      ++cluster;
+      centroid = RandomUnitVector(spec.dim, &rng);
+    }
+    cluster_of_[t] = cluster;
+    if (rng.NextDouble() < spec.coverage) {
+      const double sigma = spec.noise_sigma / std::sqrt(static_cast<double>(spec.dim));
+      for (size_t d = 0; d < spec.dim; ++d) {
+        member[d] = centroid[d] + static_cast<float>(sigma * rng.NextGaussian());
+      }
+      store_.Add(t, member);
+    }
+  }
+  num_clusters_ = cluster + 1;
+}
+
+}  // namespace koios::embedding

@@ -1,0 +1,68 @@
+#include "koios/embedding/vec_loader.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace koios::embedding {
+
+util::StatusOr<EmbeddingStore> LoadVecStream(std::istream& in,
+                                             const text::Dictionary& dict,
+                                             VecLoadStats* stats) {
+  VecLoadStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+
+  std::string header;
+  if (!std::getline(in, header)) {
+    return util::Status::InvalidArgument("empty .vec stream");
+  }
+  std::istringstream header_in(header);
+  size_t words = 0, dim = 0;
+  if (!(header_in >> words >> dim) || dim == 0) {
+    return util::Status::InvalidArgument(".vec header must be '<words> <dim>'");
+  }
+  stats->file_words = words;
+  stats->dim = dim;
+
+  EmbeddingStore store(dim);
+  std::vector<float> row(dim);
+  std::string line;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream row_in(line);
+    std::string word;
+    if (!(row_in >> word)) {
+      return util::Status::InvalidArgument(".vec row " + std::to_string(line_no) +
+                                           ": missing word");
+    }
+    ++stats->parsed_words;
+    const TokenId token = dict.Lookup(word);
+    if (token == kInvalidToken) continue;  // word not in the corpus
+    for (size_t d = 0; d < dim; ++d) {
+      if (!(row_in >> row[d])) {
+        return util::Status::InvalidArgument(
+            ".vec row " + std::to_string(line_no) + " ('" + word + "'): expected " +
+            std::to_string(dim) + " floats");
+      }
+    }
+    if (store.Has(token)) continue;  // duplicate rows: keep the first
+    store.Add(token, row);
+    ++stats->matched_words;
+  }
+  return store;
+}
+
+util::StatusOr<EmbeddingStore> LoadVecFile(const std::string& path,
+                                           const text::Dictionary& dict,
+                                           VecLoadStats* stats) {
+  std::ifstream in(path);
+  if (!in) {
+    return util::Status::NotFound("cannot open .vec file: " + path);
+  }
+  return LoadVecStream(in, dict, stats);
+}
+
+}  // namespace koios::embedding

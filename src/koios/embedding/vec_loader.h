@@ -1,0 +1,44 @@
+// Loader for the FastText / word2vec textual ".vec" format — the format of
+// the pre-trained vectors the paper uses (wiki-news-300d-1M.vec etc.):
+//
+//   <num_words> <dim>\n
+//   <word> <v1> <v2> ... <vdim>\n
+//   ...
+//
+// Only words present in the supplied dictionary are materialized (the
+// paper's repositories cover a fraction of the 1M-word vocabulary), so
+// memory stays proportional to the corpus, not the embedding file.
+#ifndef KOIOS_EMBEDDING_VEC_LOADER_H_
+#define KOIOS_EMBEDDING_VEC_LOADER_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "koios/embedding/embedding_store.h"
+#include "koios/text/dictionary.h"
+#include "koios/util/status.h"
+
+namespace koios::embedding {
+
+struct VecLoadStats {
+  size_t file_words = 0;     // words listed in the file header
+  size_t parsed_words = 0;   // rows actually parsed
+  size_t matched_words = 0;  // rows matching a dictionary token
+  size_t dim = 0;
+};
+
+/// Parses a .vec stream and loads vectors for dictionary tokens into a new
+/// EmbeddingStore. Unknown words are skipped; malformed rows produce an
+/// error status. Tokens without a row are simply OOV in the store.
+util::StatusOr<EmbeddingStore> LoadVecStream(std::istream& in,
+                                             const text::Dictionary& dict,
+                                             VecLoadStats* stats = nullptr);
+
+/// File-path convenience wrapper.
+util::StatusOr<EmbeddingStore> LoadVecFile(const std::string& path,
+                                           const text::Dictionary& dict,
+                                           VecLoadStats* stats = nullptr);
+
+}  // namespace koios::embedding
+
+#endif  // KOIOS_EMBEDDING_VEC_LOADER_H_

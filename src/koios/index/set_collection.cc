@@ -1,0 +1,55 @@
+#include "koios/index/set_collection.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace koios::index {
+
+SetId SetCollection::AddSet(std::span<const TokenId> tokens) {
+  const SetId id = static_cast<SetId>(size());
+  tokens_.insert(tokens_.end(), tokens.begin(), tokens.end());
+  auto begin = tokens_.begin() + static_cast<ptrdiff_t>(offsets_.back());
+  std::sort(begin, tokens_.end());
+  tokens_.erase(std::unique(begin, tokens_.end()), tokens_.end());
+  offsets_.push_back(tokens_.size());
+  if (offsets_[id + 1] > offsets_[id]) {
+    token_id_bound_ = std::max<size_t>(token_id_bound_, tokens_.back() + 1);
+  }
+  return id;
+}
+
+size_t SetCollection::VanillaOverlap(std::span<const TokenId> sorted_query,
+                                     SetId id) const {
+  const auto set_tokens = Tokens(id);
+  size_t i = 0, j = 0, overlap = 0;
+  while (i < sorted_query.size() && j < set_tokens.size()) {
+    if (sorted_query[i] == set_tokens[j]) {
+      ++overlap;
+      ++i;
+      ++j;
+    } else if (sorted_query[i] < set_tokens[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return overlap;
+}
+
+size_t SetCollection::MaxSetSize() const {
+  size_t max_size = 0;
+  for (SetId id = 0; id < size(); ++id) max_size = std::max(max_size, SetSize(id));
+  return max_size;
+}
+
+double SetCollection::AvgSetSize() const {
+  if (size() == 0) return 0.0;
+  return static_cast<double>(tokens_.size()) / static_cast<double>(size());
+}
+
+size_t SetCollection::DistinctTokens() const {
+  std::unordered_set<TokenId> distinct(tokens_.begin(), tokens_.end());
+  return distinct.size();
+}
+
+}  // namespace koios::index

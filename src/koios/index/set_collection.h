@@ -1,0 +1,58 @@
+// The repository L: a collection of sets of TokenIds in CSR-like storage.
+#ifndef KOIOS_INDEX_SET_COLLECTION_H_
+#define KOIOS_INDEX_SET_COLLECTION_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "koios/util/types.h"
+
+namespace koios::index {
+
+/// Append-only set storage. Member tokens of each set are stored sorted and
+/// deduplicated so that vanilla overlap is a linear merge.
+class SetCollection {
+ public:
+  /// Adds a set (tokens are copied, sorted, deduplicated). Returns its id.
+  SetId AddSet(std::span<const TokenId> tokens);
+
+  size_t size() const { return offsets_.size() - 1; }
+
+  size_t SetSize(SetId id) const {
+    return offsets_[id + 1] - offsets_[id];
+  }
+
+  /// Sorted distinct tokens of set `id`.
+  std::span<const TokenId> Tokens(SetId id) const {
+    return {tokens_.data() + offsets_[id], SetSize(id)};
+  }
+
+  /// |A ∩ tokens(id)| for a *sorted* token vector A.
+  size_t VanillaOverlap(std::span<const TokenId> sorted_query, SetId id) const;
+
+  /// Total number of stored token occurrences (Σ |C|, the paper's D+).
+  size_t TotalTokens() const { return tokens_.size(); }
+
+  /// Largest token id stored + 1 (the dense vocabulary bound).
+  size_t TokenIdBound() const { return token_id_bound_; }
+
+  /// Statistics for Table I style reporting.
+  size_t MaxSetSize() const;
+  double AvgSetSize() const;
+  /// Number of distinct tokens across all sets.
+  size_t DistinctTokens() const;
+
+  size_t MemoryUsageBytes() const {
+    return tokens_.capacity() * sizeof(TokenId) + offsets_.capacity() * sizeof(size_t);
+  }
+
+ private:
+  std::vector<TokenId> tokens_;
+  std::vector<size_t> offsets_ = {0};
+  size_t token_id_bound_ = 0;
+};
+
+}  // namespace koios::index
+
+#endif  // KOIOS_INDEX_SET_COLLECTION_H_

@@ -1,0 +1,223 @@
+#include "koios/io/serialization.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+namespace koios::io {
+
+namespace {
+
+constexpr uint32_t kDictionaryMagic = 0x4B44494Bu;  // "KIDK"
+constexpr uint32_t kSetsMagic = 0x4B534554u;        // "TESK"
+constexpr uint32_t kEmbeddingMagic = 0x4B454D42u;   // "BMEK"
+constexpr uint32_t kRepositoryMagic = 0x4B52504Fu;  // "OPRK"
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+util::Status WriteHeader(std::ostream& out, uint32_t magic) {
+  WritePod(out, magic);
+  WritePod(out, kVersion);
+  if (!out) return util::Status::Internal("write failed");
+  return util::Status::OK();
+}
+
+util::Status CheckHeader(std::istream& in, uint32_t magic, const char* what) {
+  uint32_t got_magic = 0, got_version = 0;
+  if (!ReadPod(in, &got_magic) || !ReadPod(in, &got_version)) {
+    return util::Status::InvalidArgument(std::string("truncated ") + what +
+                                         " header");
+  }
+  if (got_magic != magic) {
+    return util::Status::InvalidArgument(std::string("bad magic for ") + what);
+  }
+  if (got_version != kVersion) {
+    return util::Status::InvalidArgument(std::string("unsupported version for ") +
+                                         what);
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+// ---- Dictionary -------------------------------------------------------------
+
+util::Status SaveDictionary(const text::Dictionary& dict, std::ostream& out) {
+  auto status = WriteHeader(out, kDictionaryMagic);
+  if (!status.ok()) return status;
+  WritePod<uint64_t>(out, dict.size());
+  for (TokenId t = 0; t < dict.size(); ++t) {
+    const std::string& token = dict.TokenOf(t);
+    WritePod<uint32_t>(out, static_cast<uint32_t>(token.size()));
+    out.write(token.data(), static_cast<std::streamsize>(token.size()));
+  }
+  if (!out) return util::Status::Internal("write failed");
+  return util::Status::OK();
+}
+
+util::StatusOr<text::Dictionary> LoadDictionary(std::istream& in) {
+  auto status = CheckHeader(in, kDictionaryMagic, "dictionary");
+  if (!status.ok()) return status;
+  uint64_t count = 0;
+  if (!ReadPod(in, &count)) {
+    return util::Status::InvalidArgument("truncated dictionary");
+  }
+  text::Dictionary dict;
+  std::string token;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t length = 0;
+    if (!ReadPod(in, &length)) {
+      return util::Status::InvalidArgument("truncated dictionary entry");
+    }
+    token.resize(length);
+    in.read(token.data(), length);
+    if (!in) return util::Status::InvalidArgument("truncated dictionary entry");
+    const TokenId id = dict.Intern(token);
+    if (id != i) {
+      return util::Status::InvalidArgument("duplicate token in dictionary file");
+    }
+  }
+  return dict;
+}
+
+// ---- SetCollection ------------------------------------------------------------
+
+util::Status SaveSetCollection(const index::SetCollection& sets,
+                               std::ostream& out) {
+  auto status = WriteHeader(out, kSetsMagic);
+  if (!status.ok()) return status;
+  WritePod<uint64_t>(out, sets.size());
+  for (SetId id = 0; id < sets.size(); ++id) {
+    const auto tokens = sets.Tokens(id);
+    WritePod<uint32_t>(out, static_cast<uint32_t>(tokens.size()));
+    out.write(reinterpret_cast<const char*>(tokens.data()),
+              static_cast<std::streamsize>(tokens.size() * sizeof(TokenId)));
+  }
+  if (!out) return util::Status::Internal("write failed");
+  return util::Status::OK();
+}
+
+util::StatusOr<index::SetCollection> LoadSetCollection(std::istream& in) {
+  auto status = CheckHeader(in, kSetsMagic, "set collection");
+  if (!status.ok()) return status;
+  uint64_t count = 0;
+  if (!ReadPod(in, &count)) {
+    return util::Status::InvalidArgument("truncated set collection");
+  }
+  index::SetCollection sets;
+  std::vector<TokenId> tokens;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t size = 0;
+    if (!ReadPod(in, &size)) {
+      return util::Status::InvalidArgument("truncated set header");
+    }
+    tokens.resize(size);
+    in.read(reinterpret_cast<char*>(tokens.data()),
+            static_cast<std::streamsize>(size * sizeof(TokenId)));
+    if (!in) return util::Status::InvalidArgument("truncated set payload");
+    sets.AddSet(tokens);
+  }
+  return sets;
+}
+
+// ---- EmbeddingStore ------------------------------------------------------------
+
+util::Status SaveEmbeddingStore(const embedding::EmbeddingStore& store,
+                                TokenId token_bound, std::ostream& out) {
+  auto status = WriteHeader(out, kEmbeddingMagic);
+  if (!status.ok()) return status;
+  WritePod<uint64_t>(out, store.dim());
+  WritePod<uint64_t>(out, store.covered());
+  for (TokenId t = 0; t < token_bound; ++t) {
+    if (!store.Has(t)) continue;
+    WritePod<TokenId>(out, t);
+    const auto vec = store.VectorOf(t);
+    out.write(reinterpret_cast<const char*>(vec.data()),
+              static_cast<std::streamsize>(vec.size() * sizeof(float)));
+  }
+  if (!out) return util::Status::Internal("write failed");
+  return util::Status::OK();
+}
+
+util::StatusOr<embedding::EmbeddingStore> LoadEmbeddingStore(std::istream& in) {
+  auto status = CheckHeader(in, kEmbeddingMagic, "embedding store");
+  if (!status.ok()) return status;
+  uint64_t dim = 0, rows = 0;
+  if (!ReadPod(in, &dim) || !ReadPod(in, &rows) || dim == 0) {
+    return util::Status::InvalidArgument("truncated embedding header");
+  }
+  embedding::EmbeddingStore store(dim);
+  std::vector<float> vec(dim);
+  for (uint64_t i = 0; i < rows; ++i) {
+    TokenId token = kInvalidToken;
+    if (!ReadPod(in, &token)) {
+      return util::Status::InvalidArgument("truncated embedding row header");
+    }
+    in.read(reinterpret_cast<char*>(vec.data()),
+            static_cast<std::streamsize>(dim * sizeof(float)));
+    if (!in) return util::Status::InvalidArgument("truncated embedding row");
+    store.Add(token, vec);
+  }
+  return store;
+}
+
+// ---- repository file ------------------------------------------------------------
+
+util::Status SaveRepository(const text::Dictionary& dict,
+                            const index::SetCollection& sets,
+                            const embedding::EmbeddingStore* store,
+                            const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return util::Status::NotFound("cannot create " + path);
+  auto status = WriteHeader(out, kRepositoryMagic);
+  if (!status.ok()) return status;
+  WritePod<uint8_t>(out, store != nullptr ? 1 : 0);
+  status = SaveDictionary(dict, out);
+  if (!status.ok()) return status;
+  status = SaveSetCollection(sets, out);
+  if (!status.ok()) return status;
+  if (store != nullptr) {
+    status = SaveEmbeddingStore(*store, static_cast<TokenId>(dict.size()), out);
+    if (!status.ok()) return status;
+  }
+  return util::Status::OK();
+}
+
+util::StatusOr<LoadedRepository> LoadRepository(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::NotFound("cannot open " + path);
+  auto status = CheckHeader(in, kRepositoryMagic, "repository");
+  if (!status.ok()) return status;
+  uint8_t has_embeddings = 0;
+  if (!ReadPod(in, &has_embeddings)) {
+    return util::Status::InvalidArgument("truncated repository header");
+  }
+  LoadedRepository repo;
+  auto dict = LoadDictionary(in);
+  if (!dict.ok()) return dict.status();
+  repo.dict = std::move(dict).value();
+  auto sets = LoadSetCollection(in);
+  if (!sets.ok()) return sets.status();
+  repo.sets = std::move(sets).value();
+  if (has_embeddings != 0) {
+    auto store = LoadEmbeddingStore(in);
+    if (!store.ok()) return store.status();
+    repo.store = std::move(store).value();
+    repo.has_embeddings = true;
+  }
+  return repo;
+}
+
+}  // namespace koios::io

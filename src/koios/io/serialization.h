@@ -1,0 +1,57 @@
+// Binary (de)serialization of the repository artifacts a deployment wants
+// to build once and reuse across queries: the dictionary, the set
+// collection, and the embedding store. Inverted indexes and neighbor
+// indexes are rebuilt from these on load (they are construction-cheap
+// relative to corpus preparation).
+//
+// Format: little-endian, magic + version header per artifact. Not
+// portable across endianness (like most database file formats, a machine
+// family is assumed).
+#ifndef KOIOS_IO_SERIALIZATION_H_
+#define KOIOS_IO_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "koios/embedding/embedding_store.h"
+#include "koios/index/set_collection.h"
+#include "koios/text/dictionary.h"
+#include "koios/util/status.h"
+
+namespace koios::io {
+
+// ---- Dictionary ------------------------------------------------------------
+util::Status SaveDictionary(const text::Dictionary& dict, std::ostream& out);
+util::StatusOr<text::Dictionary> LoadDictionary(std::istream& in);
+
+// ---- SetCollection ----------------------------------------------------------
+util::Status SaveSetCollection(const index::SetCollection& sets,
+                               std::ostream& out);
+util::StatusOr<index::SetCollection> LoadSetCollection(std::istream& in);
+
+// ---- EmbeddingStore ----------------------------------------------------------
+/// `token_bound`: exclusive upper bound of token ids to scan (e.g.
+/// dictionary size).
+util::Status SaveEmbeddingStore(const embedding::EmbeddingStore& store,
+                                TokenId token_bound, std::ostream& out);
+util::StatusOr<embedding::EmbeddingStore> LoadEmbeddingStore(std::istream& in);
+
+// ---- file-path conveniences ---------------------------------------------------
+util::Status SaveRepository(const text::Dictionary& dict,
+                            const index::SetCollection& sets,
+                            const embedding::EmbeddingStore* store,  // nullable
+                            const std::string& path);
+
+struct LoadedRepository {
+  text::Dictionary dict;
+  index::SetCollection sets;
+  /// Dim 0 and empty when the file carried no embeddings.
+  embedding::EmbeddingStore store{0};
+  bool has_embeddings = false;
+};
+
+util::StatusOr<LoadedRepository> LoadRepository(const std::string& path);
+
+}  // namespace koios::io
+
+#endif  // KOIOS_IO_SERIALIZATION_H_

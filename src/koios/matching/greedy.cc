@@ -1,0 +1,46 @@
+#include "koios/matching/greedy.h"
+
+#include <algorithm>
+
+namespace koios::matching {
+
+GreedyResult GreedyMatchEdges(std::vector<WeightedEdge> edges) {
+  std::sort(edges.begin(), edges.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              if (a.row != b.row) return a.row < b.row;
+              return a.col < b.col;  // deterministic tie-break
+            });
+  GreedyResult result;
+  uint32_t max_row = 0, max_col = 0;
+  for (const auto& e : edges) {
+    max_row = std::max(max_row, e.row);
+    max_col = std::max(max_col, e.col);
+  }
+  std::vector<char> row_used(edges.empty() ? 0 : max_row + 1, 0);
+  std::vector<char> col_used(edges.empty() ? 0 : max_col + 1, 0);
+  for (const auto& e : edges) {
+    if (e.weight <= 0.0) break;  // sorted: all remaining are <= 0
+    if (row_used[e.row] || col_used[e.col]) continue;
+    row_used[e.row] = 1;
+    col_used[e.col] = 1;
+    result.score += e.weight;
+    result.pairs.emplace_back(e.row, e.col);
+  }
+  return result;
+}
+
+GreedyResult GreedyMatch(const WeightMatrix& weights) {
+  std::vector<WeightedEdge> edges;
+  for (size_t r = 0; r < weights.rows(); ++r) {
+    for (size_t c = 0; c < weights.cols(); ++c) {
+      const double w = weights.At(r, c);
+      if (w > 0.0) {
+        edges.push_back({static_cast<uint32_t>(r), static_cast<uint32_t>(c), w});
+      }
+    }
+  }
+  return GreedyMatchEdges(std::move(edges));
+}
+
+}  // namespace koios::matching

@@ -1,0 +1,37 @@
+// Greedy bipartite matching: repeatedly take the heaviest edge between two
+// unmatched nodes. Runs in O(E log E); its score is within a factor 2 of
+// the optimum (paper Lemma 3, citing Vazirani), which makes it the LB-
+// Filter's workhorse. Example 2 of the paper shows it is *not* optimal.
+#ifndef KOIOS_MATCHING_GREEDY_H_
+#define KOIOS_MATCHING_GREEDY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "koios/matching/hungarian.h"
+#include "koios/util/types.h"
+
+namespace koios::matching {
+
+struct GreedyResult {
+  Score score = 0.0;
+  /// (row, col) pairs actually matched, in pick order (descending weight).
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+};
+
+/// Greedy matching over a dense weight matrix; zero-weight edges are never
+/// picked (optional matching).
+GreedyResult GreedyMatch(const WeightMatrix& weights);
+
+/// Greedy matching over a sparse edge list (row, col, weight). Edges with
+/// non-positive weight are ignored.
+struct WeightedEdge {
+  uint32_t row = 0;
+  uint32_t col = 0;
+  Score weight = 0.0;
+};
+GreedyResult GreedyMatchEdges(std::vector<WeightedEdge> edges);
+
+}  // namespace koios::matching
+
+#endif  // KOIOS_MATCHING_GREEDY_H_

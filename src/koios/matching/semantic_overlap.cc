@@ -1,0 +1,67 @@
+#include "koios/matching/semantic_overlap.h"
+
+#include <vector>
+
+namespace koios::matching {
+
+BipartiteGraph BuildGraph(std::span<const TokenId> query,
+                          std::span<const TokenId> candidate,
+                          const sim::SimilarityFunction& sim, Score alpha) {
+  // First pass: collect surviving edges in coordinate form.
+  struct Edge {
+    uint32_t q, c;
+    Score w;
+  };
+  std::vector<Edge> edges;
+  std::vector<char> q_used(query.size(), 0), c_used(candidate.size(), 0);
+  for (uint32_t qi = 0; qi < query.size(); ++qi) {
+    for (uint32_t cj = 0; cj < candidate.size(); ++cj) {
+      const Score w = sim.SimilarityAlpha(query[qi], candidate[cj], alpha);
+      if (w > 0.0) {
+        edges.push_back({qi, cj, w});
+        q_used[qi] = 1;
+        c_used[cj] = 1;
+      }
+    }
+  }
+
+  BipartiteGraph graph;
+  std::vector<uint32_t> q_row(query.size(), 0), c_col(candidate.size(), 0);
+  for (uint32_t qi = 0; qi < query.size(); ++qi) {
+    if (q_used[qi]) {
+      q_row[qi] = static_cast<uint32_t>(graph.query_rows.size());
+      graph.query_rows.push_back(qi);
+    }
+  }
+  for (uint32_t cj = 0; cj < candidate.size(); ++cj) {
+    if (c_used[cj]) {
+      c_col[cj] = static_cast<uint32_t>(graph.set_cols.size());
+      graph.set_cols.push_back(cj);
+    }
+  }
+  graph.weights = WeightMatrix(graph.query_rows.size(), graph.set_cols.size());
+  for (const auto& e : edges) {
+    graph.weights.At(q_row[e.q], c_col[e.c]) = e.w;
+  }
+  graph.edges = edges.size();
+  return graph;
+}
+
+Score SemanticOverlap(std::span<const TokenId> query,
+                      std::span<const TokenId> candidate,
+                      const sim::SimilarityFunction& sim, Score alpha,
+                      double prune_threshold, bool* early_terminated) {
+  const BipartiteGraph graph = BuildGraph(query, candidate, sim, alpha);
+  const MatchResult match = HungarianMatcher::Solve(graph.weights, prune_threshold);
+  if (early_terminated != nullptr) *early_terminated = match.early_terminated;
+  return match.early_terminated ? 0.0 : match.score;
+}
+
+Score GreedySemanticOverlap(std::span<const TokenId> query,
+                            std::span<const TokenId> candidate,
+                            const sim::SimilarityFunction& sim, Score alpha) {
+  const BipartiteGraph graph = BuildGraph(query, candidate, sim, alpha);
+  return GreedyMatch(graph.weights).score;
+}
+
+}  // namespace koios::matching

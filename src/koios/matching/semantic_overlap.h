@@ -1,0 +1,54 @@
+// Semantic overlap (paper Def. 1) computed end-to-end from a similarity
+// function: builds the α-clamped bipartite weight matrix of Q x C and runs
+// exact (Hungarian) or greedy matching. These are the oracle paths used by
+// the brute-force baseline and by the test suite to cross-check Koios.
+#ifndef KOIOS_MATCHING_SEMANTIC_OVERLAP_H_
+#define KOIOS_MATCHING_SEMANTIC_OVERLAP_H_
+
+#include <span>
+#include <vector>
+
+#include "koios/matching/greedy.h"
+#include "koios/matching/hungarian.h"
+#include "koios/sim/similarity.h"
+#include "koios/util/types.h"
+
+namespace koios::matching {
+
+/// The bipartite graph of Q x C restricted to nodes incident to at least
+/// one α-surviving edge. Shrinking the matrix this way is exact (isolated
+/// nodes are never matched) and usually reduces the Hungarian input from
+/// |Q| x |C| to a small core.
+struct BipartiteGraph {
+  WeightMatrix weights{0, 0};
+  /// Row r of `weights` is query element query_rows[r] (index into Q).
+  std::vector<uint32_t> query_rows;
+  /// Column c of `weights` is set element set_cols[c] (index into C).
+  std::vector<uint32_t> set_cols;
+  size_t edges = 0;
+};
+
+/// Builds the α-clamped graph: weight(q, c) = simα(q, c).
+BipartiteGraph BuildGraph(std::span<const TokenId> query,
+                          std::span<const TokenId> candidate,
+                          const sim::SimilarityFunction& sim, Score alpha);
+
+/// Exact semantic overlap SO(Q, C).
+///
+/// If `prune_threshold` >= 0, the Hungarian early-termination filter is
+/// armed; `early_terminated` (optional out) reports whether it fired, in
+/// which case the returned score is 0 and SO(Q, C) < prune_threshold holds.
+Score SemanticOverlap(std::span<const TokenId> query,
+                      std::span<const TokenId> candidate,
+                      const sim::SimilarityFunction& sim, Score alpha,
+                      double prune_threshold = -1.0,
+                      bool* early_terminated = nullptr);
+
+/// Greedy matching score — a lower bound on SO within factor 2 (Lemma 3).
+Score GreedySemanticOverlap(std::span<const TokenId> query,
+                            std::span<const TokenId> candidate,
+                            const sim::SimilarityFunction& sim, Score alpha);
+
+}  // namespace koios::matching
+
+#endif  // KOIOS_MATCHING_SEMANTIC_OVERLAP_H_

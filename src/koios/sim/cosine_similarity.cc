@@ -1,0 +1,3 @@
+#include "koios/sim/cosine_similarity.h"
+
+// Header-only; kept as a translation unit for the build graph.

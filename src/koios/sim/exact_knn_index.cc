@@ -1,0 +1,47 @@
+#include "koios/sim/exact_knn_index.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace koios::sim {
+
+ExactKnnIndex::ExactKnnIndex(std::vector<TokenId> vocabulary,
+                             const SimilarityFunction* sim)
+    : vocabulary_(std::move(vocabulary)), sim_(sim) {}
+
+ExactKnnIndex::Cursor ExactKnnIndex::BuildCursor(TokenId q, Score alpha) const {
+  Cursor cursor;
+  for (TokenId t : vocabulary_) {
+    if (t == q) continue;  // self-matches are injected by the token stream
+    const Score s = sim_->Similarity(q, t);
+    if (s >= alpha) cursor.neighbors.push_back({t, s});
+  }
+  std::sort(cursor.neighbors.begin(), cursor.neighbors.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              if (a.sim != b.sim) return a.sim > b.sim;
+              return a.token < b.token;  // deterministic tie-break
+            });
+  return cursor;
+}
+
+std::optional<Neighbor> ExactKnnIndex::NextNeighbor(TokenId q, Score alpha) {
+  auto it = cursors_.find(q);
+  if (it == cursors_.end()) {
+    it = cursors_.emplace(q, BuildCursor(q, alpha)).first;
+  }
+  Cursor& cursor = it->second;
+  if (cursor.next >= cursor.neighbors.size()) return std::nullopt;
+  return cursor.neighbors[cursor.next++];
+}
+
+void ExactKnnIndex::ResetCursors() { cursors_.clear(); }
+
+size_t ExactKnnIndex::MemoryUsageBytes() const {
+  size_t bytes = vocabulary_.capacity() * sizeof(TokenId);
+  for (const auto& [_, c] : cursors_) {
+    bytes += sizeof(Cursor) + c.neighbors.capacity() * sizeof(Neighbor);
+  }
+  return bytes;
+}
+
+}  // namespace koios::sim

@@ -1,0 +1,51 @@
+// Exact streaming nearest-neighbor index over the repository vocabulary.
+// Plays the role of the Faiss index in the paper (§VIII-A3): given a query
+// token, it yields vocabulary tokens in non-increasing similarity order,
+// stopping below α. Being exact, it preserves Koios' exactness guarantee
+// ("Koios returns an exact solution as long as the index returns exact
+// results", §VIII-E).
+//
+// Neighbor lists are materialized lazily per query token on first probe
+// (one brute-force pass over the vocabulary, like a batched Faiss query)
+// and then served incrementally.
+#ifndef KOIOS_SIM_EXACT_KNN_INDEX_H_
+#define KOIOS_SIM_EXACT_KNN_INDEX_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "koios/sim/similarity.h"
+
+namespace koios::sim {
+
+class ExactKnnIndex : public SimilarityIndex {
+ public:
+  /// `vocabulary`: the distinct tokens of the repository `D`.
+  /// `sim`: any symmetric similarity function (cosine, q-gram Jaccard, ...).
+  ExactKnnIndex(std::vector<TokenId> vocabulary, const SimilarityFunction* sim);
+
+  std::optional<Neighbor> NextNeighbor(TokenId q, Score alpha) override;
+
+  void ResetCursors() override;
+
+  size_t vocabulary_size() const { return vocabulary_.size(); }
+
+  size_t MemoryUsageBytes() const override;
+
+ private:
+  struct Cursor {
+    std::vector<Neighbor> neighbors;  // descending similarity, >= alpha
+    size_t next = 0;
+  };
+
+  Cursor BuildCursor(TokenId q, Score alpha) const;
+
+  std::vector<TokenId> vocabulary_;
+  const SimilarityFunction* sim_;
+  std::unordered_map<TokenId, Cursor> cursors_;
+};
+
+}  // namespace koios::sim
+
+#endif  // KOIOS_SIM_EXACT_KNN_INDEX_H_

@@ -1,0 +1,38 @@
+#include "koios/sim/jaccard_qgram_similarity.h"
+
+#include <cassert>
+
+#include "koios/text/qgram.h"
+
+namespace koios::sim {
+
+JaccardQGramSimilarity::JaccardQGramSimilarity(const text::Dictionary* dict,
+                                               size_t q)
+    : dict_(dict), q_(q) {
+  grams_.reserve(dict_->size());
+  for (TokenId t = 0; t < dict_->size(); ++t) {
+    grams_.push_back(text::QGrams(dict_->TokenOf(t), q_));
+  }
+}
+
+Score JaccardQGramSimilarity::Similarity(TokenId a, TokenId b) const {
+  if (a == b) return 1.0;
+  assert(a < grams_.size() && b < grams_.size());
+  return text::JaccardSorted(grams_[a], grams_[b]);
+}
+
+const std::vector<std::string>& JaccardQGramSimilarity::GramsOf(TokenId t) const {
+  assert(t < grams_.size());
+  return grams_[t];
+}
+
+size_t JaccardQGramSimilarity::MemoryUsageBytes() const {
+  size_t bytes = grams_.capacity() * sizeof(grams_[0]);
+  for (const auto& g : grams_) {
+    bytes += g.capacity() * sizeof(std::string);
+    for (const auto& s : g) bytes += s.capacity();
+  }
+  return bytes;
+}
+
+}  // namespace koios::sim

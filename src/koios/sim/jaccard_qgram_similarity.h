@@ -1,0 +1,37 @@
+// Jaccard similarity on character q-gram sets of tokens — the syntactic
+// element similarity used for the fuzzy-overlap comparison against SilkMoth
+// (paper §VIII-B) and in Fig. 1's fuzzy example.
+#ifndef KOIOS_SIM_JACCARD_QGRAM_SIMILARITY_H_
+#define KOIOS_SIM_JACCARD_QGRAM_SIMILARITY_H_
+
+#include <string>
+#include <vector>
+
+#include "koios/sim/similarity.h"
+#include "koios/text/dictionary.h"
+
+namespace koios::sim {
+
+/// Precomputes sorted q-gram sets for every dictionary token; Similarity is
+/// a linear merge intersection.
+class JaccardQGramSimilarity : public SimilarityFunction {
+ public:
+  JaccardQGramSimilarity(const text::Dictionary* dict, size_t q = 3);
+
+  Score Similarity(TokenId a, TokenId b) const override;
+
+  size_t q() const { return q_; }
+  /// Sorted q-grams of a token (for SilkMoth's signature machinery).
+  const std::vector<std::string>& GramsOf(TokenId t) const;
+
+  size_t MemoryUsageBytes() const override;
+
+ private:
+  const text::Dictionary* dict_;
+  size_t q_;
+  std::vector<std::vector<std::string>> grams_;  // by TokenId
+};
+
+}  // namespace koios::sim
+
+#endif  // KOIOS_SIM_JACCARD_QGRAM_SIMILARITY_H_

@@ -1,0 +1,96 @@
+#include "koios/sim/lsh_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "koios/util/rng.h"
+
+namespace koios::sim {
+
+CosineLshIndex::CosineLshIndex(std::vector<TokenId> vocabulary,
+                               const embedding::EmbeddingStore* store,
+                               const SimilarityFunction* sim,
+                               const LshIndexSpec& spec)
+    : vocabulary_(std::move(vocabulary)), store_(store), sim_(sim), spec_(spec) {
+  assert(spec_.bits_per_table <= 64);
+  util::Rng rng(spec_.seed);
+  const size_t dim = store_->dim();
+  hyperplanes_.resize(spec_.num_tables * spec_.bits_per_table);
+  for (auto& h : hyperplanes_) {
+    h.resize(dim);
+    for (auto& x : h) x = static_cast<float>(rng.NextGaussian());
+  }
+  tables_.resize(spec_.num_tables);
+  for (TokenId t : vocabulary_) {
+    if (!store_->Has(t)) continue;  // OOV tokens only match identically
+    const auto vec = store_->VectorOf(t);
+    for (size_t table = 0; table < spec_.num_tables; ++table) {
+      tables_[table][SignatureOf(vec, table)].push_back(t);
+    }
+  }
+}
+
+uint64_t CosineLshIndex::SignatureOf(std::span<const float> vec,
+                                     size_t table) const {
+  uint64_t sig = 0;
+  const size_t base = table * spec_.bits_per_table;
+  for (size_t bit = 0; bit < spec_.bits_per_table; ++bit) {
+    const auto& h = hyperplanes_[base + bit];
+    double dot = 0.0;
+    for (size_t d = 0; d < vec.size(); ++d) dot += static_cast<double>(h[d]) * vec[d];
+    sig = (sig << 1) | (dot >= 0.0 ? 1u : 0u);
+  }
+  return sig;
+}
+
+CosineLshIndex::Cursor CosineLshIndex::BuildCursor(TokenId q, Score alpha) const {
+  Cursor cursor;
+  if (!store_->Has(q)) return cursor;  // OOV query token: no neighbors
+  const auto vec = store_->VectorOf(q);
+  std::unordered_set<TokenId> candidates;
+  for (size_t table = 0; table < spec_.num_tables; ++table) {
+    auto it = tables_[table].find(SignatureOf(vec, table));
+    if (it == tables_[table].end()) continue;
+    candidates.insert(it->second.begin(), it->second.end());
+  }
+  for (TokenId t : candidates) {
+    if (t == q) continue;
+    const Score s = sim_->Similarity(q, t);
+    if (s >= alpha) cursor.neighbors.push_back({t, s});
+  }
+  std::sort(cursor.neighbors.begin(), cursor.neighbors.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              if (a.sim != b.sim) return a.sim > b.sim;
+              return a.token < b.token;
+            });
+  return cursor;
+}
+
+std::optional<Neighbor> CosineLshIndex::NextNeighbor(TokenId q, Score alpha) {
+  auto it = cursors_.find(q);
+  if (it == cursors_.end()) {
+    it = cursors_.emplace(q, BuildCursor(q, alpha)).first;
+  }
+  Cursor& cursor = it->second;
+  if (cursor.next >= cursor.neighbors.size()) return std::nullopt;
+  return cursor.neighbors[cursor.next++];
+}
+
+void CosineLshIndex::ResetCursors() { cursors_.clear(); }
+
+size_t CosineLshIndex::MemoryUsageBytes() const {
+  size_t bytes = vocabulary_.capacity() * sizeof(TokenId);
+  for (const auto& h : hyperplanes_) bytes += h.capacity() * sizeof(float);
+  for (const auto& table : tables_) {
+    for (const auto& [_, bucket] : table) {
+      bytes += sizeof(uint64_t) + bucket.capacity() * sizeof(TokenId);
+    }
+  }
+  for (const auto& [_, c] : cursors_) {
+    bytes += sizeof(Cursor) + c.neighbors.capacity() * sizeof(Neighbor);
+  }
+  return bytes;
+}
+
+}  // namespace koios::sim

@@ -1,0 +1,63 @@
+// Random-hyperplane (SimHash) LSH index over token embeddings — the
+// approximate alternative to the exact index that the paper notes can be
+// plugged into the token stream ("the Faiss Index or minhash LSH can be
+// plugged into the algorithm", §IV). With an approximate index Koios'
+// results are exact *with respect to the neighbors the index returns*;
+// recall is tunable via the number of tables.
+#ifndef KOIOS_SIM_LSH_INDEX_H_
+#define KOIOS_SIM_LSH_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "koios/embedding/embedding_store.h"
+#include "koios/sim/similarity.h"
+
+namespace koios::sim {
+
+struct LshIndexSpec {
+  size_t num_tables = 8;        // more tables => higher recall
+  size_t bits_per_table = 12;   // longer keys => higher precision
+  uint64_t seed = 7;
+};
+
+class CosineLshIndex : public SimilarityIndex {
+ public:
+  /// Indexes the covered subset of `vocabulary`; `sim` is used to score and
+  /// order the candidates each bucket probe produces (so any downstream
+  /// clamping matches the exact path).
+  CosineLshIndex(std::vector<TokenId> vocabulary,
+                 const embedding::EmbeddingStore* store,
+                 const SimilarityFunction* sim, const LshIndexSpec& spec);
+
+  std::optional<Neighbor> NextNeighbor(TokenId q, Score alpha) override;
+
+  void ResetCursors() override;
+
+  size_t MemoryUsageBytes() const override;
+
+ private:
+  struct Cursor {
+    std::vector<Neighbor> neighbors;
+    size_t next = 0;
+  };
+
+  uint64_t SignatureOf(std::span<const float> vec, size_t table) const;
+  Cursor BuildCursor(TokenId q, Score alpha) const;
+
+  std::vector<TokenId> vocabulary_;
+  const embedding::EmbeddingStore* store_;
+  const SimilarityFunction* sim_;
+  LshIndexSpec spec_;
+  // hyperplanes_[table * bits + bit] is a dim-sized normal vector.
+  std::vector<std::vector<float>> hyperplanes_;
+  // One bucket map per table: signature -> token list.
+  std::vector<std::unordered_map<uint64_t, std::vector<TokenId>>> tables_;
+  std::unordered_map<TokenId, Cursor> cursors_;
+};
+
+}  // namespace koios::sim
+
+#endif  // KOIOS_SIM_LSH_INDEX_H_

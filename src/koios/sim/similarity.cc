@@ -1,0 +1,3 @@
+#include "koios/sim/similarity.h"
+
+// Interface-only translation unit.

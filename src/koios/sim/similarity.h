@@ -1,0 +1,64 @@
+// Element-similarity abstractions. Koios is exact for *any* user-defined
+// symmetric similarity with sim(x, x) = 1 (paper Def. 1); the algorithm
+// touches similarities only through these two interfaces:
+//
+//  * SimilarityFunction — pairwise sim(a, b) used to build bipartite graphs
+//    during verification and by the oracle baselines.
+//  * SimilarityIndex — streaming "next most similar vocabulary token" used
+//    by the token stream Ie (paper §IV). The paper plugs in a Faiss top-k
+//    index for cosine and a set-similarity join for Jaccard; this repo
+//    provides an exact brute-force index and an LSH approximation.
+#ifndef KOIOS_SIM_SIMILARITY_H_
+#define KOIOS_SIM_SIMILARITY_H_
+
+#include <cstddef>
+#include <optional>
+
+#include "koios/util/types.h"
+
+namespace koios::sim {
+
+/// Symmetric element similarity in [0, 1]; 1 for identical elements.
+class SimilarityFunction {
+ public:
+  virtual ~SimilarityFunction() = default;
+
+  /// Raw similarity (no α clamping; clamped to [0, 1]).
+  virtual Score Similarity(TokenId a, TokenId b) const = 0;
+
+  /// simα of Def. 1: the similarity if >= alpha, else 0.
+  Score SimilarityAlpha(TokenId a, TokenId b, Score alpha) const {
+    const Score s = Similarity(a, b);
+    return s >= alpha ? s : 0.0;
+  }
+
+  virtual size_t MemoryUsageBytes() const { return 0; }
+};
+
+/// One neighbor produced by a SimilarityIndex probe.
+struct Neighbor {
+  TokenId token = kInvalidToken;
+  Score sim = 0.0;
+};
+
+/// Streaming per-query-token neighbor index over the vocabulary `D`.
+///
+/// `NextNeighbor(q, alpha)` returns the most similar *not yet returned*
+/// vocabulary token for query token `q` with similarity >= alpha, in
+/// non-increasing similarity order, or nullopt when exhausted. The query
+/// token itself is never returned (the token stream injects self-matches).
+class SimilarityIndex {
+ public:
+  virtual ~SimilarityIndex() = default;
+
+  virtual std::optional<Neighbor> NextNeighbor(TokenId q, Score alpha) = 0;
+
+  /// Forget all cursors so a new query can reuse the index.
+  virtual void ResetCursors() = 0;
+
+  virtual size_t MemoryUsageBytes() const { return 0; }
+};
+
+}  // namespace koios::sim
+
+#endif  // KOIOS_SIM_SIMILARITY_H_

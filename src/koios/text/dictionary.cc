@@ -1,0 +1,33 @@
+#include "koios/text/dictionary.h"
+
+#include <cassert>
+
+namespace koios::text {
+
+TokenId Dictionary::Intern(std::string_view token) {
+  auto it = ids_.find(token);
+  if (it != ids_.end()) return it->second;
+  const TokenId id = static_cast<TokenId>(tokens_.size());
+  tokens_.emplace_back(token);
+  ids_.emplace(std::string_view(tokens_.back()), id);
+  return id;
+}
+
+TokenId Dictionary::Lookup(std::string_view token) const {
+  auto it = ids_.find(token);
+  return it == ids_.end() ? kInvalidToken : it->second;
+}
+
+const std::string& Dictionary::TokenOf(TokenId id) const {
+  assert(id < tokens_.size());
+  return tokens_[id];
+}
+
+size_t Dictionary::MemoryUsageBytes() const {
+  size_t bytes = 0;
+  for (const auto& t : tokens_) bytes += sizeof(std::string) + t.capacity();
+  bytes += ids_.size() * (sizeof(std::pair<std::string_view, TokenId>) + 2 * sizeof(void*));
+  return bytes;
+}
+
+}  // namespace koios::text

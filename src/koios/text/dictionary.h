@@ -1,0 +1,46 @@
+// Token dictionary: bidirectional mapping between set-element strings and
+// dense TokenIds. The vocabulary `D` of a repository (paper §IV) is exactly
+// the id space of one Dictionary instance.
+#ifndef KOIOS_TEXT_DICTIONARY_H_
+#define KOIOS_TEXT_DICTIONARY_H_
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "koios/util/types.h"
+
+namespace koios::text {
+
+/// Append-only interning dictionary. Ids are dense [0, size).
+class Dictionary {
+ public:
+  /// Intern `token`, returning its id (existing or freshly assigned).
+  TokenId Intern(std::string_view token);
+
+  /// Id of `token` or kInvalidToken if absent.
+  TokenId Lookup(std::string_view token) const;
+
+  /// String for `id`; asserts validity.
+  const std::string& TokenOf(TokenId id) const;
+
+  bool Contains(std::string_view token) const {
+    return Lookup(token) != kInvalidToken;
+  }
+
+  size_t size() const { return tokens_.size(); }
+
+  size_t MemoryUsageBytes() const;
+
+ private:
+  // deque: element addresses are stable under push_back, so the map may
+  // key on views into the stored strings.
+  std::deque<std::string> tokens_;
+  std::unordered_map<std::string_view, TokenId> ids_;
+};
+
+}  // namespace koios::text
+
+#endif  // KOIOS_TEXT_DICTIONARY_H_

@@ -1,0 +1,47 @@
+#include "koios/text/qgram.h"
+
+#include <algorithm>
+
+namespace koios::text {
+
+std::vector<std::string> QGrams(std::string_view token, size_t q) {
+  std::vector<std::string> grams;
+  if (token.empty()) return grams;
+  if (token.size() < q) {
+    grams.emplace_back(token);
+    return grams;
+  }
+  grams.reserve(token.size() - q + 1);
+  for (size_t i = 0; i + q <= token.size(); ++i) {
+    grams.emplace_back(token.substr(i, q));
+  }
+  std::sort(grams.begin(), grams.end());
+  grams.erase(std::unique(grams.begin(), grams.end()), grams.end());
+  return grams;
+}
+
+double JaccardSorted(const std::vector<std::string>& a,
+                     const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  size_t i = 0, j = 0, inter = 0;
+  while (i < a.size() && j < b.size()) {
+    const int cmp = a[i].compare(b[j]);
+    if (cmp == 0) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (cmp < 0) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double QGramJaccard(std::string_view a, std::string_view b, size_t q) {
+  return JaccardSorted(QGrams(a, q), QGrams(b, q));
+}
+
+}  // namespace koios::text

@@ -1,0 +1,27 @@
+// Character q-gram extraction and q-gram Jaccard similarity, the element
+// similarity used in the fuzzy-overlap comparison (paper Fig. 1 and §VIII-B:
+// "Jaccard on 3-grams representation of each element").
+#ifndef KOIOS_TEXT_QGRAM_H_
+#define KOIOS_TEXT_QGRAM_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace koios::text {
+
+/// The distinct q-grams of `token`, in sorted order (suitable for linear
+/// merge intersection). Tokens shorter than q yield the token itself as a
+/// single gram, matching common practice (and making sim(x, x) = 1 hold).
+std::vector<std::string> QGrams(std::string_view token, size_t q = 3);
+
+/// Jaccard similarity of two *sorted, deduplicated* gram vectors.
+double JaccardSorted(const std::vector<std::string>& a,
+                     const std::vector<std::string>& b);
+
+/// Convenience: Jaccard of q-gram sets of two raw tokens.
+double QGramJaccard(std::string_view a, std::string_view b, size_t q = 3);
+
+}  // namespace koios::text
+
+#endif  // KOIOS_TEXT_QGRAM_H_

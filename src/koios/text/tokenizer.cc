@@ -1,0 +1,67 @@
+#include "koios/text/tokenizer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace koios::text {
+
+bool IsNumericToken(std::string_view token) {
+  if (token.empty()) return false;
+  bool saw_digit = false;
+  for (char c : token) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      saw_digit = true;
+    } else if (c != '+' && c != '-' && c != '.' && c != ',' && c != '%' && c != '$') {
+      return false;
+    }
+  }
+  return saw_digit;
+}
+
+namespace {
+
+bool IsUrl(std::string_view token) {
+  return token.rfind("http://", 0) == 0 || token.rfind("https://", 0) == 0 ||
+         token.rfind("www.", 0) == 0;
+}
+
+bool HasNonAscii(std::string_view token) {
+  for (unsigned char c : token) {
+    if (c < 0x20 || c > 0x7E) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> TokenizeToSet(std::string_view record,
+                                       const TokenizerOptions& options) {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  size_t i = 0;
+  const size_t n = record.size();
+  while (i < n) {
+    while (i < n && std::isspace(static_cast<unsigned char>(record[i]))) ++i;
+    size_t start = i;
+    while (i < n && !std::isspace(static_cast<unsigned char>(record[i]))) ++i;
+    if (i == start) continue;
+    std::string_view raw = record.substr(start, i - start);
+    if (options.drop_urls && IsUrl(raw)) continue;
+    if (options.drop_non_ascii && HasNonAscii(raw)) continue;
+
+    // Trim surrounding punctuation.
+    size_t b = 0, e = raw.size();
+    while (b < e && std::ispunct(static_cast<unsigned char>(raw[b]))) ++b;
+    while (e > b && std::ispunct(static_cast<unsigned char>(raw[e - 1]))) --e;
+    if (e - b < options.min_length) continue;
+    std::string token(raw.substr(b, e - b));
+    if (options.lowercase) {
+      for (char& c : token) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    if (options.drop_numeric && IsNumericToken(token)) continue;
+    if (seen.insert(token).second) out.push_back(std::move(token));
+  }
+  return out;
+}
+
+}  // namespace koios::text

@@ -1,0 +1,37 @@
+// Tokenization used to turn raw records (paper titles/abstracts, tweets,
+// table columns) into sets of string elements, mirroring the paper's data
+// preparation (§VIII-A1): whitespace splitting, lowercasing, removal of
+// numeric values, URLs, and emoji-like non-ASCII tokens.
+#ifndef KOIOS_TEXT_TOKENIZER_H_
+#define KOIOS_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace koios::text {
+
+struct TokenizerOptions {
+  bool lowercase = true;
+  /// Drop tokens that parse entirely as numbers ("remove numerical values
+  /// to avoid casual matches", §VIII-A1).
+  bool drop_numeric = true;
+  /// Drop http(s)://... tokens (Twitter preparation).
+  bool drop_urls = true;
+  /// Drop tokens containing bytes outside printable ASCII (emoji etc.).
+  bool drop_non_ascii = true;
+  /// Minimum token length in characters after cleaning.
+  size_t min_length = 1;
+};
+
+/// Splits `record` on whitespace and applies the cleaning rules. The result
+/// preserves first-occurrence order and removes duplicates (sets!).
+std::vector<std::string> TokenizeToSet(std::string_view record,
+                                       const TokenizerOptions& options = {});
+
+/// True if `token` consists only of digits, signs, dots, and commas.
+bool IsNumericToken(std::string_view token);
+
+}  // namespace koios::text
+
+#endif  // KOIOS_TEXT_TOKENIZER_H_

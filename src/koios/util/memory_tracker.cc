@@ -1,0 +1,49 @@
+#include "koios/util/memory_tracker.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace koios::util {
+
+void MemoryTracker::Add(const std::string& category, size_t bytes) {
+  bytes_[category] += bytes;
+}
+
+void MemoryTracker::AddPeak(const std::string& category, size_t bytes) {
+  auto& slot = bytes_[category];
+  slot = std::max(slot, bytes);
+}
+
+size_t MemoryTracker::Get(const std::string& category) const {
+  auto it = bytes_.find(category);
+  return it == bytes_.end() ? 0 : it->second;
+}
+
+size_t MemoryTracker::TotalBytes() const {
+  size_t total = 0;
+  for (const auto& [_, b] : bytes_) total += b;
+  return total;
+}
+
+void MemoryTracker::Merge(const MemoryTracker& other) {
+  for (const auto& [name, b] : other.bytes_) bytes_[name] += b;
+}
+
+void MemoryTracker::Clear() { bytes_.clear(); }
+
+std::string MemoryTracker::FormatBytes(size_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= (1ull << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", b / (1ull << 30));
+  } else if (bytes >= (1ull << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", b / (1ull << 20));
+  } else if (bytes >= (1ull << 10)) {
+    std::snprintf(buf, sizeof(buf), "%.2f KB", b / (1ull << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zu B", bytes);
+  }
+  return buf;
+}
+
+}  // namespace koios::util

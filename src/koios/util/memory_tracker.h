@@ -1,0 +1,54 @@
+// Memory accounting used to reproduce the paper's memory-footprint plots
+// (Table III, Fig. 5d, 6d, 7d). Data structures report their heap usage
+// through `MemoryUsageBytes()`; the tracker aggregates per logical category
+// so the bench harness can print the same breakdown the paper reports (sum
+// of refinement-phase and post-processing-phase structures).
+#ifndef KOIOS_UTIL_MEMORY_TRACKER_H_
+#define KOIOS_UTIL_MEMORY_TRACKER_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace koios::util {
+
+/// Aggregates named byte counts; snapshot-style (not live instrumentation).
+class MemoryTracker {
+ public:
+  /// Record `bytes` under `category`, accumulating across calls.
+  void Add(const std::string& category, size_t bytes);
+
+  /// Record the max of the existing value and `bytes` (for structures whose
+  /// peak matters, e.g. the candidate map during refinement).
+  void AddPeak(const std::string& category, size_t bytes);
+
+  size_t Get(const std::string& category) const;
+  size_t TotalBytes() const;
+
+  /// Category -> bytes, sorted by name.
+  const std::map<std::string, size_t>& categories() const { return bytes_; }
+
+  /// Merge another tracker into this one (summing categories); used when
+  /// aggregating per-partition footprints.
+  void Merge(const MemoryTracker& other);
+
+  void Clear();
+
+  /// Pretty "12.3 MB" rendering.
+  static std::string FormatBytes(size_t bytes);
+
+ private:
+  std::map<std::string, size_t> bytes_;
+};
+
+/// Heap footprint helpers for standard containers (approximate: payload
+/// only, ignoring allocator slack).
+template <typename T>
+size_t VectorBytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+}  // namespace koios::util
+
+#endif  // KOIOS_UTIL_MEMORY_TRACKER_H_

@@ -1,0 +1,4 @@
+#include "koios/util/timer.h"
+
+// Header-only implementations; this translation unit exists so the target
+// has a stable object for the module and to catch ODR issues early.

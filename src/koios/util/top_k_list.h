@@ -1,0 +1,120 @@
+// Bounded, ordered top-k list keyed by score. Used for the running top-k
+// lower-bound list Llb (refinement, §IV), the top-k upper-bound list Lub
+// (post-processing, §VI), and the vanilla-overlap baseline.
+#ifndef KOIOS_UTIL_TOP_K_LIST_H_
+#define KOIOS_UTIL_TOP_K_LIST_H_
+
+#include <cassert>
+#include <cstddef>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace koios::util {
+
+/// Maintains at most `capacity` (id, score) entries with the largest scores.
+///
+/// - `Offer` inserts or raises an entry; when full, the lowest-scoring entry
+///   is evicted to make room for a strictly better one.
+/// - `Bottom()` is the k-th (smallest retained) score, the θ value the Koios
+///   filters compare against; it is `floor_score` until the list fills, so
+///   no pruning happens before k candidates have been seen.
+///
+/// Ties are broken by id (larger id considered smaller) so behaviour is
+/// deterministic.
+template <typename Id>
+class TopKList {
+ public:
+  explicit TopKList(size_t capacity, double floor_score = 0.0)
+      : capacity_(capacity), floor_score_(floor_score) {
+    assert(capacity >= 1);
+  }
+
+  /// Insert `id` with `score`, or update it if already present (the stored
+  /// score is replaced, not maxed — callers decide monotonicity). Returns
+  /// true if the entry is in the list after the call.
+  bool Offer(Id id, double score) {
+    auto it = score_of_.find(id);
+    if (it != score_of_.end()) {
+      ordered_.erase({it->second, id});
+      it->second = score;
+      ordered_.insert({score, id});
+      return true;
+    }
+    if (ordered_.size() < capacity_) {
+      ordered_.insert({score, id});
+      score_of_.emplace(id, score);
+      return true;
+    }
+    auto lowest = ordered_.begin();  // smallest (score, id)
+    if (score > lowest->first || (score == lowest->first && id < lowest->second)) {
+      score_of_.erase(lowest->second);
+      ordered_.erase(lowest);
+      ordered_.insert({score, id});
+      score_of_.emplace(id, score);
+      return true;
+    }
+    return false;
+  }
+
+  /// Remove an entry if present; returns true if removed.
+  bool Remove(Id id) {
+    auto it = score_of_.find(id);
+    if (it == score_of_.end()) return false;
+    ordered_.erase({it->second, id});
+    score_of_.erase(it);
+    return true;
+  }
+
+  bool Contains(Id id) const { return score_of_.count(id) > 0; }
+
+  /// Score of `id`; asserts presence.
+  double ScoreOf(Id id) const {
+    auto it = score_of_.find(id);
+    assert(it != score_of_.end());
+    return it->second;
+  }
+
+  /// k-th best score, or `floor_score` while the list is not yet full.
+  double Bottom() const {
+    if (ordered_.size() < capacity_) return floor_score_;
+    return ordered_.begin()->first;
+  }
+
+  /// Best score currently held (floor if empty).
+  double Top() const {
+    if (ordered_.empty()) return floor_score_;
+    return ordered_.rbegin()->first;
+  }
+
+  bool Full() const { return ordered_.size() >= capacity_; }
+  size_t size() const { return ordered_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  /// Entries in descending score order.
+  std::vector<std::pair<Id, double>> Descending() const {
+    std::vector<std::pair<Id, double>> out;
+    out.reserve(ordered_.size());
+    for (auto it = ordered_.rbegin(); it != ordered_.rend(); ++it) {
+      out.emplace_back(it->second, it->first);
+    }
+    return out;
+  }
+
+  size_t MemoryUsageBytes() const {
+    return ordered_.size() * (sizeof(std::pair<double, Id>) + 4 * sizeof(void*)) +
+           score_of_.size() * (sizeof(std::pair<Id, double>) + 2 * sizeof(void*));
+  }
+
+ private:
+  size_t capacity_;
+  double floor_score_;
+  // Ascending (score, id); begin() is the eviction candidate.
+  std::set<std::pair<double, Id>> ordered_;
+  std::unordered_map<Id, double> score_of_;
+};
+
+}  // namespace koios::util
+
+#endif  // KOIOS_UTIL_TOP_K_LIST_H_

@@ -1,0 +1,31 @@
+// Common scalar types and constants shared across the Koios library.
+#ifndef KOIOS_UTIL_TYPES_H_
+#define KOIOS_UTIL_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace koios {
+
+/// Identifier of a token (set element) in the global dictionary `D`.
+using TokenId = uint32_t;
+
+/// Identifier of a set in the repository `L`.
+using SetId = uint32_t;
+
+/// Similarity / overlap score. All element similarities live in [0, 1];
+/// semantic overlaps live in [0, min(|Q|, |C|)].
+using Score = double;
+
+/// Sentinel for "no token" / "no set".
+inline constexpr TokenId kInvalidToken = std::numeric_limits<TokenId>::max();
+inline constexpr SetId kInvalidSet = std::numeric_limits<SetId>::max();
+
+/// Epsilon used when comparing scores and bounds. Filters must never prune
+/// a set whose true score ties the threshold, so all pruning comparisons
+/// are performed with this slack.
+inline constexpr Score kScoreEps = 1e-9;
+
+}  // namespace koios
+
+#endif  // KOIOS_UTIL_TYPES_H_

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "koios/baselines/brute_force.h"
+#include "koios/baselines/vanilla_topk.h"
+#include "koios/core/searcher.h"
+#include "test_util.h"
+
+namespace koios::baselines {
+namespace {
+
+std::vector<TokenId> QueryOf(const testing::RandomWorkload& w, SetId id) {
+  const auto span = w.corpus.sets.Tokens(id);
+  return {span.begin(), span.end()};
+}
+
+// ------------------------------------------------------ BruteForceBaseline --
+
+TEST(BruteForceBaselineTest, MatchesOracle) {
+  auto w = testing::MakeRandomWorkload(100, 500, 5, 20, 901);
+  BruteForceBaseline baseline(&w.corpus.sets, w.index.get());
+  const auto query = QueryOf(w, 6);
+  BaselineOptions options;
+  options.k = 10;
+  options.alpha = 0.8;
+  const auto result = baseline.Search(query, options);
+  const auto oracle =
+      testing::OracleRanking(w.corpus.sets, query, *w.sim, options.alpha);
+  ASSERT_EQ(result.topk.size(), std::min<size_t>(10, oracle.size()));
+  EXPECT_NEAR(result.KthScore(), testing::OracleKthScore(oracle, 10), 1e-6);
+}
+
+TEST(BruteForceBaselineTest, BaselinePlusAgreesWithBaseline) {
+  auto w = testing::MakeRandomWorkload(120, 500, 5, 20, 902);
+  BruteForceBaseline baseline(&w.corpus.sets, w.index.get());
+  const auto query = QueryOf(w, 10);
+  BaselineOptions plain, plus;
+  plain.k = plus.k = 8;
+  plain.alpha = plus.alpha = 0.8;
+  plus.use_iub_filter = true;
+  const auto r1 = baseline.Search(query, plain);
+  const auto r2 = baseline.Search(query, plus);
+  ASSERT_EQ(r1.topk.size(), r2.topk.size());
+  EXPECT_NEAR(r1.KthScore(), r2.KthScore(), 1e-6);
+  // Baseline+ must verify no more sets than the plain baseline.
+  EXPECT_LE(r2.stats.em_computed, r1.stats.em_computed);
+}
+
+TEST(BruteForceBaselineTest, AgreesWithKoios) {
+  auto w = testing::MakeRandomWorkload(110, 450, 5, 20, 903);
+  BruteForceBaseline baseline(&w.corpus.sets, w.index.get());
+  core::KoiosSearcher searcher(&w.corpus.sets, w.index.get());
+  const auto query = QueryOf(w, 19);
+  BaselineOptions options;
+  options.k = 10;
+  options.alpha = 0.8;
+  core::SearchParams params;
+  params.k = 10;
+  params.alpha = 0.8;
+  const auto rb = baseline.Search(query, options);
+  const auto rk = searcher.Search(query, params);
+  ASSERT_EQ(rb.topk.size(), rk.topk.size());
+  for (size_t i = 0; i < rb.topk.size(); ++i) {
+    EXPECT_NEAR(rb.topk[i].score, rk.topk[i].score, 1e-6);
+  }
+  // Koios verifies a strict subset of the baseline's candidates.
+  EXPECT_LE(rk.stats.em_computed, rb.stats.em_computed);
+}
+
+TEST(BruteForceBaselineTest, ParallelVerificationMatches) {
+  auto w = testing::MakeRandomWorkload(90, 400, 5, 18, 904);
+  BruteForceBaseline baseline(&w.corpus.sets, w.index.get());
+  const auto query = QueryOf(w, 7);
+  BaselineOptions seq, par;
+  seq.k = par.k = 5;
+  seq.alpha = par.alpha = 0.8;
+  par.num_threads = 4;
+  const auto r1 = baseline.Search(query, seq);
+  const auto r2 = baseline.Search(query, par);
+  ASSERT_EQ(r1.topk.size(), r2.topk.size());
+  for (size_t i = 0; i < r1.topk.size(); ++i) {
+    EXPECT_EQ(r1.topk[i].set, r2.topk[i].set);
+    EXPECT_NEAR(r1.topk[i].score, r2.topk[i].score, 1e-9);
+  }
+}
+
+// ------------------------------------------------------------ VanillaTopK --
+
+TEST(VanillaTopKTest, CountsExactMatches) {
+  index::SetCollection sets;
+  sets.AddSet(std::vector<TokenId>{1, 2, 3});
+  sets.AddSet(std::vector<TokenId>{2, 3, 4, 5});
+  sets.AddSet(std::vector<TokenId>{9});
+  VanillaTopK vanilla(&sets);
+  const std::vector<TokenId> query = {2, 3, 5};
+  const auto result = vanilla.Search(query, 2);
+  ASSERT_EQ(result.topk.size(), 2u);
+  EXPECT_EQ(result.topk[0].set, 1u);
+  EXPECT_DOUBLE_EQ(result.topk[0].score, 3.0);
+  EXPECT_EQ(result.topk[1].set, 0u);
+  EXPECT_DOUBLE_EQ(result.topk[1].score, 2.0);
+}
+
+TEST(VanillaTopKTest, ZeroOverlapExcluded) {
+  index::SetCollection sets;
+  sets.AddSet(std::vector<TokenId>{1});
+  sets.AddSet(std::vector<TokenId>{2});
+  VanillaTopK vanilla(&sets);
+  const auto result = vanilla.Search(std::vector<TokenId>{1}, 10);
+  EXPECT_EQ(result.topk.size(), 1u);
+}
+
+TEST(VanillaTopKTest, MatchesSetCollectionOverlap) {
+  auto w = testing::MakeRandomWorkload(80, 300, 5, 15, 905);
+  VanillaTopK vanilla(&w.corpus.sets);
+  auto query = QueryOf(w, 12);
+  std::sort(query.begin(), query.end());
+  const auto result = vanilla.Search(query, 10);
+  for (const auto& entry : result.topk) {
+    EXPECT_DOUBLE_EQ(
+        entry.score,
+        static_cast<double>(w.corpus.sets.VanillaOverlap(query, entry.set)));
+  }
+}
+
+TEST(VanillaTopKTest, VanillaIsLowerBoundOfSemantic) {
+  // Lemma 1 at search level: the semantic score of any set is at least its
+  // vanilla overlap.
+  auto w = testing::MakeRandomWorkload(80, 300, 5, 15, 906);
+  VanillaTopK vanilla(&w.corpus.sets);
+  auto query = QueryOf(w, 3);
+  std::sort(query.begin(), query.end());
+  const auto result = vanilla.Search(query, 5);
+  for (const auto& entry : result.topk) {
+    const Score so = matching::SemanticOverlap(
+        query, w.corpus.sets.Tokens(entry.set), *w.sim, 0.8);
+    EXPECT_GE(so + 1e-9, entry.score);
+  }
+}
+
+}  // namespace
+}  // namespace koios::baselines

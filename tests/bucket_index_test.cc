@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "koios/core/bucket_index.h"
+#include "koios/core/candidate_state.h"
+#include "koios/matching/semantic_overlap.h"
+#include "test_util.h"
+
+namespace koios::core {
+namespace {
+
+// ------------------------------------------------------------- BucketIndex --
+
+TEST(BucketIndexTest, InsertAndPruneWholeBucketPrefix) {
+  BucketIndex buckets;
+  buckets.Insert(1, /*m=*/2, /*s_i=*/0.5);
+  buckets.Insert(2, /*m=*/2, /*s_i=*/1.5);
+  buckets.Insert(3, /*m=*/2, /*s_i=*/3.0);
+  // theta = 3.0, sim = 0.5: prune if s_i + 2*0.5 < 3.0, i.e. s_i < 2.0.
+  std::set<SetId> pruned;
+  const size_t n = buckets.Prune(0.5, 3.0, [&](SetId id) { pruned.insert(id); });
+  EXPECT_EQ(n, 2u);
+  EXPECT_TRUE(pruned.count(1));
+  EXPECT_TRUE(pruned.count(2));
+  EXPECT_EQ(buckets.size(), 1u);
+}
+
+TEST(BucketIndexTest, ScanStopsAtFirstSurvivor) {
+  BucketIndex buckets;
+  buckets.Insert(1, 1, 0.1);
+  buckets.Insert(2, 1, 5.0);
+  buckets.Insert(3, 1, 0.2);  // ordered: 0.1, 0.2, 5.0
+  size_t pruned = buckets.Prune(0.5, 1.0, [](SetId) {});
+  EXPECT_EQ(pruned, 2u);  // 0.1 and 0.2 pruned, 5.0 survives
+}
+
+TEST(BucketIndexTest, DifferentBucketsDifferentCutoffs) {
+  BucketIndex buckets;
+  buckets.Insert(1, /*m=*/0, /*s_i=*/1.0);   // ub = 1.0
+  buckets.Insert(2, /*m=*/10, /*s_i=*/1.0);  // ub = 1.0 + 10 s
+  std::set<SetId> pruned;
+  buckets.Prune(/*sim=*/0.5, /*theta=*/2.0, [&](SetId id) { pruned.insert(id); });
+  EXPECT_TRUE(pruned.count(1));      // 1.0 < 2.0
+  EXPECT_FALSE(pruned.count(2));     // 6.0 >= 2.0
+}
+
+TEST(BucketIndexTest, NeverPrunesTies) {
+  BucketIndex buckets;
+  buckets.Insert(1, 1, 1.5);  // ub at sim 0.5 == 2.0 == theta: tie, keep
+  EXPECT_EQ(buckets.Prune(0.5, 2.0, [](SetId) {}), 0u);
+  EXPECT_EQ(buckets.size(), 1u);
+}
+
+TEST(BucketIndexTest, MoveRelocates) {
+  BucketIndex buckets;
+  buckets.Insert(7, 3, 0.0);
+  buckets.Move(7, 3, 0.0, 2, 0.9);
+  EXPECT_EQ(buckets.size(), 1u);
+  // Now prunable under its new bucket's rule only.
+  size_t pruned = buckets.Prune(/*sim=*/0.1, /*theta=*/5.0, [](SetId) {});
+  EXPECT_EQ(pruned, 1u);  // 0.9 + 2*0.1 = 1.1 < 5
+}
+
+TEST(BucketIndexTest, RemoveDiscards) {
+  BucketIndex buckets;
+  buckets.Insert(5, 2, 0.4);
+  buckets.Remove(5, 2, 0.4);
+  EXPECT_EQ(buckets.size(), 0u);
+  EXPECT_EQ(buckets.num_buckets(), 0u);
+}
+
+TEST(BucketIndexTest, EmptyBucketsAreErased) {
+  BucketIndex buckets;
+  buckets.Insert(1, 4, 0.0);
+  buckets.Prune(0.1, 100.0, [](SetId) {});
+  EXPECT_EQ(buckets.num_buckets(), 0u);
+}
+
+// --------------------------------------------------------- CandidateState --
+
+TEST(CandidateStateTest, GreedyBookkeeping) {
+  CandidateState state(0, /*set_size=*/5, /*query_size=*/3);
+  EXPECT_EQ(state.matched(), 0u);
+  EXPECT_TRUE(state.EdgeValid(0, 100));
+  state.AddMatch(0, 100, 0.9);
+  EXPECT_FALSE(state.EdgeValid(0, 200));   // query pos matched
+  EXPECT_FALSE(state.EdgeValid(1, 100));   // token matched
+  EXPECT_TRUE(state.EdgeValid(1, 200));
+  EXPECT_DOUBLE_EQ(state.partial_score(), 0.9);
+}
+
+TEST(CandidateStateTest, CapacityLimitsGreedyMatching) {
+  CandidateState state(0, /*set_size=*/2, /*query_size=*/10);
+  state.AddMatch(0, 100, 1.0);
+  state.AddMatch(1, 101, 1.0);
+  EXPECT_FALSE(state.EdgeValid(2, 102));  // capacity = min(2, 10) reached
+}
+
+TEST(CandidateStateTest, RowBoundTracksFirstEdgePerRow) {
+  CandidateState state(0, /*set_size=*/4, /*query_size=*/3);
+  EXPECT_TRUE(state.AddRow(1, 0.95));
+  EXPECT_FALSE(state.AddRow(1, 0.90));  // row already retained
+  EXPECT_TRUE(state.AddRow(0, 0.85));
+  EXPECT_DOUBLE_EQ(state.row_sum(), 1.80);
+  EXPECT_EQ(state.rows_seen(), 2u);
+  EXPECT_EQ(state.remaining(), 1u);
+  // UB at s = 0.8: 1.80 + 1 * 0.8.
+  EXPECT_NEAR(state.UpperBound(0.8), 2.6, 1e-12);
+}
+
+TEST(CandidateStateTest, RowRetentionStopsAtCapacity) {
+  CandidateState state(0, /*set_size=*/2, /*query_size=*/5);
+  EXPECT_TRUE(state.AddRow(0, 1.0));
+  EXPECT_TRUE(state.AddRow(1, 0.9));
+  EXPECT_FALSE(state.AddRow(2, 0.8));  // capacity min(2, 5) = 2
+  EXPECT_DOUBLE_EQ(state.UpperBound(0.8), 1.9);
+  EXPECT_EQ(state.remaining(), 0u);
+}
+
+TEST(CandidateStateTest, IubPaperBoundCounterexample) {
+  // DESIGN.md §5: the paper's Lemma 6 bound S_i + m_i*s fails on this
+  // instance; the row-based bound stays sound. Weights:
+  //   (q0,t0)=1.0, (q0,t1)=0.99, (q1,t0)=0.99, (q1,t1)=0.85; SO = 1.98.
+  testing::TableSimilarity sim;
+  sim.Set(0, 10, 1.0);
+  sim.Set(0, 11, 0.99);
+  sim.Set(1, 10, 0.99);
+  sim.Set(1, 11, 0.85);
+  const std::vector<TokenId> q = {0, 1}, c = {10, 11};
+  const Score so = matching::SemanticOverlap(q, c, sim, 0.5);
+  ASSERT_NEAR(so, 1.98, 1e-12);
+
+  // Simulate the stream: (q0,t0,1.0), (q0,t1,.99), (q1,t0,.99), (q1,t1,.85).
+  CandidateState state(0, 2, 2);
+  // Greedy (lower bound) path:
+  state.AddMatch(0, 10, 1.0);               // valid
+  // (q0,t1): q0 matched, invalid. (q1,t0): t0 matched, invalid.
+  state.AddMatch(1, 11, 0.85);              // valid
+  EXPECT_NEAR(state.partial_score(), 1.85, 1e-12);
+  // Paper's bound after the stream passes 0.85: S_i + m*s = 1.85 + 0 < SO!
+  EXPECT_LT(state.partial_score(), so);
+
+  // Row-based bound path (what Koios uses):
+  CandidateState rows(0, 2, 2);
+  rows.AddRow(0, 1.0);    // first q0 edge
+  rows.AddRow(1, 0.99);   // first q1 edge
+  EXPECT_GE(rows.UpperBound(0.85) + 1e-12, so);  // 1.99 >= 1.98: sound
+  EXPECT_GE(state.partial_score(), so / 2.0);    // greedy LB guarantee holds
+}
+
+TEST(CandidateStateTest, UpperBoundSoundOnRandomInstances) {
+  // Property: replaying any descending edge stream, the row bound always
+  // dominates the exact SO at every prefix similarity.
+  util::Rng rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t nq = 1 + rng.NextBounded(5), nc = 1 + rng.NextBounded(5);
+    testing::TableSimilarity sim;
+    struct Edge {
+      uint32_t q;
+      TokenId t;
+      Score s;
+    };
+    std::vector<Edge> edges;
+    for (uint32_t qi = 0; qi < nq; ++qi) {
+      for (uint32_t cj = 0; cj < nc; ++cj) {
+        if (rng.NextBool(0.7)) {
+          const Score s = 0.5 + 0.5 * rng.NextDouble();
+          sim.Set(qi, 100 + cj, s);
+          edges.push_back({qi, 100 + cj, s});
+        }
+      }
+    }
+    std::vector<TokenId> q(nq), c(nc);
+    for (uint32_t i = 0; i < nq; ++i) q[i] = i;
+    for (uint32_t j = 0; j < nc; ++j) c[j] = 100 + j;
+    const Score so = matching::SemanticOverlap(q, c, sim, 0.5);
+
+    std::sort(edges.begin(), edges.end(),
+              [](const Edge& a, const Edge& b) { return a.s > b.s; });
+    CandidateState state(0, static_cast<uint32_t>(nc),
+                         static_cast<uint32_t>(nq));
+    for (const Edge& e : edges) {
+      state.AddRow(e.q, e.s);
+      EXPECT_GE(state.UpperBound(e.s) + 1e-9, so)
+          << "unsound UB at trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace koios::core

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "koios/embedding/embedding_store.h"
+#include "koios/embedding/synthetic_model.h"
+
+namespace koios::embedding {
+namespace {
+
+// ---------------------------------------------------------- EmbeddingStore --
+
+TEST(EmbeddingStoreTest, NormalizesOnInsert) {
+  EmbeddingStore store(4);
+  const std::vector<float> v = {3.0f, 0.0f, 4.0f, 0.0f};
+  store.Add(0, v);
+  const auto row = store.VectorOf(0);
+  double norm = 0.0;
+  for (float x : row) norm += static_cast<double>(x) * x;
+  EXPECT_NEAR(norm, 1.0, 1e-6);
+  EXPECT_NEAR(row[0], 0.6, 1e-6);
+  EXPECT_NEAR(row[2], 0.8, 1e-6);
+}
+
+TEST(EmbeddingStoreTest, CosineOfIdenticalVectorIsOne) {
+  EmbeddingStore store(3);
+  store.Add(5, std::vector<float>{1.0f, 2.0f, 3.0f});
+  EXPECT_NEAR(store.Cosine(5, 5), 1.0, 1e-6);
+}
+
+TEST(EmbeddingStoreTest, CosineOfOrthogonalVectorsIsZero) {
+  EmbeddingStore store(2);
+  store.Add(0, std::vector<float>{1.0f, 0.0f});
+  store.Add(1, std::vector<float>{0.0f, 1.0f});
+  EXPECT_NEAR(store.Cosine(0, 1), 0.0, 1e-6);
+}
+
+TEST(EmbeddingStoreTest, CosineOfOppositeVectorsIsMinusOne) {
+  EmbeddingStore store(2);
+  store.Add(0, std::vector<float>{1.0f, 0.0f});
+  store.Add(1, std::vector<float>{-1.0f, 0.0f});
+  EXPECT_NEAR(store.Cosine(0, 1), -1.0, 1e-6);
+}
+
+TEST(EmbeddingStoreTest, OovTokensHaveZeroCosine) {
+  EmbeddingStore store(2);
+  store.Add(0, std::vector<float>{1.0f, 0.0f});
+  EXPECT_FALSE(store.Has(42));
+  EXPECT_DOUBLE_EQ(store.Cosine(0, 42), 0.0);
+  EXPECT_DOUBLE_EQ(store.Cosine(42, 42), 0.0);
+}
+
+TEST(EmbeddingStoreTest, SparseTokenIdsSupported) {
+  EmbeddingStore store(2);
+  store.Add(1000, std::vector<float>{1.0f, 1.0f});
+  EXPECT_TRUE(store.Has(1000));
+  EXPECT_FALSE(store.Has(999));
+  EXPECT_EQ(store.covered(), 1u);
+}
+
+// --------------------------------------------------- SyntheticEmbeddingModel --
+
+TEST(SyntheticModelTest, CoverageFractionRespected) {
+  SyntheticModelSpec spec;
+  spec.vocab_size = 2000;
+  spec.coverage = 0.7;
+  spec.seed = 5;
+  SyntheticEmbeddingModel model(spec);
+  const double actual =
+      static_cast<double>(model.store().covered()) / spec.vocab_size;
+  EXPECT_NEAR(actual, 0.7, 0.05);
+}
+
+TEST(SyntheticModelTest, ClusterSizesAverageOut) {
+  SyntheticModelSpec spec;
+  spec.vocab_size = 5000;
+  spec.avg_cluster_size = 10.0;
+  spec.seed = 6;
+  SyntheticEmbeddingModel model(spec);
+  const double avg =
+      static_cast<double>(spec.vocab_size) / model.num_clusters();
+  EXPECT_NEAR(avg, 10.0, 2.0);
+}
+
+TEST(SyntheticModelTest, IntraClusterSimilarityExceedsInterCluster) {
+  SyntheticModelSpec spec;
+  spec.vocab_size = 3000;
+  spec.dim = 64;
+  spec.avg_cluster_size = 8.0;
+  spec.noise_sigma = 0.35;
+  spec.coverage = 1.0;
+  spec.seed = 7;
+  SyntheticEmbeddingModel model(spec);
+
+  double intra_sum = 0.0, inter_sum = 0.0;
+  int intra_n = 0, inter_n = 0;
+  for (TokenId a = 0; a + 1 < 1000; ++a) {
+    const TokenId b = a + 1;
+    const double c = model.store().Cosine(a, b);
+    if (model.ClusterOf(a) == model.ClusterOf(b)) {
+      intra_sum += c;
+      ++intra_n;
+    } else {
+      inter_sum += c;
+      ++inter_n;
+    }
+  }
+  ASSERT_GT(intra_n, 50);
+  ASSERT_GT(inter_n, 20);
+  const double intra_avg = intra_sum / intra_n;
+  const double inter_avg = inter_sum / inter_n;
+  EXPECT_GT(intra_avg, 0.75);          // tight neighborhoods above α = 0.7
+  EXPECT_LT(std::abs(inter_avg), 0.2);  // unrelated concepts near zero
+}
+
+TEST(SyntheticModelTest, DeterministicForSeed) {
+  SyntheticModelSpec spec;
+  spec.vocab_size = 500;
+  spec.seed = 11;
+  SyntheticEmbeddingModel m1(spec), m2(spec);
+  EXPECT_EQ(m1.num_clusters(), m2.num_clusters());
+  for (TokenId t = 0; t < 500; ++t) {
+    ASSERT_EQ(m1.store().Has(t), m2.store().Has(t));
+    if (m1.store().Has(t)) {
+      ASSERT_NEAR(m1.store().Cosine(t, 0) - m2.store().Cosine(t, 0), 0.0, 0.0);
+    }
+  }
+}
+
+TEST(SyntheticModelTest, ZeroNoiseMakesClusterMembersIdentical) {
+  SyntheticModelSpec spec;
+  spec.vocab_size = 200;
+  spec.noise_sigma = 0.0;
+  spec.coverage = 1.0;
+  spec.avg_cluster_size = 5.0;
+  spec.seed = 13;
+  SyntheticEmbeddingModel model(spec);
+  for (TokenId a = 0; a + 1 < 200; ++a) {
+    if (model.ClusterOf(a) == model.ClusterOf(a + 1)) {
+      EXPECT_NEAR(model.store().Cosine(a, a + 1), 1.0, 1e-5);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace koios::embedding

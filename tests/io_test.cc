@@ -1,0 +1,183 @@
+// Tests for the persistence layer: .vec loading and binary repository
+// serialization round-trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "koios/core/searcher.h"
+#include "koios/embedding/vec_loader.h"
+#include "koios/io/serialization.h"
+#include "test_util.h"
+
+namespace koios::io {
+namespace {
+
+// ------------------------------------------------------------- vec loader --
+
+TEST(VecLoaderTest, ParsesWellFormedStream) {
+  text::Dictionary dict;
+  dict.Intern("apple");
+  dict.Intern("banana");
+  std::istringstream in(
+      "3 4\n"
+      "apple 1 0 0 0\n"
+      "banana 0 1 0 0\n"
+      "cherry 0 0 1 0\n");  // not in the dictionary: skipped
+  embedding::VecLoadStats stats;
+  auto store = embedding::LoadVecStream(in, dict, &stats);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ(stats.file_words, 3u);
+  EXPECT_EQ(stats.parsed_words, 3u);
+  EXPECT_EQ(stats.matched_words, 2u);
+  EXPECT_EQ(stats.dim, 4u);
+  EXPECT_TRUE(store.value().Has(dict.Lookup("apple")));
+  EXPECT_TRUE(store.value().Has(dict.Lookup("banana")));
+  EXPECT_NEAR(store.value().Cosine(dict.Lookup("apple"), dict.Lookup("banana")),
+              0.0, 1e-6);
+}
+
+TEST(VecLoaderTest, NormalizesVectors) {
+  text::Dictionary dict;
+  dict.Intern("word");
+  std::istringstream in("1 2\nword 3 4\n");
+  auto store = embedding::LoadVecStream(in, dict);
+  ASSERT_TRUE(store.ok());
+  const auto vec = store.value().VectorOf(dict.Lookup("word"));
+  EXPECT_NEAR(vec[0], 0.6, 1e-6);
+  EXPECT_NEAR(vec[1], 0.8, 1e-6);
+}
+
+TEST(VecLoaderTest, RejectsMalformedHeader) {
+  text::Dictionary dict;
+  std::istringstream in("not a header\n");
+  auto store = embedding::LoadVecStream(in, dict);
+  EXPECT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(VecLoaderTest, RejectsShortRow) {
+  text::Dictionary dict;
+  dict.Intern("word");
+  std::istringstream in("1 4\nword 1 2\n");
+  auto store = embedding::LoadVecStream(in, dict);
+  EXPECT_FALSE(store.ok());
+}
+
+TEST(VecLoaderTest, MissingFileIsNotFound) {
+  text::Dictionary dict;
+  auto store = embedding::LoadVecFile("/nonexistent/path.vec", dict);
+  EXPECT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(VecLoaderTest, DuplicateRowsKeepFirst) {
+  text::Dictionary dict;
+  dict.Intern("word");
+  std::istringstream in("2 2\nword 1 0\nword 0 1\n");
+  auto store = embedding::LoadVecStream(in, dict);
+  ASSERT_TRUE(store.ok());
+  const auto vec = store.value().VectorOf(dict.Lookup("word"));
+  EXPECT_NEAR(vec[0], 1.0, 1e-6);
+}
+
+// ---------------------------------------------------------- serialization --
+
+TEST(SerializationTest, DictionaryRoundTrip) {
+  text::Dictionary dict;
+  dict.Intern("alpha");
+  dict.Intern("beta gamma");  // spaces survive binary framing
+  dict.Intern("");
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveDictionary(dict, buffer).ok());
+  auto loaded = LoadDictionary(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().size(), 3u);
+  EXPECT_EQ(loaded.value().TokenOf(1), "beta gamma");
+  EXPECT_EQ(loaded.value().Lookup("alpha"), 0u);
+}
+
+TEST(SerializationTest, SetCollectionRoundTrip) {
+  index::SetCollection sets;
+  sets.AddSet(std::vector<TokenId>{3, 1, 2});
+  sets.AddSet(std::vector<TokenId>{});
+  sets.AddSet(std::vector<TokenId>{7});
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveSetCollection(sets, buffer).ok());
+  auto loaded = LoadSetCollection(buffer);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 3u);
+  EXPECT_EQ(loaded.value().SetSize(0), 3u);
+  EXPECT_EQ(loaded.value().SetSize(1), 0u);
+  EXPECT_EQ(loaded.value().Tokens(2)[0], 7u);
+}
+
+TEST(SerializationTest, EmbeddingStoreRoundTrip) {
+  embedding::EmbeddingStore store(3);
+  store.Add(2, std::vector<float>{1.0f, 2.0f, 2.0f});
+  store.Add(5, std::vector<float>{0.0f, 1.0f, 0.0f});
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveEmbeddingStore(store, 10, buffer).ok());
+  auto loaded = LoadEmbeddingStore(buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().covered(), 2u);
+  EXPECT_TRUE(loaded.value().Has(2));
+  EXPECT_TRUE(loaded.value().Has(5));
+  EXPECT_FALSE(loaded.value().Has(3));
+  EXPECT_NEAR(loaded.value().Cosine(2, 5), store.Cosine(2, 5), 1e-6);
+}
+
+TEST(SerializationTest, CorruptMagicRejected) {
+  std::stringstream buffer;
+  buffer << "garbage bytes here and more of them";
+  EXPECT_FALSE(LoadDictionary(buffer).ok());
+}
+
+TEST(SerializationTest, RepositoryFileRoundTripAndSearch) {
+  // Full integration: save a workload to disk, reload, search, and compare
+  // against searching the original.
+  auto w = testing::MakeRandomWorkload(60, 300, 5, 15, 7001);
+  text::Dictionary dict;
+  for (TokenId t = 0; t < 300; ++t) dict.Intern("tok" + std::to_string(t));
+
+  const std::string path = ::testing::TempDir() + "/koios_repo.bin";
+  ASSERT_TRUE(SaveRepository(dict, w.corpus.sets, &w.model->store(), path).ok());
+  auto repo = LoadRepository(path);
+  ASSERT_TRUE(repo.ok()) << repo.status().ToString();
+  ASSERT_TRUE(repo.value().has_embeddings);
+  EXPECT_EQ(repo.value().sets.size(), w.corpus.sets.size());
+
+  sim::CosineEmbeddingSimilarity sim(&repo.value().store);
+  index::InvertedIndex inverted(repo.value().sets);
+  sim::ExactKnnIndex knn(inverted.Vocabulary(), &sim);
+  core::KoiosSearcher searcher(&repo.value().sets, &knn);
+  core::KoiosSearcher original(&w.corpus.sets, w.index.get());
+  core::SearchParams params;
+  params.k = 5;
+  params.alpha = 0.8;
+  const auto q = w.corpus.sets.Tokens(3);
+  const auto r1 = searcher.Search(q, params);
+  const auto r2 = original.Search(q, params);
+  ASSERT_EQ(r1.topk.size(), r2.topk.size());
+  for (size_t i = 0; i < r1.topk.size(); ++i) {
+    EXPECT_EQ(r1.topk[i].set, r2.topk[i].set);
+    EXPECT_NEAR(r1.topk[i].score, r2.topk[i].score, 1e-6);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RepositoryWithoutEmbeddings) {
+  text::Dictionary dict;
+  dict.Intern("a");
+  index::SetCollection sets;
+  sets.AddSet(std::vector<TokenId>{0});
+  const std::string path = ::testing::TempDir() + "/koios_repo_noemb.bin";
+  ASSERT_TRUE(SaveRepository(dict, sets, nullptr, path).ok());
+  auto repo = LoadRepository(path);
+  ASSERT_TRUE(repo.ok());
+  EXPECT_FALSE(repo.value().has_embeddings);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace koios::io

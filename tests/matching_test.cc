@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "koios/matching/greedy.h"
+#include "koios/matching/hungarian.h"
+#include "koios/matching/semantic_overlap.h"
+#include "koios/util/rng.h"
+#include "test_util.h"
+
+namespace koios::matching {
+namespace {
+
+// ------------------------------------------------------------- Hungarian --
+
+TEST(HungarianTest, EmptyMatrix) {
+  WeightMatrix m(0, 0);
+  const MatchResult r = HungarianMatcher::Solve(m);
+  EXPECT_DOUBLE_EQ(r.score, 0.0);
+  EXPECT_FALSE(r.early_terminated);
+}
+
+TEST(HungarianTest, SingleEdge) {
+  WeightMatrix m(1, 1);
+  m.At(0, 0) = 0.7;
+  const MatchResult r = HungarianMatcher::Solve(m);
+  EXPECT_DOUBLE_EQ(r.score, 0.7);
+  ASSERT_EQ(r.match_of_row.size(), 1u);
+  EXPECT_EQ(r.match_of_row[0], 0);
+}
+
+TEST(HungarianTest, PicksCrossAssignmentOverGreedy) {
+  // Greedy takes (0,0)=1.0 then 0; optimum is (0,1)+(1,0) = 1.8.
+  WeightMatrix m(2, 2);
+  m.At(0, 0) = 1.0;
+  m.At(0, 1) = 0.9;
+  m.At(1, 0) = 0.9;
+  m.At(1, 1) = 0.0;
+  const MatchResult r = HungarianMatcher::Solve(m);
+  EXPECT_NEAR(r.score, 1.8, 1e-12);
+  EXPECT_EQ(r.match_of_row[0], 1);
+  EXPECT_EQ(r.match_of_row[1], 0);
+  // Greedy confirms the example's suboptimality.
+  EXPECT_NEAR(GreedyMatch(m).score, 1.0, 1e-12);
+}
+
+TEST(HungarianTest, RectangularMoreRows) {
+  WeightMatrix m(3, 2);
+  m.At(0, 0) = 0.5;
+  m.At(1, 0) = 0.9;
+  m.At(2, 1) = 0.8;
+  const MatchResult r = HungarianMatcher::Solve(m);
+  EXPECT_NEAR(r.score, 1.7, 1e-12);
+  EXPECT_EQ(r.match_of_row[0], -1);  // row 0 loses column 0 to row 1
+}
+
+TEST(HungarianTest, RectangularMoreCols) {
+  WeightMatrix m(2, 4);
+  m.At(0, 3) = 0.6;
+  m.At(1, 3) = 0.9;
+  m.At(1, 2) = 0.5;
+  const MatchResult r = HungarianMatcher::Solve(m);
+  EXPECT_NEAR(r.score, 1.1, 1e-12);
+}
+
+TEST(HungarianTest, OptionalMatchingSkipsZeroEdges) {
+  // A perfect matching would force a zero edge; score must not require it.
+  WeightMatrix m(2, 2);
+  m.At(0, 0) = 0.9;  // (1,1) has weight 0
+  const MatchResult r = HungarianMatcher::Solve(m);
+  EXPECT_NEAR(r.score, 0.9, 1e-12);
+  EXPECT_EQ(r.match_of_row[1], -1);
+}
+
+TEST(HungarianTest, LabelSumUpperBoundsScore) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 2 + rng.NextBounded(6);
+    WeightMatrix m(n, n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        m.At(i, j) = rng.NextBool(0.5) ? rng.NextDouble() : 0.0;
+      }
+    }
+    const MatchResult r = HungarianMatcher::Solve(m);
+    EXPECT_GE(r.label_sum + 1e-9, r.score);
+  }
+}
+
+TEST(HungarianTest, EarlyTerminationFiresWhenOptimumBelowThreshold) {
+  WeightMatrix m(2, 2);
+  m.At(0, 0) = 0.3;
+  m.At(1, 1) = 0.3;
+  const MatchResult r = HungarianMatcher::Solve(m, /*prune_threshold=*/5.0);
+  EXPECT_TRUE(r.early_terminated);
+}
+
+TEST(HungarianTest, EarlyTerminationDoesNotFireWhenOptimumAbove) {
+  WeightMatrix m(2, 2);
+  m.At(0, 0) = 0.9;
+  m.At(1, 1) = 0.9;
+  const MatchResult r = HungarianMatcher::Solve(m, /*prune_threshold=*/1.0);
+  EXPECT_FALSE(r.early_terminated);
+  EXPECT_NEAR(r.score, 1.8, 1e-12);
+}
+
+TEST(HungarianTest, EarlyTerminationNeverFalselyPrunes) {
+  // Property: if ET fires with threshold t, the true optimum is < t.
+  util::Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t rows = 1 + rng.NextBounded(5);
+    const size_t cols = 1 + rng.NextBounded(5);
+    WeightMatrix m(rows, cols);
+    for (size_t i = 0; i < rows; ++i) {
+      for (size_t j = 0; j < cols; ++j) {
+        m.At(i, j) = rng.NextBool(0.6) ? 0.5 + 0.5 * rng.NextDouble() : 0.0;
+      }
+    }
+    const double exact = HungarianMatcher::Solve(m).score;
+    const double threshold = rng.NextDouble() * 3.0;
+    const MatchResult pruned = HungarianMatcher::Solve(m, threshold);
+    if (pruned.early_terminated) {
+      EXPECT_LT(exact, threshold + 1e-9)
+          << "false prune at trial " << trial;
+    } else {
+      EXPECT_NEAR(pruned.score, exact, 1e-9);
+    }
+  }
+}
+
+// Brute-force optimal matching by permutation enumeration (n <= 6).
+double BruteForceMatching(const WeightMatrix& m) {
+  const size_t rows = m.rows(), cols = m.cols();
+  std::vector<int> cols_perm(cols);
+  for (size_t j = 0; j < cols; ++j) cols_perm[j] = static_cast<int>(j);
+  double best = 0.0;
+  // Try all subsets implicitly via permutations of columns against rows.
+  std::sort(cols_perm.begin(), cols_perm.end());
+  do {
+    double score = 0.0;
+    const size_t lim = std::min(rows, cols);
+    for (size_t i = 0; i < lim; ++i) {
+      score += m.At(i, cols_perm[i]);
+    }
+    best = std::max(best, score);
+  } while (std::next_permutation(cols_perm.begin(), cols_perm.end()));
+  // Permutations only cover row-prefix assignments; iterate row subsets by
+  // also permuting rows (small n, acceptable).
+  return best;
+}
+
+TEST(HungarianTest, MatchesPermutationOracleOnSquare) {
+  util::Rng rng(23);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t n = 2 + rng.NextBounded(4);  // 2..5
+    WeightMatrix m(n, n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        m.At(i, j) = rng.NextBool(0.7) ? rng.NextDouble() : 0.0;
+      }
+    }
+    // For square matrices the permutation oracle is exhaustive.
+    EXPECT_NEAR(HungarianMatcher::Solve(m).score, BruteForceMatching(m), 1e-9)
+        << "trial " << trial;
+  }
+}
+
+// ---------------------------------------------------------------- Greedy --
+
+TEST(GreedyTest, EmptyEdges) {
+  EXPECT_DOUBLE_EQ(GreedyMatchEdges({}).score, 0.0);
+}
+
+TEST(GreedyTest, RespectsOneToOne) {
+  std::vector<WeightedEdge> edges = {
+      {0, 0, 0.9}, {0, 1, 0.8}, {1, 0, 0.7}, {1, 1, 0.1}};
+  const GreedyResult r = GreedyMatchEdges(edges);
+  EXPECT_NEAR(r.score, 1.0, 1e-12);  // 0.9 + 0.1
+  ASSERT_EQ(r.pairs.size(), 2u);
+  EXPECT_EQ(r.pairs[0], (std::pair<uint32_t, uint32_t>{0, 0}));
+}
+
+TEST(GreedyTest, IgnoresNonPositiveWeights) {
+  std::vector<WeightedEdge> edges = {{0, 0, 0.0}, {1, 1, -1.0}, {2, 2, 0.4}};
+  const GreedyResult r = GreedyMatchEdges(edges);
+  EXPECT_NEAR(r.score, 0.4, 1e-12);
+  EXPECT_EQ(r.pairs.size(), 1u);
+}
+
+TEST(GreedyTest, WithinFactorTwoOfOptimal) {
+  // Lemma 3: greedy >= SO / 2; also greedy <= SO.
+  util::Rng rng(29);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t rows = 1 + rng.NextBounded(6);
+    const size_t cols = 1 + rng.NextBounded(6);
+    WeightMatrix m(rows, cols);
+    for (size_t i = 0; i < rows; ++i) {
+      for (size_t j = 0; j < cols; ++j) {
+        m.At(i, j) = rng.NextBool(0.5) ? rng.NextDouble() : 0.0;
+      }
+    }
+    const double optimal = HungarianMatcher::Solve(m).score;
+    const double greedy = GreedyMatch(m).score;
+    EXPECT_LE(greedy, optimal + 1e-9);
+    EXPECT_GE(greedy, optimal / 2.0 - 1e-9);
+  }
+}
+
+// ------------------------------------------------------- SemanticOverlap --
+
+TEST(SemanticOverlapTest, VanillaOverlapIsLowerBound) {
+  // Lemma 1: |Q ∩ C| <= SO(Q, C) for any α <= 1.
+  testing::TableSimilarity sim;
+  sim.Set(0, 10, 0.9);
+  const std::vector<TokenId> q = {0, 1, 2};
+  const std::vector<TokenId> c = {1, 2, 10};
+  const Score so = SemanticOverlap(q, c, sim, 0.8);
+  EXPECT_GE(so, 2.0 - 1e-12);        // overlap {1, 2}
+  EXPECT_NEAR(so, 2.9, 1e-12);       // plus edge (0, 10)
+}
+
+TEST(SemanticOverlapTest, AlphaClampsWeakEdges) {
+  testing::TableSimilarity sim;
+  sim.Set(0, 10, 0.75);
+  const std::vector<TokenId> q = {0};
+  const std::vector<TokenId> c = {10};
+  EXPECT_NEAR(SemanticOverlap(q, c, sim, 0.7), 0.75, 1e-12);
+  EXPECT_DOUBLE_EQ(SemanticOverlap(q, c, sim, 0.8), 0.0);
+}
+
+TEST(SemanticOverlapTest, SymmetricMeasure) {
+  testing::TableSimilarity sim;
+  sim.Set(0, 10, 0.9);
+  sim.Set(1, 11, 0.8);
+  sim.Set(0, 11, 0.85);
+  const std::vector<TokenId> q = {0, 1, 2};
+  const std::vector<TokenId> c = {10, 11, 2};
+  EXPECT_NEAR(SemanticOverlap(q, c, sim, 0.7),
+              SemanticOverlap(c, q, sim, 0.7), 1e-12);
+}
+
+TEST(SemanticOverlapTest, GraphRestrictionKeepsOnlyIncidentNodes) {
+  testing::TableSimilarity sim;
+  sim.Set(0, 10, 0.9);
+  const std::vector<TokenId> q = {0, 1, 2, 3, 4};
+  const std::vector<TokenId> c = {10, 20, 21, 22};
+  const BipartiteGraph g = BuildGraph(q, c, sim, 0.8);
+  EXPECT_EQ(g.query_rows.size(), 1u);
+  EXPECT_EQ(g.set_cols.size(), 1u);
+  EXPECT_EQ(g.edges, 1u);
+}
+
+TEST(SemanticOverlapTest, BoundedByMinCardinality) {
+  testing::TableSimilarity sim;
+  for (TokenId a = 0; a < 3; ++a) {
+    for (TokenId b = 10; b < 16; ++b) sim.Set(a, b, 0.95);
+  }
+  const std::vector<TokenId> q = {0, 1, 2};
+  const std::vector<TokenId> c = {10, 11, 12, 13, 14, 15};
+  const Score so = SemanticOverlap(q, c, sim, 0.8);
+  EXPECT_LE(so, 3.0 + 1e-12);
+  EXPECT_NEAR(so, 3 * 0.95, 1e-12);
+}
+
+}  // namespace
+}  // namespace koios::matching

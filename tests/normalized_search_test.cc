@@ -1,0 +1,126 @@
+// Tests for top-k search under normalized semantic overlap.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "koios/core/normalized_search.h"
+#include "koios/core/searcher.h"
+#include "test_util.h"
+
+namespace koios::core {
+namespace {
+
+std::vector<TokenId> QueryOf(const testing::RandomWorkload& w, SetId id) {
+  const auto span = w.corpus.sets.Tokens(id);
+  return {span.begin(), span.end()};
+}
+
+std::vector<std::pair<SetId, Score>> NormalizedOracle(
+    const testing::RandomWorkload& w, std::span<const TokenId> q, Score alpha) {
+  std::vector<std::pair<SetId, Score>> oracle;
+  for (SetId id = 0; id < w.corpus.sets.size(); ++id) {
+    const Score nso =
+        NormalizedOverlap(q, w.corpus.sets.Tokens(id), *w.sim, alpha);
+    if (nso > 0) oracle.emplace_back(id, nso);
+  }
+  std::sort(oracle.begin(), oracle.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return oracle;
+}
+
+TEST(NormalizedOverlapTest, RangeAndSelfScore) {
+  auto w = testing::MakeRandomWorkload(40, 200, 5, 15, 8001);
+  const auto q = QueryOf(w, 2);
+  for (SetId id = 0; id < 20; ++id) {
+    const Score nso =
+        NormalizedOverlap(q, w.corpus.sets.Tokens(id), *w.sim, 0.8);
+    EXPECT_GE(nso, 0.0);
+    EXPECT_LE(nso, 1.0 + 1e-9);
+  }
+  // A set scored against itself is a perfect normalized match.
+  EXPECT_NEAR(NormalizedOverlap(q, q, *w.sim, 0.8), 1.0, 1e-9);
+}
+
+TEST(NormalizedOverlapTest, SmallCompleteMatchOutranksLargePartial) {
+  // The ranking change normalization exists for: a 2-element set matched
+  // completely beats a 10-element set matched at 3 elements.
+  testing::TableSimilarity sim;
+  const std::vector<TokenId> q = {0, 1, 2, 3, 4};
+  const std::vector<TokenId> small = {0, 1};               // NSO = 2/2 = 1
+  std::vector<TokenId> large = {0, 1, 2};                  // overlap 3
+  for (TokenId t = 100; t < 107; ++t) large.push_back(t);  // NSO = 3/5
+  EXPECT_GT(NormalizedOverlap(q, small, sim, 0.8),
+            NormalizedOverlap(q, large, sim, 0.8));
+  // Under the absolute measure the order flips.
+  EXPECT_LT(matching::SemanticOverlap(q, small, sim, 0.8),
+            matching::SemanticOverlap(q, large, sim, 0.8));
+}
+
+TEST(NormalizedSearchTest, MatchesOracle) {
+  auto w = testing::MakeRandomWorkload(120, 500, 5, 25, 8002);
+  NormalizedSearcher searcher(&w.corpus.sets, w.index.get());
+  for (SetId qid : {SetId{1}, SetId{40}}) {
+    const auto q = QueryOf(w, qid);
+    SearchParams params;
+    params.k = 8;
+    params.alpha = 0.8;
+    const auto result = searcher.Search(q, params);
+    const auto oracle = NormalizedOracle(w, q, params.alpha);
+    const size_t expect = std::min<size_t>(params.k, oracle.size());
+    ASSERT_EQ(result.topk.size(), expect) << "q " << qid;
+    // The k-th normalized score must agree (ties may permute identities).
+    EXPECT_NEAR(result.topk.back().score, oracle[expect - 1].second, 1e-6);
+    for (size_t i = 0; i < expect; ++i) {
+      const Score truth = NormalizedOverlap(
+          q, w.corpus.sets.Tokens(result.topk[i].set), *w.sim, params.alpha);
+      EXPECT_NEAR(result.topk[i].score, truth, 1e-6);
+      EXPECT_GE(truth + 1e-6, oracle[expect - 1].second);
+    }
+  }
+}
+
+TEST(NormalizedSearchTest, FilterTogglesPreserveExactness) {
+  auto w = testing::MakeRandomWorkload(90, 400, 5, 20, 8003);
+  NormalizedSearcher searcher(&w.corpus.sets, w.index.get());
+  const auto q = QueryOf(w, 6);
+  SearchParams with, without;
+  with.k = without.k = 6;
+  with.alpha = without.alpha = 0.78;
+  without.use_iub_filter = false;
+  without.use_em_early_termination = false;
+  const auto r1 = searcher.Search(q, with);
+  const auto r2 = searcher.Search(q, without);
+  ASSERT_EQ(r1.topk.size(), r2.topk.size());
+  for (size_t i = 0; i < r1.topk.size(); ++i) {
+    EXPECT_NEAR(r1.topk[i].score, r2.topk[i].score, 1e-6);
+  }
+}
+
+TEST(NormalizedSearchTest, RankingDiffersFromAbsoluteSearch) {
+  // On a skewed workload the two measures should disagree for some query
+  // (this guards against NormalizedSearcher accidentally ranking by SO).
+  auto w = testing::MakeRandomWorkload(150, 400, 3, 40, 8004);
+  NormalizedSearcher normalized(&w.corpus.sets, w.index.get());
+  KoiosSearcher absolute(&w.corpus.sets, w.index.get());
+  SearchParams params;
+  params.k = 10;
+  params.alpha = 0.75;
+  bool any_difference = false;
+  for (SetId qid : {SetId{0}, SetId{10}, SetId{20}, SetId{30}}) {
+    const auto q = QueryOf(w, qid);
+    const auto rn = normalized.Search(q, params);
+    const auto ra = absolute.Search(q, params);
+    std::set<SetId> sn, sa;
+    for (const auto& e : rn.topk) sn.insert(e.set);
+    for (const auto& e : ra.topk) sa.insert(e.set);
+    if (sn != sa) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace koios::core

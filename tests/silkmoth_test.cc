@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "koios/baselines/silkmoth.h"
+#include "koios/core/searcher.h"
+#include "koios/sim/exact_knn_index.h"
+#include "koios/text/dictionary.h"
+#include "koios/util/rng.h"
+#include "test_util.h"
+
+namespace koios::baselines {
+namespace {
+
+// A small string corpus with controlled typo structure so q-gram Jaccard
+// has meaningful matches.
+struct StringWorkload {
+  text::Dictionary dict;
+  index::SetCollection sets;
+  std::vector<TokenId> vocabulary;
+};
+
+StringWorkload MakeStringWorkload(uint64_t seed, size_t num_sets = 60) {
+  StringWorkload w;
+  util::Rng rng(seed);
+  // Base words plus typo variants (drop/duplicate last letter).
+  std::vector<std::string> base = {
+      "charleston", "columbia",  "lexington", "sacramento", "minnesota",
+      "appleton",   "blaine",    "seattle",   "portland",   "richmond",
+      "arlington",  "knoxville", "asheville", "greenville", "huntsville",
+      "nashville",  "birmingham", "montgomery", "tallahassee", "gainesville"};
+  std::vector<std::string> words = base;
+  for (const auto& word : base) {
+    words.push_back(word.substr(0, word.size() - 1));  // typo: drop last
+    words.push_back(word + word.back());               // typo: double last
+  }
+  std::vector<TokenId> ids;
+  for (const auto& word : words) ids.push_back(w.dict.Intern(word));
+
+  for (size_t s = 0; s < num_sets; ++s) {
+    const size_t size = 3 + rng.NextBounded(6);
+    std::vector<TokenId> members;
+    for (size_t i = 0; i < size; ++i) {
+      members.push_back(ids[rng.NextBounded(ids.size())]);
+    }
+    w.sets.AddSet(members);
+  }
+  index::InvertedIndex inverted(w.sets);
+  w.vocabulary = inverted.Vocabulary();
+  return w;
+}
+
+TEST(SilkMothTest, SyntacticAndSemanticVariantsAgree) {
+  // The prefix filter only changes *which token pairs are examined*, never
+  // the result: both variants must return identical top-k thresholds.
+  auto w = MakeStringWorkload(42);
+  sim::JaccardQGramSimilarity jaccard(&w.dict, 3);
+  SilkMothSearch silkmoth(&w.sets, &jaccard);
+  std::vector<TokenId> query(w.sets.Tokens(0).begin(), w.sets.Tokens(0).end());
+  SilkMothOptions syntactic, semantic;
+  syntactic.variant = SilkMothVariant::kSyntactic;
+  semantic.variant = SilkMothVariant::kSemantic;
+  syntactic.k = semantic.k = 5;
+  syntactic.alpha = semantic.alpha = 0.6;
+  syntactic.theta = semantic.theta = 0.0;
+  const auto r1 = silkmoth.Search(query, syntactic);
+  const auto r2 = silkmoth.Search(query, semantic);
+  ASSERT_EQ(r1.topk.size(), r2.topk.size());
+  for (size_t i = 0; i < r1.topk.size(); ++i) {
+    EXPECT_NEAR(r1.topk[i].score, r2.topk[i].score, 1e-9);
+  }
+}
+
+TEST(SilkMothTest, AgreesWithKoiosOnJaccardSimilarity) {
+  // Koios with the same Jaccard similarity through its generic index must
+  // find the same top-k thresholds — the §VIII-B comparison setup.
+  auto w = MakeStringWorkload(43);
+  sim::JaccardQGramSimilarity jaccard(&w.dict, 3);
+  SilkMothSearch silkmoth(&w.sets, &jaccard);
+  sim::ExactKnnIndex index(w.vocabulary, &jaccard);
+  core::KoiosSearcher koios(&w.sets, &index);
+
+  std::vector<TokenId> query(w.sets.Tokens(5).begin(), w.sets.Tokens(5).end());
+  const Score alpha = 0.6;
+  core::SearchParams params;
+  params.k = 5;
+  params.alpha = alpha;
+  const auto rk = koios.Search(query, params);
+
+  SilkMothOptions options;
+  options.k = 5;
+  options.alpha = alpha;
+  options.theta = rk.KthScore();  // the paper hands SilkMoth the true θ*k
+  const auto rs = silkmoth.Search(query, options);
+  ASSERT_EQ(rs.topk.size(), rk.topk.size());
+  for (size_t i = 0; i < rk.topk.size(); ++i) {
+    EXPECT_NEAR(rs.topk[i].score, rk.topk[i].score, 1e-6);
+  }
+}
+
+TEST(SilkMothTest, ThresholdPrunesLowScoringSets) {
+  auto w = MakeStringWorkload(44);
+  sim::JaccardQGramSimilarity jaccard(&w.dict, 3);
+  SilkMothSearch silkmoth(&w.sets, &jaccard);
+  std::vector<TokenId> query(w.sets.Tokens(1).begin(), w.sets.Tokens(1).end());
+  SilkMothOptions low, high;
+  low.k = high.k = 20;
+  low.alpha = high.alpha = 0.6;
+  low.theta = 0.0;
+  high.theta = static_cast<Score>(query.size());  // only near-duplicates
+  const auto r_low = silkmoth.Search(query, low);
+  const auto r_high = silkmoth.Search(query, high);
+  EXPECT_GE(r_low.topk.size(), r_high.topk.size());
+  for (const auto& e : r_high.topk) {
+    EXPECT_GE(e.score, high.theta - 1e-9);
+  }
+  // The check filter saves verifications at the higher threshold.
+  EXPECT_LE(r_high.stats.em_computed, r_low.stats.em_computed);
+}
+
+TEST(SilkMothTest, CheckFilterNeverCausesFalseNegatives) {
+  auto w = MakeStringWorkload(45);
+  sim::JaccardQGramSimilarity jaccard(&w.dict, 3);
+  SilkMothSearch silkmoth(&w.sets, &jaccard);
+  std::vector<TokenId> query(w.sets.Tokens(9).begin(), w.sets.Tokens(9).end());
+  const Score alpha = 0.6;
+  const auto oracle = testing::OracleRanking(w.sets, query, jaccard, alpha);
+  SilkMothOptions options;
+  options.k = 10;
+  options.alpha = alpha;
+  options.theta = 0.0;
+  const auto result = silkmoth.Search(query, options);
+  EXPECT_NEAR(result.KthScore(),
+              testing::OracleKthScore(oracle, options.k), 1e-6);
+}
+
+TEST(SilkMothTest, SelfSetIsPerfectMatch) {
+  auto w = MakeStringWorkload(46);
+  sim::JaccardQGramSimilarity jaccard(&w.dict, 3);
+  SilkMothSearch silkmoth(&w.sets, &jaccard);
+  std::vector<TokenId> query(w.sets.Tokens(3).begin(), w.sets.Tokens(3).end());
+  SilkMothOptions options;
+  options.k = 1;
+  options.alpha = 0.6;
+  options.theta = 0.0;
+  const auto result = silkmoth.Search(query, options);
+  ASSERT_EQ(result.topk.size(), 1u);
+  EXPECT_NEAR(result.topk[0].score, static_cast<Score>(query.size()), 1e-9);
+}
+
+}  // namespace
+}  // namespace koios::baselines

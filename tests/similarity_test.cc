@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "koios/sim/cosine_similarity.h"
+#include "koios/text/qgram.h"
+#include "koios/sim/jaccard_qgram_similarity.h"
+#include "koios/text/dictionary.h"
+#include "test_util.h"
+
+namespace koios::sim {
+namespace {
+
+// ------------------------------------------------ CosineEmbeddingSimilarity --
+
+TEST(CosineSimilarityTest, IdenticalTokensAlwaysOne) {
+  embedding::EmbeddingStore store(4);
+  CosineEmbeddingSimilarity sim(&store);
+  // Even for tokens with no embedding (Def. 1 requires sim(x, x) = 1).
+  EXPECT_DOUBLE_EQ(sim.Similarity(42, 42), 1.0);
+}
+
+TEST(CosineSimilarityTest, NegativeCosineClampedToZero) {
+  embedding::EmbeddingStore store(2);
+  store.Add(0, std::vector<float>{1.0f, 0.0f});
+  store.Add(1, std::vector<float>{-1.0f, 0.0f});
+  CosineEmbeddingSimilarity sim(&store);
+  EXPECT_DOUBLE_EQ(sim.Similarity(0, 1), 0.0);
+}
+
+TEST(CosineSimilarityTest, OovPairsScoreZero) {
+  embedding::EmbeddingStore store(2);
+  store.Add(0, std::vector<float>{1.0f, 0.0f});
+  CosineEmbeddingSimilarity sim(&store);
+  EXPECT_DOUBLE_EQ(sim.Similarity(0, 99), 0.0);
+}
+
+TEST(CosineSimilarityTest, AlphaClampHelper) {
+  embedding::EmbeddingStore store(2);
+  store.Add(0, std::vector<float>{1.0f, 0.0f});
+  store.Add(1, std::vector<float>{0.8f, 0.6f});  // cosine 0.8
+  CosineEmbeddingSimilarity sim(&store);
+  EXPECT_NEAR(sim.SimilarityAlpha(0, 1, 0.75), 0.8, 1e-6);
+  EXPECT_DOUBLE_EQ(sim.SimilarityAlpha(0, 1, 0.85), 0.0);
+}
+
+TEST(CosineSimilarityTest, SymmetricOnRandomPairs) {
+  auto w = testing::MakeRandomWorkload(10, 200, 5, 10, 808);
+  for (TokenId a = 0; a < 50; ++a) {
+    for (TokenId b = a + 1; b < 50; b += 7) {
+      EXPECT_DOUBLE_EQ(w.sim->Similarity(a, b), w.sim->Similarity(b, a));
+    }
+  }
+}
+
+// ------------------------------------------------- JaccardQGramSimilarity --
+
+TEST(JaccardSimilarityTest, MatchesDirectComputation) {
+  text::Dictionary dict;
+  const TokenId a = dict.Intern("squirrel");
+  const TokenId b = dict.Intern("squirrell");
+  JaccardQGramSimilarity sim(&dict, 3);
+  EXPECT_NEAR(sim.Similarity(a, b), text::QGramJaccard("squirrel", "squirrell"),
+              1e-12);
+}
+
+TEST(JaccardSimilarityTest, IdenticalTokenIsOne) {
+  text::Dictionary dict;
+  const TokenId a = dict.Intern("konstantin");
+  JaccardQGramSimilarity sim(&dict, 3);
+  EXPECT_DOUBLE_EQ(sim.Similarity(a, a), 1.0);
+}
+
+TEST(JaccardSimilarityTest, RangeWithinUnitInterval) {
+  text::Dictionary dict;
+  const char* words[] = {"leeds", "sheffield", "blain", "blaine", "appleton",
+                         "bigapple", "a", "ab"};
+  for (const char* word : words) dict.Intern(word);
+  JaccardQGramSimilarity sim(&dict, 3);
+  for (TokenId a = 0; a < dict.size(); ++a) {
+    for (TokenId b = 0; b < dict.size(); ++b) {
+      const Score s = sim.Similarity(a, b);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+      EXPECT_DOUBLE_EQ(s, sim.Similarity(b, a));
+    }
+  }
+}
+
+TEST(JaccardSimilarityTest, GramsOfExposesSortedGrams) {
+  text::Dictionary dict;
+  const TokenId a = dict.Intern("blaine");
+  JaccardQGramSimilarity sim(&dict, 3);
+  const auto& grams = sim.GramsOf(a);
+  EXPECT_EQ(grams.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(grams.begin(), grams.end()));
+}
+
+}  // namespace
+}  // namespace koios::sim

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "koios/sim/exact_knn_index.h"
+#include "koios/sim/lsh_index.h"
+#include "koios/sim/token_stream.h"
+#include "test_util.h"
+
+namespace koios::sim {
+namespace {
+
+// --------------------------------------------------------- ExactKnnIndex --
+
+TEST(ExactKnnIndexTest, ReturnsNeighborsDescending) {
+  testing::TableSimilarity sim;
+  sim.Set(0, 1, 0.9);
+  sim.Set(0, 2, 0.95);
+  sim.Set(0, 3, 0.85);
+  ExactKnnIndex index({1, 2, 3, 4}, &sim);
+  auto n1 = index.NextNeighbor(0, 0.8);
+  auto n2 = index.NextNeighbor(0, 0.8);
+  auto n3 = index.NextNeighbor(0, 0.8);
+  auto n4 = index.NextNeighbor(0, 0.8);
+  ASSERT_TRUE(n1 && n2 && n3);
+  EXPECT_EQ(n1->token, 2u);
+  EXPECT_EQ(n2->token, 1u);
+  EXPECT_EQ(n3->token, 3u);
+  EXPECT_FALSE(n4.has_value());  // token 4 below alpha
+}
+
+TEST(ExactKnnIndexTest, RespectsAlphaCutoff) {
+  testing::TableSimilarity sim;
+  sim.Set(0, 1, 0.79);
+  ExactKnnIndex index({1}, &sim);
+  EXPECT_FALSE(index.NextNeighbor(0, 0.8).has_value());
+  index.ResetCursors();
+  EXPECT_TRUE(index.NextNeighbor(0, 0.5).has_value());
+}
+
+TEST(ExactKnnIndexTest, NeverReturnsQueryItself) {
+  testing::TableSimilarity sim;
+  ExactKnnIndex index({0, 1}, &sim);
+  auto n = index.NextNeighbor(0, 0.5);
+  EXPECT_FALSE(n.has_value());  // only potential match is self
+}
+
+TEST(ExactKnnIndexTest, ResetCursorsRestartsStreams) {
+  testing::TableSimilarity sim;
+  sim.Set(0, 1, 0.9);
+  ExactKnnIndex index({1}, &sim);
+  EXPECT_TRUE(index.NextNeighbor(0, 0.8).has_value());
+  EXPECT_FALSE(index.NextNeighbor(0, 0.8).has_value());
+  index.ResetCursors();
+  EXPECT_TRUE(index.NextNeighbor(0, 0.8).has_value());
+}
+
+// ------------------------------------------------------------ TokenStream --
+
+TEST(TokenStreamTest, EmitsSelfMatchesFirst) {
+  testing::TableSimilarity sim;
+  sim.Set(0, 5, 0.9);
+  ExactKnnIndex index({0, 1, 5}, &sim);
+  TokenStream stream({0, 1}, &index, 0.8, [](TokenId) { return true; });
+  auto t1 = stream.Next();
+  auto t2 = stream.Next();
+  ASSERT_TRUE(t1 && t2);
+  EXPECT_DOUBLE_EQ(t1->sim, 1.0);
+  EXPECT_DOUBLE_EQ(t2->sim, 1.0);
+  EXPECT_EQ(t1->query_token, t1->token);
+  EXPECT_EQ(t2->query_token, t2->token);
+}
+
+TEST(TokenStreamTest, NonIncreasingSimilarityOrder) {
+  auto w = testing::MakeRandomWorkload(50, 300, 5, 20, 77);
+  const auto query_span = w.corpus.sets.Tokens(0);
+  std::vector<TokenId> query(query_span.begin(), query_span.end());
+  TokenStream stream(query, w.index.get(), 0.7,
+                     [](TokenId) { return true; });
+  Score prev = 1.0;
+  size_t count = 0;
+  while (auto t = stream.Next()) {
+    EXPECT_LE(t->sim, prev + 1e-12);
+    EXPECT_GE(t->sim, 0.7);
+    prev = t->sim;
+    ++count;
+  }
+  EXPECT_GE(count, query.size());  // at least the self matches
+}
+
+TEST(TokenStreamTest, SkipsSelfMatchForOutOfVocabularyTokens) {
+  testing::TableSimilarity sim;
+  ExactKnnIndex index({1, 2}, &sim);
+  // Token 99 not in vocabulary: no self-match, no neighbors.
+  TokenStream stream({99}, &index, 0.8, [](TokenId t) { return t < 10; });
+  EXPECT_FALSE(stream.Next().has_value());
+}
+
+TEST(TokenStreamTest, CoversAllPairsAboveAlpha) {
+  // Exhausting the stream must emit every (q, t) pair with sim >= alpha.
+  auto w = testing::MakeRandomWorkload(40, 200, 5, 15, 99);
+  const auto query_span = w.corpus.sets.Tokens(1);
+  std::vector<TokenId> query(query_span.begin(), query_span.end());
+  const Score alpha = 0.75;
+  TokenStream stream(query, w.index.get(), alpha, [&](TokenId t) {
+    return std::binary_search(w.corpus.vocabulary.begin(),
+                              w.corpus.vocabulary.end(), t);
+  });
+  std::set<std::pair<uint32_t, TokenId>> emitted;
+  while (auto t = stream.Next()) {
+    EXPECT_TRUE(emitted.emplace(t->query_pos, t->token).second)
+        << "duplicate tuple";
+  }
+  for (uint32_t qi = 0; qi < query.size(); ++qi) {
+    for (TokenId t : w.corpus.vocabulary) {
+      const bool is_self = t == query[qi];
+      const Score s = is_self ? 1.0 : w.sim->Similarity(query[qi], t);
+      if (s >= alpha && (is_self || t != query[qi])) {
+        if (is_self || s >= alpha) {
+          const bool found = emitted.count({qi, t}) > 0;
+          if (is_self) {
+            EXPECT_TRUE(found) << "missing self tuple q=" << qi;
+          } else {
+            EXPECT_TRUE(found) << "missing tuple q=" << qi << " t=" << t;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(TokenStreamTest, EmittedCountTracksTuples) {
+  testing::TableSimilarity sim;
+  sim.Set(0, 1, 0.9);
+  ExactKnnIndex index({0, 1}, &sim);
+  TokenStream stream({0}, &index, 0.8, [](TokenId) { return true; });
+  EXPECT_EQ(stream.emitted(), 0u);
+  while (stream.Next()) {
+  }
+  EXPECT_EQ(stream.emitted(), 2u);  // self + neighbor
+}
+
+// --------------------------------------------------------- CosineLshIndex --
+
+TEST(LshIndexTest, FindsHighSimilarityNeighborsWithManyTables) {
+  auto w = testing::MakeRandomWorkload(30, 400, 5, 15, 123, /*coverage=*/1.0);
+  LshIndexSpec spec;
+  spec.num_tables = 24;
+  spec.bits_per_table = 6;
+  CosineLshIndex lsh(w.corpus.vocabulary, &w.model->store(), w.sim.get(), spec);
+
+  // Recall of LSH vs exact for a handful of query tokens.
+  size_t exact_total = 0, lsh_found = 0;
+  for (size_t i = 0; i < 10 && i < w.corpus.vocabulary.size(); ++i) {
+    const TokenId q = w.corpus.vocabulary[i * 7 % w.corpus.vocabulary.size()];
+    std::set<TokenId> exact_neighbors;
+    w.index->ResetCursors();
+    while (auto n = w.index->NextNeighbor(q, 0.9)) exact_neighbors.insert(n->token);
+    lsh.ResetCursors();
+    while (auto n = lsh.NextNeighbor(q, 0.9)) {
+      lsh_found += exact_neighbors.count(n->token);
+    }
+    exact_total += exact_neighbors.size();
+  }
+  if (exact_total > 0) {
+    EXPECT_GE(static_cast<double>(lsh_found) / exact_total, 0.6)
+        << "LSH recall too low: " << lsh_found << "/" << exact_total;
+  }
+}
+
+TEST(LshIndexTest, DescendingOrderWithinCursor) {
+  auto w = testing::MakeRandomWorkload(30, 300, 5, 15, 321, /*coverage=*/1.0);
+  LshIndexSpec spec;
+  spec.num_tables = 8;
+  spec.bits_per_table = 8;
+  CosineLshIndex lsh(w.corpus.vocabulary, &w.model->store(), w.sim.get(), spec);
+  const TokenId q = w.corpus.vocabulary[0];
+  Score prev = 1.0;
+  while (auto n = lsh.NextNeighbor(q, 0.7)) {
+    EXPECT_LE(n->sim, prev + 1e-12);
+    prev = n->sim;
+  }
+}
+
+TEST(LshIndexTest, OovQueryHasNoNeighbors) {
+  auto w = testing::MakeRandomWorkload(20, 200, 5, 10, 55, /*coverage=*/0.5);
+  LshIndexSpec spec;
+  CosineLshIndex lsh(w.corpus.vocabulary, &w.model->store(), w.sim.get(), spec);
+  // Find an OOV token.
+  for (TokenId t : w.corpus.vocabulary) {
+    if (!w.model->store().Has(t)) {
+      EXPECT_FALSE(lsh.NextNeighbor(t, 0.7).has_value());
+      break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace koios::sim

@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "koios/util/memory_tracker.h"
+#include "koios/util/rng.h"
+#include "koios/util/status.h"
+#include "koios/util/thread_pool.h"
+#include "koios/util/top_k_list.h"
+#include "koios/util/zipf.h"
+
+namespace koios::util {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("k must be positive");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: k must be positive");
+}
+
+TEST(StatusTest, StatusOrHoldsValue) {
+  StatusOr<int> ok(42);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+
+  StatusOr<int> bad(Status::NotFound("nope"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.NextUint64() == b.NextUint64());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedCoversAllResidues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.NextBounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(19);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.NextInt(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.Fork();
+  // Child stream should not replicate the parent's continuing stream.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (parent.NextUint64() == child.NextUint64());
+  EXPECT_LT(equal, 2);
+}
+
+// ------------------------------------------------------------------ Zipf --
+
+TEST(ZipfTest, UniformWhenSkewZero) {
+  Rng rng(29);
+  ZipfDistribution dist(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[dist.Sample(&rng)];
+  for (int c : counts) EXPECT_NEAR(c, 2000, 350);
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks) {
+  Rng rng(31);
+  ZipfDistribution dist(1000, 1.0);
+  std::vector<int> counts(1000, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[dist.Sample(&rng)];
+  EXPECT_GT(counts[0], counts[9] * 3);
+  EXPECT_GT(counts[0], counts[99] * 20);
+}
+
+TEST(ZipfTest, RatioMatchesTheory) {
+  // P(0)/P(1) = 2^s for Zipf(s).
+  Rng rng(37);
+  ZipfDistribution dist(100, 2.0);
+  int c0 = 0, c1 = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t r = dist.Sample(&rng);
+    c0 += (r == 0);
+    c1 += (r == 1);
+  }
+  EXPECT_NEAR(static_cast<double>(c0) / c1, 4.0, 0.5);
+}
+
+TEST(ZipfTest, SamplesWithinRange) {
+  Rng rng(41);
+  ZipfDistribution dist(5, 1.5);
+  for (int i = 0; i < 5000; ++i) EXPECT_LT(dist.Sample(&rng), 5u);
+}
+
+// ------------------------------------------------------------ ThreadPool --
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, FuturesReturnValues) {
+  ThreadPool pool(2);
+  auto f1 = pool.Submit([] { return 7; });
+  auto f2 = pool.Submit([] { return std::string("koios"); });
+  EXPECT_EQ(f1.get(), 7);
+  EXPECT_EQ(f2.get(), "koios");
+}
+
+TEST(ThreadPoolTest, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  auto f = pool.Submit([] { return 1 + 1; });
+  EXPECT_EQ(f.get(), 2);
+}
+
+// ------------------------------------------------------------- TopKList --
+
+TEST(TopKListTest, KeepsKLargest) {
+  TopKList<int> list(3);
+  for (int i = 0; i < 10; ++i) list.Offer(i, static_cast<double>(i));
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_DOUBLE_EQ(list.Bottom(), 7.0);
+  EXPECT_DOUBLE_EQ(list.Top(), 9.0);
+  const auto entries = list.Descending();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].first, 9);
+  EXPECT_EQ(entries[1].first, 8);
+  EXPECT_EQ(entries[2].first, 7);
+}
+
+TEST(TopKListTest, BottomIsFloorUntilFull) {
+  TopKList<int> list(4, 0.0);
+  EXPECT_DOUBLE_EQ(list.Bottom(), 0.0);
+  list.Offer(1, 10.0);
+  list.Offer(2, 20.0);
+  EXPECT_DOUBLE_EQ(list.Bottom(), 0.0);  // not full yet
+  list.Offer(3, 30.0);
+  list.Offer(4, 40.0);
+  EXPECT_DOUBLE_EQ(list.Bottom(), 10.0);
+}
+
+TEST(TopKListTest, UpdateRaisesExistingEntry) {
+  TopKList<int> list(2);
+  list.Offer(1, 1.0);
+  list.Offer(2, 2.0);
+  list.Offer(1, 5.0);
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_DOUBLE_EQ(list.ScoreOf(1), 5.0);
+  EXPECT_DOUBLE_EQ(list.Bottom(), 2.0);
+}
+
+TEST(TopKListTest, RejectsWorseThanBottomWhenFull) {
+  TopKList<int> list(2);
+  list.Offer(1, 5.0);
+  list.Offer(2, 6.0);
+  EXPECT_FALSE(list.Offer(3, 4.0));
+  EXPECT_FALSE(list.Contains(3));
+  EXPECT_TRUE(list.Offer(4, 7.0));
+  EXPECT_FALSE(list.Contains(1));
+}
+
+TEST(TopKListTest, RemoveShrinksAndReopens) {
+  TopKList<int> list(2);
+  list.Offer(1, 5.0);
+  list.Offer(2, 6.0);
+  EXPECT_TRUE(list.Remove(1));
+  EXPECT_FALSE(list.Remove(1));
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_TRUE(list.Offer(3, 1.0));  // room again
+}
+
+// --------------------------------------------------------- MemoryTracker --
+
+TEST(MemoryTrackerTest, AddAccumulatesAndPeakMaxes) {
+  MemoryTracker tracker;
+  tracker.Add("a", 100);
+  tracker.Add("a", 50);
+  tracker.AddPeak("b", 10);
+  tracker.AddPeak("b", 5);
+  EXPECT_EQ(tracker.Get("a"), 150u);
+  EXPECT_EQ(tracker.Get("b"), 10u);
+  EXPECT_EQ(tracker.TotalBytes(), 160u);
+}
+
+TEST(MemoryTrackerTest, MergeSums) {
+  MemoryTracker a, b;
+  a.Add("x", 1);
+  b.Add("x", 2);
+  b.Add("y", 3);
+  a.Merge(b);
+  EXPECT_EQ(a.Get("x"), 3u);
+  EXPECT_EQ(a.Get("y"), 3u);
+}
+
+TEST(MemoryTrackerTest, FormatBytesUnits) {
+  EXPECT_EQ(MemoryTracker::FormatBytes(512), "512 B");
+  EXPECT_EQ(MemoryTracker::FormatBytes(2048), "2.00 KB");
+  EXPECT_EQ(MemoryTracker::FormatBytes(3 * 1024 * 1024), "3.00 MB");
+}
+
+}  // namespace
+}  // namespace koios::util
