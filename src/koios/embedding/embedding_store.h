@@ -37,6 +37,46 @@ class EmbeddingStore {
   /// Returns 0 if either token is OOV.
   double Cosine(TokenId a, TokenId b) const;
 
+  /// Batched cosine: out[i] = Cosine(q, targets[i]) for every i. One row
+  /// lookup for `q`, then a dense unrolled dot-product kernel per target —
+  /// no per-pair dispatch. `out.size()` must equal `targets.size()`.
+  /// If `q` is OOV the output is all zeros; OOV targets score 0.
+  ///
+  /// The double overload accumulates in double like Cosine() and agrees
+  /// with it to ~1e-15, which the exactness machinery (kScoreEps = 1e-9
+  /// comparisons) relies on; the float overload is for throughput-only
+  /// consumers (benchmarks, future quantized backends).
+  void CosineBatch(TokenId q, std::span<const TokenId> targets,
+                   std::span<double> out) const;
+  void CosineBatch(TokenId q, std::span<const TokenId> targets,
+                   std::span<float> out) const;
+
+  /// Multi-query batched cosine: out[qi * targets.size() + ti] =
+  /// Cosine(queries[qi], targets[ti]), row-major by query (`out.size()`
+  /// must be `queries.size() * targets.size()`). Each target row is loaded
+  /// and converted once per 4-query block instead of once per query, so
+  /// memory and conversion traffic drop ~4× versus repeated CosineBatch
+  /// calls; scores are bit-identical to CosineBatch / the same-shape
+  /// accumulation of Cosine().
+  void CosineMultiBatch(std::span<const TokenId> queries,
+                        std::span<const TokenId> targets,
+                        std::span<double> out) const;
+
+  /// Dense matrix-vector kernel: out[r] = dot(row(q), row(r)) for every
+  /// stored row r in row order (`out.size()` must equal `covered()`).
+  /// Zeros the output if `q` is OOV. This is the throughput ceiling the
+  /// batched paths aim for: one contiguous scan of the whole matrix.
+  void CosineAllRows(TokenId q, std::span<double> out) const;
+  void CosineAllRows(TokenId q, std::span<float> out) const;
+
+  /// Row index of `token` in the dense matrix, or kNoRow if OOV. Lets
+  /// batch callers translate CosineAllRows output back to tokens.
+  uint32_t RowIndexOf(TokenId token) const {
+    return token < row_of_.size() ? row_of_[token] : kNoRow;
+  }
+
+  static constexpr uint32_t kNoRow = 0xFFFFFFFFu;
+
   size_t dim() const { return dim_; }
   /// Number of covered (non-OOV) tokens.
   size_t covered() const { return rows_; }
@@ -46,7 +86,11 @@ class EmbeddingStore {
   }
 
  private:
-  static constexpr uint32_t kNoRow = 0xFFFFFFFFu;
+  template <typename Out>
+  void CosineBatchImpl(TokenId q, std::span<const TokenId> targets,
+                       std::span<Out> out) const;
+  template <typename Out>
+  void CosineAllRowsImpl(TokenId q, std::span<Out> out) const;
 
   size_t dim_;
   size_t rows_ = 0;

@@ -23,6 +23,19 @@ class CosineEmbeddingSimilarity : public SimilarityFunction {
     return c > 1.0 ? 1.0 : c;
   }
 
+  /// Batched path: one dense CosineBatch kernel call over the embedding
+  /// matrix, then the same clamping as the pairwise overload. ~|targets|
+  /// fewer virtual dispatches and row lookups per query token.
+  void SimilarityBatch(TokenId q, std::span<const TokenId> targets,
+                       std::span<Score> out) const override;
+
+  /// Blocked multi-query path via CosineMultiBatch: each target row is
+  /// read once per 4-query block, the main lever behind the batched
+  /// cursor-construction speedup.
+  void SimilarityBatchMulti(std::span<const TokenId> queries,
+                            std::span<const TokenId> targets,
+                            std::span<Score> out) const override;
+
   const embedding::EmbeddingStore& store() const { return *store_; }
 
  private:

@@ -46,6 +46,7 @@ uint64_t CosineLshIndex::SignatureOf(std::span<const float> vec,
 
 CosineLshIndex::Cursor CosineLshIndex::BuildCursor(TokenId q, Score alpha) const {
   Cursor cursor;
+  cursor.alpha = alpha;
   if (!store_->Has(q)) return cursor;  // OOV query token: no neighbors
   const auto vec = store_->VectorOf(q);
   std::unordered_set<TokenId> candidates;
@@ -69,8 +70,10 @@ CosineLshIndex::Cursor CosineLshIndex::BuildCursor(TokenId q, Score alpha) const
 
 std::optional<Neighbor> CosineLshIndex::NextNeighbor(TokenId q, Score alpha) {
   auto it = cursors_.find(q);
-  if (it == cursors_.end()) {
-    it = cursors_.emplace(q, BuildCursor(q, alpha)).first;
+  if (it == cursors_.end() || it->second.alpha != alpha) {
+    // Rebuild on α mismatch: a stale cursor would serve neighbors filtered
+    // at the old threshold.
+    it = cursors_.insert_or_assign(q, BuildCursor(q, alpha)).first;
   }
   Cursor& cursor = it->second;
   if (cursor.next >= cursor.neighbors.size()) return std::nullopt;

@@ -40,6 +40,7 @@ class CosineLshIndex : public SimilarityIndex {
 
  private:
   struct Cursor {
+    Score alpha = -1.0;  // threshold the α filter ran at
     std::vector<Neighbor> neighbors;
     size_t next = 0;
   };

@@ -69,6 +69,7 @@ uint64_t MinHashIndex::BandKey(const std::vector<uint64_t>& signature,
 
 MinHashIndex::Cursor MinHashIndex::BuildCursor(TokenId q, Score alpha) const {
   Cursor cursor;
+  cursor.alpha = alpha;
   const auto signature = SignatureOf(sim_->GramsOf(q));
   std::unordered_set<TokenId> candidates;
   for (size_t band = 0; band < spec_.num_bands; ++band) {
@@ -91,8 +92,10 @@ MinHashIndex::Cursor MinHashIndex::BuildCursor(TokenId q, Score alpha) const {
 
 std::optional<Neighbor> MinHashIndex::NextNeighbor(TokenId q, Score alpha) {
   auto it = cursors_.find(q);
-  if (it == cursors_.end()) {
-    it = cursors_.emplace(q, BuildCursor(q, alpha)).first;
+  if (it == cursors_.end() || it->second.alpha != alpha) {
+    // Rebuild on α mismatch: a stale cursor would serve neighbors filtered
+    // at the old threshold.
+    it = cursors_.insert_or_assign(q, BuildCursor(q, alpha)).first;
   }
   Cursor& cursor = it->second;
   if (cursor.next >= cursor.neighbors.size()) return std::nullopt;

@@ -42,6 +42,7 @@ class MinHashIndex : public SimilarityIndex {
 
  private:
   struct Cursor {
+    Score alpha = -1.0;  // threshold the α filter ran at
     std::vector<Neighbor> neighbors;
     size_t next = 0;
   };

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
 
 #include "koios/util/types.h"
 
@@ -25,6 +26,34 @@ class SimilarityFunction {
 
   /// Raw similarity (no α clamping; clamped to [0, 1]).
   virtual Score Similarity(TokenId a, TokenId b) const = 0;
+
+  /// Batched similarity: out[i] = Similarity(q, targets[i]) for every i
+  /// (`out.size()` must equal `targets.size()`). The default loops over the
+  /// pairwise virtual call so every similarity keeps working unchanged;
+  /// backends with a dense representation (cosine over an embedding matrix)
+  /// override it with a vectorized kernel. Batch callers make ONE virtual
+  /// call per query token instead of |D|, which is what lets the hot
+  /// neighbor-generation scan vectorize.
+  virtual void SimilarityBatch(TokenId q, std::span<const TokenId> targets,
+                               std::span<Score> out) const {
+    for (size_t i = 0; i < targets.size(); ++i) {
+      out[i] = Similarity(q, targets[i]);
+    }
+  }
+
+  /// Multi-query batch: out[qi * targets.size() + ti] =
+  /// Similarity(queries[qi], targets[ti]), row-major by query. The default
+  /// loops SimilarityBatch; dense backends override it with a blocked
+  /// kernel that amortizes each target row across several queries (the
+  /// cursor-prewarm path builds all of a query's cursors through this).
+  virtual void SimilarityBatchMulti(std::span<const TokenId> queries,
+                                    std::span<const TokenId> targets,
+                                    std::span<Score> out) const {
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      SimilarityBatch(queries[qi], targets,
+                      out.subspan(qi * targets.size(), targets.size()));
+    }
+  }
 
   /// simα of Def. 1: the similarity if >= alpha, else 0.
   Score SimilarityAlpha(TokenId a, TokenId b, Score alpha) const {
@@ -55,6 +84,15 @@ class SimilarityIndex {
 
   /// Forget all cursors so a new query can reuse the index.
   virtual void ResetCursors() = 0;
+
+  /// Hint that `NextNeighbor(t, alpha)` is about to be called for every
+  /// token in `tokens`. Implementations may build the cursors eagerly (and
+  /// in parallel — cursors for distinct tokens are independent) so the
+  /// first probe never blocks on a cold cursor. Default: do nothing.
+  virtual void Prewarm(std::span<const TokenId> tokens, Score alpha) {
+    (void)tokens;
+    (void)alpha;
+  }
 
   virtual size_t MemoryUsageBytes() const { return 0; }
 };

@@ -11,6 +11,10 @@ TokenStream::TokenStream(std::vector<TokenId> query, SimilarityIndex* index,
     : query_(std::move(query)), index_(index), alpha_(alpha) {
   assert(alpha_ > 0.0);
   index_->ResetCursors();
+  // Build every query element's cursor up front (indexes with a thread
+  // pool fan the builds out — cursors are independent) so the heap refills
+  // below never block on a cold cursor.
+  index_->Prewarm(query_, alpha_);
   // Initial fill: each query element contributes its best tuple. The
   // self-match (sim 1.0) always sorts first for its element, so it is the
   // element's initial heap entry whenever the token occurs in D; otherwise
