@@ -1,20 +1,117 @@
 #include "koios/core/edge_cache.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace koios::core {
 
-EdgeCache::EdgeCache(sim::TokenStream* stream) {
-  while (auto tuple = stream->Next()) {
-    tuples_.push_back(*tuple);
-    edges_[tuple->token].push_back(
-        {tuple->query_pos, tuple->sim});
+namespace {
+
+// Tuples appended between publications. Big enough that lock/notify costs
+// vanish against per-tuple production cost (a heap pop + an index probe),
+// small enough that consumers start refining almost immediately.
+constexpr size_t kPublishBatch = 32;
+
+}  // namespace
+
+EdgeCache::EdgeCache(sim::TokenStream* stream) : stream_(stream) {
+  Materialize();
+}
+
+EdgeCache::EdgeCache(sim::TokenStream* stream, Deferred) : stream_(stream) {}
+
+void EdgeCache::Materialize() {
+  assert(!done_.load(std::memory_order_relaxed) && stream_ != nullptr);
+  // Whatever happens, done_ must be published — a producer that throws
+  // (bad_alloc, a faulty similarity) without it would leave blocked
+  // consumers waiting on grown_ forever, turning the error into a hang.
+  struct Finisher {
+    EdgeCache* cache;
+    ~Finisher() {
+      {
+        // Pair the done_ store with the mutex so a consumer can't check
+        // done_ between the last publish and the wait — then sleep forever.
+        std::lock_guard<std::mutex> lock(cache->mutex_);
+        cache->done_.store(true, std::memory_order_release);
+      }
+      cache->grown_.notify_all();
+    }
+  } finisher{this};
+  std::vector<sim::StreamTuple> batch;
+  batch.reserve(kPublishBatch);
+  auto publish = [this, &batch] {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      tuples_.insert(tuples_.end(), batch.begin(), batch.end());
+      published_.store(tuples_.size(), std::memory_order_release);
+    }
+    grown_.notify_all();
+    batch.clear();
+  };
+  while (auto tuple = stream_->Next()) {
+    batch.push_back(*tuple);
+    // edges_ is producer-private until done_ — post-processing only reads
+    // it after refinement consumed the whole stream.
+    edges_[tuple->token].push_back({tuple->query_pos, tuple->sim});
+    if (batch.size() >= kPublishBatch) publish();
   }
+  publish();
+  stream_ = nullptr;
+}
+
+void EdgeCache::Abort() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    done_.store(true, std::memory_order_release);
+  }
+  grown_.notify_all();
+}
+
+size_t EdgeCache::NextTuples(size_t from,
+                             std::span<sim::StreamTuple> buf) const {
+  // Fast path: materialization finished, tuples_ is immutable.
+  if (done_.load(std::memory_order_acquire)) {
+    if (from >= tuples_.size()) return 0;
+    const size_t n = std::min(buf.size(), tuples_.size() - from);
+    std::copy_n(tuples_.begin() + static_cast<ptrdiff_t>(from), n,
+                buf.begin());
+    return n;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  grown_.wait(lock, [this, from] {
+    return published_.load(std::memory_order_relaxed) > from ||
+           done_.load(std::memory_order_relaxed);
+  });
+  const size_t available = published_.load(std::memory_order_relaxed);
+  if (from >= available) return 0;  // done and exhausted
+  const size_t n = std::min(buf.size(), available - from);
+  std::copy_n(tuples_.begin() + static_cast<ptrdiff_t>(from), n, buf.begin());
+  return n;
+}
+
+void EdgeCache::WaitDone() const {
+  if (done_.load(std::memory_order_acquire)) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  grown_.wait(lock,
+              [this] { return done_.load(std::memory_order_relaxed); });
+}
+
+const std::vector<sim::StreamTuple>& EdgeCache::tuples() const {
+  WaitDone();
+  return tuples_;
+}
+
+std::span<const CachedEdge> EdgeCache::EdgesOf(TokenId t) const {
+  WaitDone();
+  auto it = edges_.find(t);
+  if (it == edges_.end()) return {};
+  return it->second;
 }
 
 matching::WeightMatrix EdgeCache::BuildMatrix(
     std::span<const TokenId> candidate_tokens,
     std::vector<uint32_t>* query_rows, std::vector<uint32_t>* set_cols) const {
+  WaitDone();
   query_rows->clear();
   set_cols->clear();
 
@@ -61,6 +158,7 @@ matching::WeightMatrix EdgeCache::BuildMatrix(
 }
 
 size_t EdgeCache::MemoryUsageBytes() const {
+  WaitDone();
   size_t bytes = tuples_.capacity() * sizeof(sim::StreamTuple);
   for (const auto& [_, list] : edges_) {
     bytes += sizeof(TokenId) + list.capacity() * sizeof(CachedEdge) +

@@ -7,10 +7,22 @@
 // the similarity cache the paper reuses when initializing the matching
 // matrices during post-processing (§VIII-A3), so no similarity is ever
 // computed twice.
+//
+// Materialization can be DEFERRED: the searcher constructs the cache with
+// the Deferred tag, submits per-partition refinement tasks, and then runs
+// Materialize() on its own thread. Consumers pull tuples through
+// NextTuples(), which blocks only when they outrun the producer — so
+// partitioned searches overlap cursor construction (the index work behind
+// each produced tuple) with refinement instead of serializing them.
+// Producer-side publishing is batched; the consumer fast path after
+// completion is lock-free.
 #ifndef KOIOS_CORE_EDGE_CACHE_H_
 #define KOIOS_CORE_EDGE_CACHE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -30,19 +42,46 @@ struct CachedEdge {
 
 class EdgeCache {
  public:
-  /// Drains `stream` and records every tuple (order preserved in
+  /// Drains `stream` synchronously in the constructor (order preserved in
   /// `tuples()`, per-token edge lists in `EdgesOf`).
   explicit EdgeCache(sim::TokenStream* stream);
 
-  /// The full stream in emission order.
-  const std::vector<sim::StreamTuple>& tuples() const { return tuples_; }
+  /// Deferred mode: records the stream but produces nothing until
+  /// Materialize() runs. Until then, consumers may only call NextTuples().
+  struct Deferred {};
+  EdgeCache(sim::TokenStream* stream, Deferred);
 
-  /// α-surviving edges of token `t` (empty if none).
-  std::span<const CachedEdge> EdgesOf(TokenId t) const {
-    auto it = edges_.find(t);
-    if (it == edges_.end()) return {};
-    return it->second;
+  /// Drains the stream, publishing tuples incrementally to NextTuples()
+  /// consumers. Call exactly once (the synchronous constructor calls it);
+  /// single producer, typically the searcher's main thread.
+  void Materialize();
+
+  /// Copies up to `buf.size()` tuples starting at stream position `from`
+  /// into `buf` and returns how many were copied; 0 means the stream is
+  /// exhausted at `from`. Blocks while position `from` is not yet
+  /// materialized. Each consumer owns its own cursor (`from`), so any
+  /// number of consumers can replay the stream concurrently.
+  size_t NextTuples(size_t from, std::span<sim::StreamTuple> buf) const;
+
+  /// True once Materialize() has completed; tuples() is then immutable
+  /// and can be iterated by reference, skipping NextTuples' copies.
+  bool Materialized() const {
+    return done_.load(std::memory_order_acquire);
   }
+
+  /// Marks the stream complete as-is and wakes every blocked consumer.
+  /// Idempotent. Failure-path only: when the producer can no longer run
+  /// (an exception thrown before or outside Materialize), consumers must
+  /// drain what was published and finish instead of waiting forever.
+  void Abort();
+
+  /// The full stream in emission order. Blocks until materialization is
+  /// complete (immediate for synchronously constructed caches).
+  const std::vector<sim::StreamTuple>& tuples() const;
+
+  /// α-surviving edges of token `t` (empty if none). Blocks until
+  /// materialization is complete.
+  std::span<const CachedEdge> EdgesOf(TokenId t) const;
 
   /// Builds the bipartite weight matrix of the query vs the tokens of a
   /// candidate set, restricted to nodes with at least one edge. Returns
@@ -56,8 +95,20 @@ class EdgeCache {
   size_t MemoryUsageBytes() const;
 
  private:
+  void WaitDone() const;
+
+  sim::TokenStream* stream_;  // null once drained
   std::vector<sim::StreamTuple> tuples_;
   std::unordered_map<TokenId, std::vector<CachedEdge>> edges_;
+
+  // Incremental publication: the producer appends under mutex_ and
+  // publishes the new size with release semantics; consumers that observe
+  // done_ (acquire) read tuples_ without locking — the vector is stable by
+  // then. edges_ is producer-private until done_.
+  mutable std::mutex mutex_;
+  mutable std::condition_variable grown_;
+  std::atomic<size_t> published_{0};
+  std::atomic<bool> done_{false};
 };
 
 }  // namespace koios::core

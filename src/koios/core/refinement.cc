@@ -38,7 +38,7 @@ RefinementOutput RefinementPhase::Run(const EdgeCache& cache,
     ++stats->iub_filtered;
   };
 
-  for (const sim::StreamTuple& tuple : cache.tuples()) {
+  auto process_tuple = [&](const sim::StreamTuple& tuple) {
     const Score s = tuple.sim;
     last_sim = s;
 
@@ -116,6 +116,22 @@ RefinementOutput RefinementPhase::Run(const EdgeCache& cache,
       }
     }
     ++stats->stream_tuples;
+  };
+
+  if (cache.Materialized()) {
+    // Fully materialized (every non-overlapped search): iterate in place.
+    for (const sim::StreamTuple& tuple : cache.tuples()) process_tuple(tuple);
+  } else {
+    // Overlapped partitioned search: the producer is still materializing;
+    // pull copies in chunks through the cache's incremental interface,
+    // blocking only when refinement outruns cursor construction.
+    std::vector<sim::StreamTuple> chunk(256);
+    size_t consumed = 0;
+    while (const size_t n = cache.NextTuples(
+               consumed, std::span<sim::StreamTuple>(chunk))) {
+      for (size_t i = 0; i < n; ++i) process_tuple(chunk[i]);
+      consumed += n;
+    }
   }
 
   // Final sweep after stream exhaustion: the slack term vanishes (a row

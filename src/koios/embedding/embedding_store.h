@@ -2,16 +2,32 @@
 // the paper uses (§VIII): Koios only ever consumes embeddings through
 // cosine similarity, so any L2-normalized vector table with a realistic
 // similarity distribution exercises the same code paths.
+//
+// Two storage tiers: the float rows every exact path reads, and an
+// optional int8 affine-quantized tier (built by Finalize()) whose fused
+// dequant-dot kernels trade a small bounded score error for 4× smaller
+// row reads — selected per call through the Precision enum.
 #ifndef KOIOS_EMBEDDING_EMBEDDING_STORE_H_
 #define KOIOS_EMBEDDING_EMBEDDING_STORE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "koios/util/types.h"
 
 namespace koios::embedding {
+
+/// Storage tier a cosine kernel reads from.
+///  * kFloat64 — float rows, double accumulation: the exact tier every
+///    result-bearing path uses (scores agree with the scalar Cosine()
+///    reference to ~1e-15, which the exactness machinery relies on).
+///  * kInt8 — per-row affine-quantized int8 rows built by Finalize():
+///    4× smaller row reads and an integer dot kernel, at a small, bounded
+///    score error (see docs/BENCHMARKS.md). For approximate backends and
+///    throughput-bound scans.
+enum class Precision : uint8_t { kFloat64 = 0, kInt8 = 1 };
 
 /// Row-major matrix of token embeddings, indexed by TokenId. Tokens without
 /// a vector (out-of-vocabulary, "OOV") have no row; cosine similarity
@@ -33,9 +49,30 @@ class EmbeddingStore {
   /// Normalized vector of `token`; asserts coverage.
   std::span<const float> VectorOf(TokenId token) const;
 
+  /// Vectorized dot product of two equal-length float spans with double
+  /// accumulation — the same kernel the batched cosine paths run, exposed
+  /// for callers that dot against non-row vectors (e.g. LSH hyperplanes).
+  static double Dot(std::span<const float> a, std::span<const float> b);
+
+  /// Builds the quantized tier: every stored row is affine-quantized to
+  /// int8 codes with a per-row scale/offset (code = round((v - offset) /
+  /// scale), codes in [-127, 127]) plus a precomputed per-row code sum, so
+  /// the fused dequant-dot kernel needs only one integer dot product per
+  /// pair. Idempotent; call after the last Add(). A later Add() drops the
+  /// tier (quantized() turns false) until Finalize() runs again.
+  void Finalize();
+
+  /// True once Finalize() has quantized every current row.
+  bool quantized() const { return quantized_; }
+
   /// Cosine similarity in [-1, 1] (dot product of normalized rows).
   /// Returns 0 if either token is OOV.
   double Cosine(TokenId a, TokenId b) const;
+
+  /// Cosine from the int8 tier via the fused dequant-dot formula — the
+  /// scalar reference the batched kInt8 kernel matches exactly. Requires
+  /// quantized(); returns 0 if either token is OOV.
+  double CosineQuantized(TokenId a, TokenId b) const;
 
   /// Batched cosine: out[i] = Cosine(q, targets[i]) for every i. One row
   /// lookup for `q`, then a dense unrolled dot-product kernel per target —
@@ -51,6 +88,15 @@ class EmbeddingStore {
   void CosineBatch(TokenId q, std::span<const TokenId> targets,
                    std::span<float> out) const;
 
+  /// Precision-selected batched cosine. kFloat64 is the overload above,
+  /// bit-identical to it. kInt8 reads the quantized tier through a fused
+  /// dequant-dot kernel: out[i] = sa*sb*dot_i8(a, b) + sa*ob*sum(a) +
+  /// sb*oa*sum(b) + dim*oa*ob, with the integer dot exact in int32 and the
+  /// per-row sums precomputed at Finalize() — no row is ever dequantized
+  /// to floats. Falls back to kFloat64 when quantized() is false.
+  void CosineBatch(TokenId q, std::span<const TokenId> targets,
+                   std::span<double> out, Precision precision) const;
+
   /// Multi-query batched cosine: out[qi * targets.size() + ti] =
   /// Cosine(queries[qi], targets[ti]), row-major by query (`out.size()`
   /// must be `queries.size() * targets.size()`). Each target row is loaded
@@ -61,6 +107,14 @@ class EmbeddingStore {
   void CosineMultiBatch(std::span<const TokenId> queries,
                         std::span<const TokenId> targets,
                         std::span<double> out) const;
+
+  /// Precision-selected multi-query batch. kInt8 loops the fused
+  /// dequant-dot CosineBatch per query (int8 rows are 4× smaller, so the
+  /// float path's row-reuse blocking buys little there); kFloat64 is the
+  /// overload above, bit-identical to it.
+  void CosineMultiBatch(std::span<const TokenId> queries,
+                        std::span<const TokenId> targets,
+                        std::span<double> out, Precision precision) const;
 
   /// Dense matrix-vector kernel: out[r] = dot(row(q), row(r)) for every
   /// stored row r in row order (`out.size()` must equal `covered()`).
@@ -82,7 +136,16 @@ class EmbeddingStore {
   size_t covered() const { return rows_; }
 
   size_t MemoryUsageBytes() const {
-    return data_.capacity() * sizeof(float) + row_of_.capacity() * sizeof(uint32_t);
+    return data_.capacity() * sizeof(float) +
+           row_of_.capacity() * sizeof(uint32_t) + QuantizedMemoryUsageBytes();
+  }
+
+  /// Footprint of the int8 tier alone (0 until Finalize()).
+  size_t QuantizedMemoryUsageBytes() const {
+    return qdata_.capacity() * sizeof(int8_t) +
+           qscale_.capacity() * sizeof(float) +
+           qoffset_.capacity() * sizeof(float) +
+           qsum_.capacity() * sizeof(int32_t);
   }
 
  private:
@@ -91,11 +154,21 @@ class EmbeddingStore {
                        std::span<Out> out) const;
   template <typename Out>
   void CosineAllRowsImpl(TokenId q, std::span<Out> out) const;
+  void CosineBatchInt8(TokenId q, std::span<const TokenId> targets,
+                       std::span<double> out) const;
 
   size_t dim_;
   size_t rows_ = 0;
   std::vector<float> data_;       // rows_ x dim_
   std::vector<uint32_t> row_of_;  // TokenId -> row index or kNoRow
+
+  // int8 tier (valid only while quantized_): per-row affine codes + the
+  // constants the fused dequant-dot formula needs.
+  bool quantized_ = false;
+  std::vector<int8_t> qdata_;    // rows_ x dim_ codes
+  std::vector<float> qscale_;    // per-row scale
+  std::vector<float> qoffset_;   // per-row offset
+  std::vector<int32_t> qsum_;    // per-row sum of codes
 };
 
 }  // namespace koios::embedding

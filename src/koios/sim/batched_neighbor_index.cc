@@ -1,0 +1,268 @@
+#include "koios/sim/batched_neighbor_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <future>
+#include <utility>
+
+#include "koios/util/thread_pool.h"
+
+namespace koios::sim {
+
+namespace {
+
+// Descending similarity, token id as the deterministic tie-break. The lazy
+// chunked ordering and an eager full sort agree because this comparator is
+// a strict total order.
+inline bool NeighborBefore(const Neighbor& a, const Neighbor& b) {
+  if (a.sim != b.sim) return a.sim > b.sim;
+  return a.token < b.token;
+}
+
+}  // namespace
+
+void BatchedNeighborIndex::CollectCandidates(TokenId q,
+                                             std::vector<TokenId>* out) const {
+  (void)q;
+  (void)out;
+  // Only reachable for backends without a shared candidate list; those
+  // must override this.
+  assert(SharedCandidates() == nullptr &&
+         "shared-candidate backends never collect per query");
+  assert(false && "CollectCandidates not implemented");
+}
+
+void BatchedNeighborIndex::SortUniqueVocabulary(
+    std::vector<TokenId>* vocabulary) {
+  std::sort(vocabulary->begin(), vocabulary->end());
+  vocabulary->erase(std::unique(vocabulary->begin(), vocabulary->end()),
+                    vocabulary->end());
+}
+
+void BatchedNeighborIndex::UnionBuckets(
+    std::span<const std::vector<TokenId>* const> buckets,
+    std::vector<TokenId>* out) {
+  std::vector<size_t> bounds{out->size()};
+  for (const std::vector<TokenId>* bucket : buckets) {
+    out->insert(out->end(), bucket->begin(), bucket->end());
+    bounds.push_back(out->size());
+  }
+  MergeSortedRuns(out, &bounds);
+}
+
+void BatchedNeighborIndex::MergeSortedRuns(std::vector<TokenId>* ids,
+                                           std::vector<size_t>* bounds) {
+  std::vector<size_t>& b = *bounds;
+  while (b.size() > 2) {
+    size_t w = 1;
+    size_t i = 0;
+    for (; i + 2 < b.size(); i += 2) {
+      std::inplace_merge(ids->begin() + static_cast<ptrdiff_t>(b[i]),
+                         ids->begin() + static_cast<ptrdiff_t>(b[i + 1]),
+                         ids->begin() + static_cast<ptrdiff_t>(b[i + 2]));
+      b[w++] = b[i + 2];
+    }
+    if (i + 1 < b.size()) b[w++] = b[i + 1];  // odd run carries over
+    b.resize(w);
+  }
+  ids->erase(std::unique(ids->begin(), ids->end()), ids->end());
+}
+
+BatchedNeighborIndex::BatchedNeighborIndex(const SimilarityFunction* sim,
+                                           util::ThreadPool* pool)
+    : sim_(sim), pool_(pool) {}
+
+BatchedNeighborIndex::Cursor BatchedNeighborIndex::BuildCursor(
+    TokenId q, Score alpha) const {
+  Cursor cursor;
+  cursor.alpha = alpha;
+  // thread_local scratch: Prewarm runs builds concurrently on pool workers.
+  thread_local std::vector<TokenId> collected;
+  const std::vector<TokenId>* candidates = SharedCandidates();
+  if (candidates == nullptr) {
+    collected.clear();
+    CollectCandidates(q, &collected);
+    assert(std::is_sorted(collected.begin(), collected.end()));
+    candidates = &collected;
+  }
+  if (candidates->empty()) return cursor;
+  // One batched scan of the candidates, then the α filter over the flat
+  // score array.
+  thread_local std::vector<Score> scores;
+  scores.resize(candidates->size());
+  sim_->SimilarityBatch(q, *candidates, scores);
+  for (size_t i = 0; i < candidates->size(); ++i) {
+    const TokenId t = (*candidates)[i];
+    if (t == q) continue;  // self-matches are injected by the token stream
+    if (scores[i] >= alpha) cursor.neighbors.push_back({t, scores[i]});
+  }
+  return cursor;
+}
+
+std::vector<BatchedNeighborIndex::Cursor> BatchedNeighborIndex::BuildCursorBlock(
+    std::span<const TokenId> qs, Score alpha) const {
+  std::vector<Cursor> cursors(qs.size());
+  for (Cursor& c : cursors) c.alpha = alpha;
+
+  // Resolve the block's target list: the shared candidate set when the
+  // backend has one, otherwise the sorted union of each query's candidates
+  // (bucket probes of SIMILAR query tokens overlap heavily, so the union
+  // amortizes the multi-query kernel's row reads across the block).
+  const std::vector<TokenId>* shared = SharedCandidates();
+  std::vector<std::vector<TokenId>> per_query;
+  std::vector<TokenId> target_union;
+  const std::vector<TokenId>* targets = shared;
+  if (shared == nullptr) {
+    per_query.resize(qs.size());
+    size_t total = 0;
+    std::vector<size_t> bounds{0};
+    for (size_t qi = 0; qi < qs.size(); ++qi) {
+      CollectCandidates(qs[qi], &per_query[qi]);
+      total += per_query[qi].size();
+      target_union.insert(target_union.end(), per_query[qi].begin(),
+                          per_query[qi].end());
+      bounds.push_back(target_union.size());
+    }
+    MergeSortedRuns(&target_union, &bounds);
+    // When the block's buckets barely overlap (unrelated query tokens),
+    // the union kernel would score |union| rows for every query — mostly
+    // rows outside that query's buckets. Scoring each query's own batch is
+    // then strictly less work; the multi-query union only wins when the
+    // row reads it amortizes actually repeat across queries.
+    if (target_union.size() * qs.size() > 2 * total) {
+      thread_local std::vector<Score> scores;
+      for (size_t qi = 0; qi < qs.size(); ++qi) {
+        const std::vector<TokenId>& cand = per_query[qi];
+        if (cand.empty()) continue;
+        scores.resize(cand.size());
+        sim_->SimilarityBatch(qs[qi], cand, scores);
+        Cursor& cursor = cursors[qi];
+        for (size_t i = 0; i < cand.size(); ++i) {
+          if (cand[i] == qs[qi]) continue;
+          if (scores[i] >= alpha) cursor.neighbors.push_back({cand[i], scores[i]});
+        }
+      }
+      return cursors;
+    }
+    targets = &target_union;
+  }
+  if (targets->empty()) return cursors;
+
+  // One multi-query kernel call scores the whole block against the targets
+  // (each target row read once per multi-query sub-block).
+  thread_local std::vector<Score> scores;
+  scores.resize(qs.size() * targets->size());
+  sim_->SimilarityBatchMulti(qs, *targets, scores);
+
+  for (size_t qi = 0; qi < qs.size(); ++qi) {
+    Cursor& cursor = cursors[qi];
+    const Score* row = scores.data() + qi * targets->size();
+    if (shared != nullptr) {
+      for (size_t i = 0; i < targets->size(); ++i) {
+        const TokenId t = (*targets)[i];
+        if (t == qs[qi]) continue;  // self-matches come from the token stream
+        if (row[i] >= alpha) cursor.neighbors.push_back({t, row[i]});
+      }
+    } else {
+      // Merge walk: both lists are sorted and per_query[qi] ⊆ targets, so
+      // each candidate's score index is found by advancing one pointer.
+      size_t ti = 0;
+      for (const TokenId t : per_query[qi]) {
+        while ((*targets)[ti] < t) ++ti;
+        if (t == qs[qi]) continue;
+        if (row[ti] >= alpha) cursor.neighbors.push_back({t, row[ti]});
+      }
+    }
+  }
+  return cursors;
+}
+
+void BatchedNeighborIndex::EnsureOrdered(Cursor& cursor, size_t count) {
+  const size_t wanted = std::min(count, cursor.neighbors.size());
+  while (cursor.sorted_prefix < wanted) {
+    // Chunks double as consumption deepens: nth_element costs O(remaining)
+    // per round, so a flat chunk would make a full drain (the EdgeCache
+    // materializes the whole stream today) quadratic. Doubling keeps short
+    // prefixes cheap and bounds full consumption at O(m log m), matching
+    // the eager sort this replaced.
+    const size_t chunk = std::max(kSortChunk, cursor.sorted_prefix);
+    const size_t chunk_end =
+        std::min(cursor.sorted_prefix + chunk, cursor.neighbors.size());
+    const auto first = cursor.neighbors.begin() +
+                       static_cast<ptrdiff_t>(cursor.sorted_prefix);
+    const auto nth =
+        cursor.neighbors.begin() + static_cast<ptrdiff_t>(chunk_end - 1);
+    // Partition the next chunk's members in front of everything ranked
+    // after them, then order the chunk itself.
+    std::nth_element(first, nth, cursor.neighbors.end(), NeighborBefore);
+    std::sort(first, nth + 1, NeighborBefore);
+    cursor.sorted_prefix = chunk_end;
+  }
+}
+
+std::optional<Neighbor> BatchedNeighborIndex::NextNeighbor(TokenId q,
+                                                           Score alpha) {
+  auto it = cursors_.find(q);
+  if (it == cursors_.end() || it->second.alpha != alpha) {
+    // Cache miss, or a cursor filtered at a different α (a stale cursor
+    // would silently serve neighbors pruned at the old threshold).
+    it = cursors_.insert_or_assign(q, BuildCursor(q, alpha)).first;
+  }
+  Cursor& cursor = it->second;
+  if (cursor.next >= cursor.neighbors.size()) return std::nullopt;
+  EnsureOrdered(cursor, cursor.next + 1);
+  return cursor.neighbors[cursor.next++];
+}
+
+void BatchedNeighborIndex::Prewarm(std::span<const TokenId> tokens,
+                                   Score alpha) {
+  std::vector<TokenId> missing;
+  missing.reserve(tokens.size());
+  for (TokenId t : tokens) {
+    auto it = cursors_.find(t);
+    if (it == cursors_.end() || it->second.alpha != alpha) missing.push_back(t);
+  }
+  std::sort(missing.begin(), missing.end());
+  missing.erase(std::unique(missing.begin(), missing.end()), missing.end());
+  if (missing.empty()) return;
+
+  const std::span<const TokenId> all(missing);
+  if (pool_ != nullptr && missing.size() > kPrewarmBlock) {
+    // Fan blocks out across the pool; cursors are independent, so the only
+    // serial part is inserting the finished blocks into the map.
+    std::vector<std::future<std::vector<Cursor>>> futures;
+    for (size_t b = 0; b < missing.size(); b += kPrewarmBlock) {
+      const auto block = all.subspan(b, std::min(kPrewarmBlock,
+                                                 missing.size() - b));
+      futures.push_back(pool_->Submit(
+          [this, block, alpha] { return BuildCursorBlock(block, alpha); }));
+    }
+    size_t b = 0;
+    for (auto& f : futures) {
+      for (Cursor& c : f.get()) {
+        cursors_.insert_or_assign(missing[b++], std::move(c));
+      }
+    }
+  } else {
+    for (size_t b = 0; b < missing.size(); b += kPrewarmBlock) {
+      const auto block = all.subspan(b, std::min(kPrewarmBlock,
+                                                 missing.size() - b));
+      std::vector<Cursor> built = BuildCursorBlock(block, alpha);
+      for (size_t i = 0; i < block.size(); ++i) {
+        cursors_.insert_or_assign(block[i], std::move(built[i]));
+      }
+    }
+  }
+}
+
+void BatchedNeighborIndex::ResetCursors() { cursors_.clear(); }
+
+size_t BatchedNeighborIndex::MemoryUsageBytes() const {
+  size_t bytes = 0;
+  for (const auto& [_, c] : cursors_) {
+    bytes += sizeof(Cursor) + c.neighbors.capacity() * sizeof(Neighbor);
+  }
+  return bytes;
+}
+
+}  // namespace koios::sim

@@ -1,0 +1,146 @@
+// Shared batched-probe machinery for SimilarityIndex backends. Every
+// backend in this repo (exact scan, SimHash LSH, MinHash LSH) reduces to
+// the same shape: given a query token, produce a *candidate id batch*
+// (the whole vocabulary, or the union of the query's hash buckets), score
+// it with ONE SimilarityFunction::SimilarityBatch kernel call, α-filter
+// the flat score array, and stream the survivors lazily in non-increasing
+// order. This base class owns everything after candidate collection, so
+// all three indexes share one cursor implementation and automatically
+// honor the batch-API contract (SimilarityBatch[Multi] + Prewarm) that
+// PR 1 established for the exact path:
+//
+//  * One kernel call per query token instead of one virtual call per
+//    candidate — dense similarities (cosine over an embedding matrix,
+//    optionally int8-quantized) vectorize, everything else falls back to
+//    the pairwise loop inside the batch call.
+//  * Survivors are ordered LAZILY: the cursor partial-sorts the next chunk
+//    (std::nth_element + chunk sort, starting at kSortChunk and doubling)
+//    only when consumption reaches it. Short-prefix consumers (the θ-bound
+//    usually stops the stream early) pay O(chunk); full drains stay
+//    O(m log m) like an eager sort.
+//  * Prewarm() builds the cursors of a whole query up front in blocks of
+//    kPrewarmBlock through SimilarityBatchMulti (each target row is read
+//    once per multi-query block) and fans independent blocks across an
+//    optional util::ThreadPool.
+//
+// Thread-safety: Prewarm() may build cursors on pool workers internally,
+// but the public interface is single-consumer — NextNeighbor/ResetCursors/
+// Prewarm must not be called concurrently with each other.
+#ifndef KOIOS_SIM_BATCHED_NEIGHBOR_INDEX_H_
+#define KOIOS_SIM_BATCHED_NEIGHBOR_INDEX_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "koios/sim/similarity.h"
+
+namespace koios::util {
+class ThreadPool;
+}  // namespace koios::util
+
+namespace koios::sim {
+
+class BatchedNeighborIndex : public SimilarityIndex {
+ public:
+  std::optional<Neighbor> NextNeighbor(TokenId q, Score alpha) override;
+
+  void ResetCursors() override;
+
+  /// Eagerly builds (in parallel when a pool is set) the cursors for every
+  /// token in `tokens` that is not already cached at this α.
+  void Prewarm(std::span<const TokenId> tokens, Score alpha) override;
+
+  /// Swap the worker pool used by Prewarm (nullptr = serial). The searcher
+  /// attaches its per-query pool around TokenStream construction so cursor
+  /// builds fan out without the index owning threads.
+  void set_thread_pool(util::ThreadPool* pool) override { pool_ = pool; }
+
+  util::ThreadPool* thread_pool() const override { return pool_; }
+
+  size_t MemoryUsageBytes() const override;
+
+ protected:
+  /// `sim`: any symmetric similarity; its batch entry points are the only
+  /// way this class scores candidates.
+  /// `pool`: optional worker pool used by Prewarm() (nullptr = serial).
+  explicit BatchedNeighborIndex(const SimilarityFunction* sim,
+                                util::ThreadPool* pool = nullptr);
+
+  /// Append the candidate vocabulary tokens for query `q` to `out`
+  /// (`out` arrives empty) as a SORTED, DUPLICATE-FREE list — bucket
+  /// backends union their (naturally sorted) bucket lists with
+  /// UnionBuckets. `q` itself may be included (the α filter skips it; the
+  /// token stream injects self-matches). Called concurrently from pool
+  /// workers during Prewarm, so implementations must be const-thread-safe.
+  /// Backends with SharedCandidates() never receive this call; the
+  /// default asserts that.
+  virtual void CollectCandidates(TokenId q, std::vector<TokenId>* out) const;
+
+  /// Sorts + dedupes a vocabulary in place. Bucket backends run this
+  /// before building their tables so that bucket lists (filled in
+  /// vocabulary iteration order) come out ascending — the invariant
+  /// UnionBuckets relies on.
+  static void SortUniqueVocabulary(std::vector<TokenId>* vocabulary);
+
+  /// Appends the (ascending) `buckets` to `out` and unions them in place:
+  /// pairwise std::inplace_merge rounds, then a dedupe pass — linear-ish,
+  /// versus the O(n log n) branchy sort a concatenation would need.
+  static void UnionBuckets(
+      std::span<const std::vector<TokenId>* const> buckets,
+      std::vector<TokenId>* out);
+
+  /// Backends whose candidate list is one fixed set shared by every query
+  /// (the exact index scans the whole vocabulary) return it here; the
+  /// prewarm block path then feeds it straight to SimilarityBatchMulti
+  /// instead of unioning per-query collections. Return nullptr (default)
+  /// when candidates are per-query (bucket probes).
+  virtual const std::vector<TokenId>* SharedCandidates() const {
+    return nullptr;
+  }
+
+  const SimilarityFunction* sim() const { return sim_; }
+
+ private:
+  // Neighbors ordered in chunks of this size; the common case consumes one
+  // chunk or less before the θ-bound stops the stream.
+  static constexpr size_t kSortChunk = 64;
+
+  // Query tokens scored per multi-query kernel call during Prewarm. Also
+  // the granularity of the thread-pool fan-out.
+  static constexpr size_t kPrewarmBlock = 8;
+
+  struct Cursor {
+    Score alpha = -1.0;               // threshold the α filter ran at
+    std::vector<Neighbor> neighbors;  // >= alpha; [0, sorted_prefix) ordered
+    size_t next = 0;
+    size_t sorted_prefix = 0;
+  };
+
+  /// In-place union of the ascending runs of `ids` delimited by `bounds`.
+  static void MergeSortedRuns(std::vector<TokenId>* ids,
+                              std::vector<size_t>* bounds);
+
+  Cursor BuildCursor(TokenId q, Score alpha) const;
+
+  /// Batched build of one prewarm block: the block's candidate union is
+  /// scored with one SimilarityBatchMulti call, then each query's α filter
+  /// runs over its own candidates' rows (a merge walk of two sorted lists,
+  /// so no per-candidate lookups).
+  std::vector<Cursor> BuildCursorBlock(std::span<const TokenId> qs,
+                                       Score alpha) const;
+
+  /// Extends the ordered prefix until it covers `count` neighbors (or all
+  /// of them): nth_element partitions the next chunk's members to the
+  /// front, then the chunk is sorted with the deterministic tie-break, so
+  /// full consumption reproduces the eager full sort exactly.
+  static void EnsureOrdered(Cursor& cursor, size_t count);
+
+  const SimilarityFunction* sim_;
+  util::ThreadPool* pool_;
+  std::unordered_map<TokenId, Cursor> cursors_;
+};
+
+}  // namespace koios::sim
+
+#endif  // KOIOS_SIM_BATCHED_NEIGHBOR_INDEX_H_

@@ -1,153 +1,17 @@
 #include "koios/sim/exact_knn_index.h"
 
-#include <algorithm>
-#include <future>
 #include <utility>
 
-#include "koios/util/thread_pool.h"
-
 namespace koios::sim {
-
-namespace {
-
-// Descending similarity, token id as the deterministic tie-break. The lazy
-// chunked ordering and the eager full sort agree because this comparator is
-// a strict total order.
-inline bool NeighborBefore(const Neighbor& a, const Neighbor& b) {
-  if (a.sim != b.sim) return a.sim > b.sim;
-  return a.token < b.token;
-}
-
-}  // namespace
 
 ExactKnnIndex::ExactKnnIndex(std::vector<TokenId> vocabulary,
                              const SimilarityFunction* sim,
                              util::ThreadPool* pool)
-    : vocabulary_(std::move(vocabulary)), sim_(sim), pool_(pool) {}
-
-ExactKnnIndex::Cursor ExactKnnIndex::BuildCursor(TokenId q,
-                                                 Score alpha) const {
-  Cursor cursor;
-  cursor.alpha = alpha;
-  // One batched scan of the vocabulary, then the α filter over the flat
-  // score array. thread_local scratch: Prewarm runs builds concurrently.
-  thread_local std::vector<Score> scores;
-  scores.resize(vocabulary_.size());
-  sim_->SimilarityBatch(q, vocabulary_, scores);
-  for (size_t i = 0; i < vocabulary_.size(); ++i) {
-    const TokenId t = vocabulary_[i];
-    if (t == q) continue;  // self-matches are injected by the token stream
-    if (scores[i] >= alpha) cursor.neighbors.push_back({t, scores[i]});
-  }
-  return cursor;
-}
-
-void ExactKnnIndex::EnsureOrdered(Cursor& cursor, size_t count) {
-  const size_t wanted = std::min(count, cursor.neighbors.size());
-  while (cursor.sorted_prefix < wanted) {
-    // Chunks double as consumption deepens: nth_element costs O(remaining)
-    // per round, so a flat chunk would make a full drain (the EdgeCache
-    // materializes the whole stream today) quadratic. Doubling keeps short
-    // prefixes cheap and bounds full consumption at O(m log m), matching
-    // the eager sort this replaced.
-    const size_t chunk = std::max(kSortChunk, cursor.sorted_prefix);
-    const size_t chunk_end =
-        std::min(cursor.sorted_prefix + chunk, cursor.neighbors.size());
-    const auto first = cursor.neighbors.begin() +
-                       static_cast<ptrdiff_t>(cursor.sorted_prefix);
-    const auto nth =
-        cursor.neighbors.begin() + static_cast<ptrdiff_t>(chunk_end - 1);
-    // Partition the next chunk's members in front of everything ranked
-    // after them, then order the chunk itself.
-    std::nth_element(first, nth, cursor.neighbors.end(), NeighborBefore);
-    std::sort(first, nth + 1, NeighborBefore);
-    cursor.sorted_prefix = chunk_end;
-  }
-}
-
-std::optional<Neighbor> ExactKnnIndex::NextNeighbor(TokenId q, Score alpha) {
-  auto it = cursors_.find(q);
-  if (it == cursors_.end() || it->second.alpha != alpha) {
-    // Cache miss, or a cursor filtered at a different α (a stale cursor
-    // would silently serve neighbors pruned at the old threshold).
-    it = cursors_.insert_or_assign(q, BuildCursor(q, alpha)).first;
-  }
-  Cursor& cursor = it->second;
-  if (cursor.next >= cursor.neighbors.size()) return std::nullopt;
-  EnsureOrdered(cursor, cursor.next + 1);
-  return cursor.neighbors[cursor.next++];
-}
-
-std::vector<ExactKnnIndex::Cursor> ExactKnnIndex::BuildCursorBlock(
-    std::span<const TokenId> qs, Score alpha) const {
-  // One multi-query kernel call scores the whole block against the
-  // vocabulary (each target row read once per 4-query sub-block), then the
-  // α filter runs per query over the flat score matrix.
-  thread_local std::vector<Score> scores;
-  scores.resize(qs.size() * vocabulary_.size());
-  sim_->SimilarityBatchMulti(qs, vocabulary_, scores);
-  std::vector<Cursor> cursors(qs.size());
-  for (size_t qi = 0; qi < qs.size(); ++qi) {
-    Cursor& cursor = cursors[qi];
-    cursor.alpha = alpha;
-    const Score* row = scores.data() + qi * vocabulary_.size();
-    for (size_t i = 0; i < vocabulary_.size(); ++i) {
-      const TokenId t = vocabulary_[i];
-      if (t == qs[qi]) continue;  // self-matches come from the token stream
-      if (row[i] >= alpha) cursor.neighbors.push_back({t, row[i]});
-    }
-  }
-  return cursors;
-}
-
-void ExactKnnIndex::Prewarm(std::span<const TokenId> tokens, Score alpha) {
-  std::vector<TokenId> missing;
-  missing.reserve(tokens.size());
-  for (TokenId t : tokens) {
-    auto it = cursors_.find(t);
-    if (it == cursors_.end() || it->second.alpha != alpha) missing.push_back(t);
-  }
-  std::sort(missing.begin(), missing.end());
-  missing.erase(std::unique(missing.begin(), missing.end()), missing.end());
-  if (missing.empty()) return;
-
-  const std::span<const TokenId> all(missing);
-  if (pool_ != nullptr && missing.size() > kPrewarmBlock) {
-    // Fan blocks out across the pool; cursors are independent, so the only
-    // serial part is inserting the finished blocks into the map.
-    std::vector<std::future<std::vector<Cursor>>> futures;
-    for (size_t b = 0; b < missing.size(); b += kPrewarmBlock) {
-      const auto block = all.subspan(b, std::min(kPrewarmBlock,
-                                                 missing.size() - b));
-      futures.push_back(pool_->Submit(
-          [this, block, alpha] { return BuildCursorBlock(block, alpha); }));
-    }
-    size_t b = 0;
-    for (auto& f : futures) {
-      for (Cursor& c : f.get()) {
-        cursors_.insert_or_assign(missing[b++], std::move(c));
-      }
-    }
-  } else {
-    for (size_t b = 0; b < missing.size(); b += kPrewarmBlock) {
-      const auto block = all.subspan(b, std::min(kPrewarmBlock,
-                                                 missing.size() - b));
-      std::vector<Cursor> built = BuildCursorBlock(block, alpha);
-      for (size_t i = 0; i < block.size(); ++i) {
-        cursors_.insert_or_assign(block[i], std::move(built[i]));
-      }
-    }
-  }
-}
-
-void ExactKnnIndex::ResetCursors() { cursors_.clear(); }
+    : BatchedNeighborIndex(sim, pool), vocabulary_(std::move(vocabulary)) {}
 
 size_t ExactKnnIndex::MemoryUsageBytes() const {
-  size_t bytes = vocabulary_.capacity() * sizeof(TokenId);
-  for (const auto& [_, c] : cursors_) {
-    bytes += sizeof(Cursor) + c.neighbors.capacity() * sizeof(Neighbor);
-  }
-  return bytes;
+  return vocabulary_.capacity() * sizeof(TokenId) +
+         BatchedNeighborIndex::MemoryUsageBytes();
 }
 
 }  // namespace koios::sim

@@ -5,34 +5,25 @@
 // ("Koios returns an exact solution as long as the index returns exact
 // results", §VIII-E).
 //
-// Neighbor generation is a batched kernel, not a pairwise loop:
-//  * One SimilarityBatch call scans the whole vocabulary per query token
-//    (vectorized dense cosine for embeddings, pairwise fallback otherwise),
-//    then the α filter runs over the flat score array.
-//  * Surviving neighbors are ordered LAZILY: the cursor partial-sorts the
-//    next chunk (std::nth_element + chunk sort, starting at kSortChunk and
-//    doubling) only when consumption reaches it, instead of eagerly
-//    sorting everything ≥ α. Short-prefix consumers pay O(chunk); full
-//    drains stay O(m log m) like the eager sort.
-//  * Cursor construction for independent tokens fans out across an
-//    optional util::ThreadPool via Prewarm(), which the token stream calls
-//    at construction so probes never block on a cold cursor.
+// All probing machinery (batched kernel scan, α filter, lazy chunked
+// ordering, α-keyed cursor cache, pooled Prewarm) lives in
+// BatchedNeighborIndex; this class only defines the candidate set, which
+// for the exact index is the ENTIRE vocabulary — shared by every query, so
+// the prewarm block path feeds it straight to SimilarityBatchMulti.
+//
+// Thread-safety: single consumer (see SimilarityIndex); Prewarm fans
+// cursor builds across the attached util::ThreadPool internally.
 #ifndef KOIOS_SIM_EXACT_KNN_INDEX_H_
 #define KOIOS_SIM_EXACT_KNN_INDEX_H_
 
 #include <cstddef>
-#include <unordered_map>
 #include <vector>
 
-#include "koios/sim/similarity.h"
-
-namespace koios::util {
-class ThreadPool;
-}  // namespace koios::util
+#include "koios/sim/batched_neighbor_index.h"
 
 namespace koios::sim {
 
-class ExactKnnIndex : public SimilarityIndex {
+class ExactKnnIndex : public BatchedNeighborIndex {
  public:
   /// `vocabulary`: the distinct tokens of the repository `D`.
   /// `sim`: any symmetric similarity function (cosine, q-gram Jaccard, ...).
@@ -41,53 +32,19 @@ class ExactKnnIndex : public SimilarityIndex {
   ExactKnnIndex(std::vector<TokenId> vocabulary, const SimilarityFunction* sim,
                 util::ThreadPool* pool = nullptr);
 
-  std::optional<Neighbor> NextNeighbor(TokenId q, Score alpha) override;
-
-  void ResetCursors() override;
-
-  /// Eagerly builds (in parallel when a pool is set) the cursors for every
-  /// token in `tokens` that is not already cached at this α.
-  void Prewarm(std::span<const TokenId> tokens, Score alpha) override;
-
-  /// Swap the worker pool used by Prewarm (nullptr = serial).
-  void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
-
   size_t vocabulary_size() const { return vocabulary_.size(); }
 
   size_t MemoryUsageBytes() const override;
 
+ protected:
+  /// Every query scans the same full vocabulary (so the base never calls
+  /// CollectCandidates).
+  const std::vector<TokenId>* SharedCandidates() const override {
+    return &vocabulary_;
+  }
+
  private:
-  // Neighbors ordered in chunks of this size; the common case consumes one
-  // chunk or less before the θ-bound stops the stream.
-  static constexpr size_t kSortChunk = 64;
-
-  // Query tokens scored per multi-query kernel call during Prewarm. Also
-  // the granularity of the thread-pool fan-out.
-  static constexpr size_t kPrewarmBlock = 8;
-
-  struct Cursor {
-    Score alpha = -1.0;               // threshold the α filter ran at
-    std::vector<Neighbor> neighbors;  // >= alpha; [0, sorted_prefix) ordered
-    size_t next = 0;
-    size_t sorted_prefix = 0;
-  };
-
-  Cursor BuildCursor(TokenId q, Score alpha) const;
-
-  /// Batched build of one prewarm block via SimilarityBatchMulti.
-  std::vector<Cursor> BuildCursorBlock(std::span<const TokenId> qs,
-                                       Score alpha) const;
-
-  /// Extends the ordered prefix until it covers `count` neighbors (or all
-  /// of them): nth_element partitions the next chunk's members to the
-  /// front, then the chunk is sorted with the deterministic tie-break, so
-  /// full consumption reproduces the eager full sort exactly.
-  static void EnsureOrdered(Cursor& cursor, size_t count);
-
   std::vector<TokenId> vocabulary_;
-  const SimilarityFunction* sim_;
-  util::ThreadPool* pool_;
-  std::unordered_map<TokenId, Cursor> cursors_;
 };
 
 }  // namespace koios::sim

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_set>
 
 #include "koios/util/rng.h"
 
@@ -11,9 +10,14 @@ namespace koios::sim {
 CosineLshIndex::CosineLshIndex(std::vector<TokenId> vocabulary,
                                const embedding::EmbeddingStore* store,
                                const SimilarityFunction* sim,
-                               const LshIndexSpec& spec)
-    : vocabulary_(std::move(vocabulary)), store_(store), sim_(sim), spec_(spec) {
+                               const LshIndexSpec& spec,
+                               util::ThreadPool* pool)
+    : BatchedNeighborIndex(sim, pool),
+      vocabulary_(std::move(vocabulary)),
+      store_(store),
+      spec_(spec) {
   assert(spec_.bits_per_table <= 64);
+  SortUniqueVocabulary(&vocabulary_);  // bucket lists must come out ascending
   util::Rng rng(spec_.seed);
   const size_t dim = store_->dim();
   hyperplanes_.resize(spec_.num_tables * spec_.bits_per_table);
@@ -36,51 +40,29 @@ uint64_t CosineLshIndex::SignatureOf(std::span<const float> vec,
   uint64_t sig = 0;
   const size_t base = table * spec_.bits_per_table;
   for (size_t bit = 0; bit < spec_.bits_per_table; ++bit) {
-    const auto& h = hyperplanes_[base + bit];
-    double dot = 0.0;
-    for (size_t d = 0; d < vec.size(); ++d) dot += static_cast<double>(h[d]) * vec[d];
+    // The vectorized kernel, not a scalar loop: the compiler cannot
+    // reorder a scalar double reduction on its own, and signature bits
+    // only consume the dot's sign, so kernel-vs-scalar differences
+    // (~1e-16 relative) are immaterial.
+    const double dot =
+        embedding::EmbeddingStore::Dot(hyperplanes_[base + bit], vec);
     sig = (sig << 1) | (dot >= 0.0 ? 1u : 0u);
   }
   return sig;
 }
 
-CosineLshIndex::Cursor CosineLshIndex::BuildCursor(TokenId q, Score alpha) const {
-  Cursor cursor;
-  cursor.alpha = alpha;
-  if (!store_->Has(q)) return cursor;  // OOV query token: no neighbors
+void CosineLshIndex::CollectCandidates(TokenId q,
+                                       std::vector<TokenId>* out) const {
+  if (!store_->Has(q)) return;  // OOV query token: no neighbors
   const auto vec = store_->VectorOf(q);
-  std::unordered_set<TokenId> candidates;
+  std::vector<const std::vector<TokenId>*> hits;
+  hits.reserve(spec_.num_tables);
   for (size_t table = 0; table < spec_.num_tables; ++table) {
     auto it = tables_[table].find(SignatureOf(vec, table));
-    if (it == tables_[table].end()) continue;
-    candidates.insert(it->second.begin(), it->second.end());
+    if (it != tables_[table].end()) hits.push_back(&it->second);
   }
-  for (TokenId t : candidates) {
-    if (t == q) continue;
-    const Score s = sim_->Similarity(q, t);
-    if (s >= alpha) cursor.neighbors.push_back({t, s});
-  }
-  std::sort(cursor.neighbors.begin(), cursor.neighbors.end(),
-            [](const Neighbor& a, const Neighbor& b) {
-              if (a.sim != b.sim) return a.sim > b.sim;
-              return a.token < b.token;
-            });
-  return cursor;
+  UnionBuckets(hits, out);
 }
-
-std::optional<Neighbor> CosineLshIndex::NextNeighbor(TokenId q, Score alpha) {
-  auto it = cursors_.find(q);
-  if (it == cursors_.end() || it->second.alpha != alpha) {
-    // Rebuild on α mismatch: a stale cursor would serve neighbors filtered
-    // at the old threshold.
-    it = cursors_.insert_or_assign(q, BuildCursor(q, alpha)).first;
-  }
-  Cursor& cursor = it->second;
-  if (cursor.next >= cursor.neighbors.size()) return std::nullopt;
-  return cursor.neighbors[cursor.next++];
-}
-
-void CosineLshIndex::ResetCursors() { cursors_.clear(); }
 
 size_t CosineLshIndex::MemoryUsageBytes() const {
   size_t bytes = vocabulary_.capacity() * sizeof(TokenId);
@@ -90,10 +72,7 @@ size_t CosineLshIndex::MemoryUsageBytes() const {
       bytes += sizeof(uint64_t) + bucket.capacity() * sizeof(TokenId);
     }
   }
-  for (const auto& [_, c] : cursors_) {
-    bytes += sizeof(Cursor) + c.neighbors.capacity() * sizeof(Neighbor);
-  }
-  return bytes;
+  return bytes + BatchedNeighborIndex::MemoryUsageBytes();
 }
 
 }  // namespace koios::sim

@@ -4,6 +4,19 @@
 // plugged into the algorithm", §IV). With an approximate index Koios'
 // results are exact *with respect to the neighbors the index returns*;
 // recall is tunable via the number of tables.
+//
+// Probing is batched through BatchedNeighborIndex: a query's candidate set
+// is the union of its bucket in every table, collected into one contiguous
+// id batch and scored with a single SimilarityFunction::SimilarityBatch
+// kernel call (one virtual dispatch per query instead of one per
+// candidate), then α-filtered and streamed with the shared lazy-ordering
+// cursor. Prewarm builds a whole query's cursors in multi-query blocks
+// over the block's candidate union — bucket probes of similar query
+// tokens overlap heavily, so the union amortizes target-row reads.
+//
+// Thread-safety: single consumer (see SimilarityIndex); the hash tables
+// are immutable after construction, so CollectCandidates is safe from
+// Prewarm's pool workers.
 #ifndef KOIOS_SIM_LSH_INDEX_H_
 #define KOIOS_SIM_LSH_INDEX_H_
 
@@ -13,7 +26,7 @@
 #include <vector>
 
 #include "koios/embedding/embedding_store.h"
-#include "koios/sim/similarity.h"
+#include "koios/sim/batched_neighbor_index.h"
 
 namespace koios::sim {
 
@@ -23,40 +36,33 @@ struct LshIndexSpec {
   uint64_t seed = 7;
 };
 
-class CosineLshIndex : public SimilarityIndex {
+class CosineLshIndex : public BatchedNeighborIndex {
  public:
-  /// Indexes the covered subset of `vocabulary`; `sim` is used to score and
-  /// order the candidates each bucket probe produces (so any downstream
-  /// clamping matches the exact path).
+  /// Indexes the covered subset of `vocabulary`; `sim` scores each probe's
+  /// candidate batch (so any downstream clamping matches the exact path).
+  /// `pool`: optional worker pool for Prewarm's fan-out.
   CosineLshIndex(std::vector<TokenId> vocabulary,
                  const embedding::EmbeddingStore* store,
-                 const SimilarityFunction* sim, const LshIndexSpec& spec);
-
-  std::optional<Neighbor> NextNeighbor(TokenId q, Score alpha) override;
-
-  void ResetCursors() override;
+                 const SimilarityFunction* sim, const LshIndexSpec& spec,
+                 util::ThreadPool* pool = nullptr);
 
   size_t MemoryUsageBytes() const override;
 
- private:
-  struct Cursor {
-    Score alpha = -1.0;  // threshold the α filter ran at
-    std::vector<Neighbor> neighbors;
-    size_t next = 0;
-  };
+ protected:
+  /// The union of the query's bucket in every table (empty for OOV query
+  /// tokens, which only match identically via the stream's self-match).
+  void CollectCandidates(TokenId q, std::vector<TokenId>* out) const override;
 
+ private:
   uint64_t SignatureOf(std::span<const float> vec, size_t table) const;
-  Cursor BuildCursor(TokenId q, Score alpha) const;
 
   std::vector<TokenId> vocabulary_;
   const embedding::EmbeddingStore* store_;
-  const SimilarityFunction* sim_;
   LshIndexSpec spec_;
   // hyperplanes_[table * bits + bit] is a dim-sized normal vector.
   std::vector<std::vector<float>> hyperplanes_;
   // One bucket map per table: signature -> token list.
   std::vector<std::unordered_map<uint64_t, std::vector<TokenId>>> tables_;
-  std::unordered_map<TokenId, Cursor> cursors_;
 };
 
 }  // namespace koios::sim

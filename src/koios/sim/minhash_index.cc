@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <unordered_set>
+#include <utility>
 
 #include "koios/util/rng.h"
 
@@ -29,8 +29,13 @@ uint64_t HashGram(const std::string& gram, uint64_t seed) {
 
 MinHashIndex::MinHashIndex(std::vector<TokenId> vocabulary,
                            const JaccardQGramSimilarity* sim,
-                           const MinHashIndexSpec& spec)
-    : vocabulary_(std::move(vocabulary)), sim_(sim), spec_(spec) {
+                           const MinHashIndexSpec& spec,
+                           util::ThreadPool* pool)
+    : BatchedNeighborIndex(sim, pool),
+      vocabulary_(std::move(vocabulary)),
+      jaccard_(sim),
+      spec_(spec) {
+  SortUniqueVocabulary(&vocabulary_);  // bucket lists must come out ascending
   util::Rng rng(spec_.seed);
   const size_t rows = spec_.num_bands * spec_.rows_per_band;
   hash_seeds_.resize(rows);
@@ -38,7 +43,7 @@ MinHashIndex::MinHashIndex(std::vector<TokenId> vocabulary,
 
   bands_.resize(spec_.num_bands);
   for (TokenId t : vocabulary_) {
-    const auto signature = SignatureOf(sim_->GramsOf(t));
+    const auto signature = SignatureOf(jaccard_->GramsOf(t));
     for (size_t band = 0; band < spec_.num_bands; ++band) {
       bands_[band][BandKey(signature, band)].push_back(t);
     }
@@ -67,42 +72,17 @@ uint64_t MinHashIndex::BandKey(const std::vector<uint64_t>& signature,
   return key;
 }
 
-MinHashIndex::Cursor MinHashIndex::BuildCursor(TokenId q, Score alpha) const {
-  Cursor cursor;
-  cursor.alpha = alpha;
-  const auto signature = SignatureOf(sim_->GramsOf(q));
-  std::unordered_set<TokenId> candidates;
+void MinHashIndex::CollectCandidates(TokenId q,
+                                     std::vector<TokenId>* out) const {
+  const auto signature = SignatureOf(jaccard_->GramsOf(q));
+  std::vector<const std::vector<TokenId>*> hits;
+  hits.reserve(spec_.num_bands);
   for (size_t band = 0; band < spec_.num_bands; ++band) {
     auto it = bands_[band].find(BandKey(signature, band));
-    if (it == bands_[band].end()) continue;
-    candidates.insert(it->second.begin(), it->second.end());
+    if (it != bands_[band].end()) hits.push_back(&it->second);
   }
-  for (TokenId t : candidates) {
-    if (t == q) continue;
-    const Score s = sim_->Similarity(q, t);
-    if (s >= alpha) cursor.neighbors.push_back({t, s});
-  }
-  std::sort(cursor.neighbors.begin(), cursor.neighbors.end(),
-            [](const Neighbor& a, const Neighbor& b) {
-              if (a.sim != b.sim) return a.sim > b.sim;
-              return a.token < b.token;
-            });
-  return cursor;
+  UnionBuckets(hits, out);
 }
-
-std::optional<Neighbor> MinHashIndex::NextNeighbor(TokenId q, Score alpha) {
-  auto it = cursors_.find(q);
-  if (it == cursors_.end() || it->second.alpha != alpha) {
-    // Rebuild on α mismatch: a stale cursor would serve neighbors filtered
-    // at the old threshold.
-    it = cursors_.insert_or_assign(q, BuildCursor(q, alpha)).first;
-  }
-  Cursor& cursor = it->second;
-  if (cursor.next >= cursor.neighbors.size()) return std::nullopt;
-  return cursor.neighbors[cursor.next++];
-}
-
-void MinHashIndex::ResetCursors() { cursors_.clear(); }
 
 double MinHashIndex::CollisionProbability(double j) const {
   return 1.0 - std::pow(1.0 - std::pow(j, static_cast<double>(spec_.rows_per_band)),
@@ -117,10 +97,7 @@ size_t MinHashIndex::MemoryUsageBytes() const {
       bytes += sizeof(uint64_t) + bucket.capacity() * sizeof(TokenId);
     }
   }
-  for (const auto& [_, c] : cursors_) {
-    bytes += sizeof(Cursor) + c.neighbors.capacity() * sizeof(Neighbor);
-  }
-  return bytes;
+  return bytes + BatchedNeighborIndex::MemoryUsageBytes();
 }
 
 }  // namespace koios::sim

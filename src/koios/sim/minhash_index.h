@@ -4,6 +4,18 @@
 // b bands of r rows, a pair with Jaccard j collides in some band with
 // probability 1 - (1 - j^r)^b; recall at the α of interest is tuned via
 // (b, r).
+//
+// Probing is batched through BatchedNeighborIndex: a query's candidate set
+// is the union of its bucket in every band, collected into one contiguous
+// id batch and scored with a single SimilarityFunction::SimilarityBatch
+// call (JaccardQGramSimilarity overrides it with an interned-gram-id merge
+// kernel), then α-filtered and streamed with the shared lazy-ordering
+// cursor. Scores stay exact Jaccard values — only candidate generation is
+// approximate.
+//
+// Thread-safety: single consumer (see SimilarityIndex); the band tables
+// are immutable after construction, so CollectCandidates is safe from
+// Prewarm's pool workers.
 #ifndef KOIOS_SIM_MINHASH_INDEX_H_
 #define KOIOS_SIM_MINHASH_INDEX_H_
 
@@ -12,8 +24,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "koios/sim/batched_neighbor_index.h"
 #include "koios/sim/jaccard_qgram_similarity.h"
-#include "koios/sim/similarity.h"
 
 namespace koios::sim {
 
@@ -23,42 +35,36 @@ struct MinHashIndexSpec {
   uint64_t seed = 17;
 };
 
-class MinHashIndex : public SimilarityIndex {
+class MinHashIndex : public BatchedNeighborIndex {
  public:
   /// Indexes `vocabulary` by the MinHash of each token's q-gram set (the
-  /// feature sets come from `sim`, which also scores and orders candidates
-  /// so results are exact Jaccard values).
+  /// feature sets come from `sim`, which also scores each probe's candidate
+  /// batch so results are exact Jaccard values).
+  /// `pool`: optional worker pool for Prewarm's fan-out.
   MinHashIndex(std::vector<TokenId> vocabulary,
-               const JaccardQGramSimilarity* sim, const MinHashIndexSpec& spec);
-
-  std::optional<Neighbor> NextNeighbor(TokenId q, Score alpha) override;
-
-  void ResetCursors() override;
+               const JaccardQGramSimilarity* sim, const MinHashIndexSpec& spec,
+               util::ThreadPool* pool = nullptr);
 
   /// Theoretical collision probability of a pair with Jaccard `j`.
   double CollisionProbability(double j) const;
 
   size_t MemoryUsageBytes() const override;
 
- private:
-  struct Cursor {
-    Score alpha = -1.0;  // threshold the α filter ran at
-    std::vector<Neighbor> neighbors;
-    size_t next = 0;
-  };
+ protected:
+  /// The union of the query's bucket in every band.
+  void CollectCandidates(TokenId q, std::vector<TokenId>* out) const override;
 
+ private:
   /// MinHash signature of a gram set: num_bands * rows_per_band minima.
   std::vector<uint64_t> SignatureOf(const std::vector<std::string>& grams) const;
   /// Bucket key of one band of a signature.
   uint64_t BandKey(const std::vector<uint64_t>& signature, size_t band) const;
-  Cursor BuildCursor(TokenId q, Score alpha) const;
 
   std::vector<TokenId> vocabulary_;
-  const JaccardQGramSimilarity* sim_;
+  const JaccardQGramSimilarity* jaccard_;
   MinHashIndexSpec spec_;
   std::vector<uint64_t> hash_seeds_;  // one per signature row
   std::vector<std::unordered_map<uint64_t, std::vector<TokenId>>> bands_;
-  std::unordered_map<TokenId, Cursor> cursors_;
 };
 
 }  // namespace koios::sim

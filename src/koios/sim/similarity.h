@@ -7,7 +7,18 @@
 //  * SimilarityIndex — streaming "next most similar vocabulary token" used
 //    by the token stream Ie (paper §IV). The paper plugs in a Faiss top-k
 //    index for cosine and a set-similarity join for Jaccard; this repo
-//    provides an exact brute-force index and an LSH approximation.
+//    provides an exact brute-force index and LSH / MinHash approximations,
+//    all built on the shared BatchedNeighborIndex cursor machinery.
+//
+// THE BATCH CONTRACT (established in PR 1, honored by every backend): hot
+// consumers never score candidates pairwise through the virtual call. They
+// collect candidate ids into a contiguous batch and make one
+// SimilarityBatch (or, across several query tokens, one
+// SimilarityBatchMulti) call, and they announce upcoming probes through
+// Prewarm so cursor construction can be batched and parallelized. Any
+// SimilarityFunction that can score a batch faster than |batch| virtual
+// calls overrides the batch entry points; the defaults keep every
+// similarity correct unchanged. See docs/ARCHITECTURE.md.
 #ifndef KOIOS_SIM_SIMILARITY_H_
 #define KOIOS_SIM_SIMILARITY_H_
 
@@ -16,6 +27,10 @@
 #include <span>
 
 #include "koios/util/types.h"
+
+namespace koios::util {
+class ThreadPool;
+}  // namespace koios::util
 
 namespace koios::sim {
 
@@ -74,8 +89,16 @@ struct Neighbor {
 ///
 /// `NextNeighbor(q, alpha)` returns the most similar *not yet returned*
 /// vocabulary token for query token `q` with similarity >= alpha, in
-/// non-increasing similarity order, or nullopt when exhausted. The query
-/// token itself is never returned (the token stream injects self-matches).
+/// non-increasing similarity order (ties broken by ascending token id), or
+/// nullopt when exhausted. The α filter is a hard cutoff applied when the
+/// query token's cursor is built: a cursor built at one α must never serve
+/// a probe at a different α (implementations rebuild on mismatch). The
+/// query token itself is never returned (the token stream injects
+/// self-matches, which is how Def. 1's sim(x, x) = 1 reaches OOV tokens).
+///
+/// Thread-safety: single consumer. NextNeighbor / ResetCursors / Prewarm
+/// must not be called concurrently with each other; Prewarm may use worker
+/// threads internally (cursors for distinct tokens are independent).
 class SimilarityIndex {
  public:
   virtual ~SimilarityIndex() = default;
@@ -93,6 +116,16 @@ class SimilarityIndex {
     (void)tokens;
     (void)alpha;
   }
+
+  /// Lend the index a worker pool for Prewarm's fan-out (nullptr detaches).
+  /// The searcher attaches its per-query pool around stream construction
+  /// and restores the previous pool afterwards; indexes without internal
+  /// parallelism ignore it. The pool must outlive every Prewarm call made
+  /// while attached.
+  virtual void set_thread_pool(util::ThreadPool* pool) { (void)pool; }
+
+  /// The currently attached pool (nullptr when none / unsupported).
+  virtual util::ThreadPool* thread_pool() const { return nullptr; }
 
   virtual size_t MemoryUsageBytes() const { return 0; }
 };

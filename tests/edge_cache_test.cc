@@ -1,6 +1,8 @@
 // Unit tests for the materialized stream / similarity cache.
 #include <gtest/gtest.h>
 
+#include <future>
+#include <span>
 #include <vector>
 
 #include "koios/core/edge_cache.h"
@@ -8,6 +10,7 @@
 #include "koios/matching/hungarian.h"
 #include "koios/sim/exact_knn_index.h"
 #include "koios/sim/token_stream.h"
+#include "koios/util/thread_pool.h"
 #include "test_util.h"
 
 namespace koios::core {
@@ -101,6 +104,48 @@ TEST(EdgeCacheTest, MatrixScoreMatchesDirectOracle) {
     const Score direct = matching::SemanticOverlap(
         q, w.corpus.sets.Tokens(id), *w.sim, alpha);
     EXPECT_NEAR(via_cache, direct, 1e-9) << "set " << id;
+  }
+}
+
+TEST(EdgeCacheTest, DeferredMaterializeFeedsConcurrentConsumers) {
+  // The overlapped-search shape: several consumers replay the stream
+  // through NextTuples while the producer is still materializing. Every
+  // consumer must observe the exact same sequence the finished cache
+  // reports via tuples().
+  auto w = testing::MakeRandomWorkload(60, 300, 5, 15, 9005);
+  const auto qs = w.corpus.sets.Tokens(3);
+  std::vector<TokenId> q(qs.begin(), qs.end());
+  sim::TokenStream stream(q, w.index.get(), 0.6,
+                          [](TokenId) { return true; });
+  EdgeCache cache(&stream, EdgeCache::Deferred{});
+
+  constexpr size_t kConsumers = 4;
+  util::ThreadPool pool(kConsumers);
+  std::vector<std::future<std::vector<sim::StreamTuple>>> futures;
+  for (size_t c = 0; c < kConsumers; ++c) {
+    futures.push_back(pool.Submit([&cache] {
+      std::vector<sim::StreamTuple> seen;
+      std::vector<sim::StreamTuple> buf(7);  // odd size: spans batches
+      size_t from = 0;
+      while (const size_t n =
+                 cache.NextTuples(from, std::span<sim::StreamTuple>(buf))) {
+        seen.insert(seen.end(), buf.begin(), buf.begin() + n);
+        from += n;
+      }
+      return seen;
+    }));
+  }
+  cache.Materialize();
+  const auto& want = cache.tuples();
+  ASSERT_FALSE(want.empty());
+  for (auto& f : futures) {
+    const auto seen = f.get();
+    ASSERT_EQ(seen.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(seen[i].token, want[i].token) << "pos " << i;
+      EXPECT_EQ(seen[i].query_pos, want[i].query_pos) << "pos " << i;
+      EXPECT_DOUBLE_EQ(seen[i].sim, want[i].sim) << "pos " << i;
+    }
   }
 }
 

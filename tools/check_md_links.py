@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo markdown links.
+
+Scans every tracked *.md file for inline links/images `[text](target)`
+and reference definitions `[label]: target`, resolves relative targets
+against the file's directory, and reports targets that do not exist.
+External schemes (http/https/mailto) and pure in-page anchors are
+skipped; `path#anchor` links are checked for the path part only.
+
+Usage: tools/check_md_links.py [root]   (default: repo root)
+Exit codes: 0 ok, 1 broken links found.
+"""
+import os
+import re
+import sys
+
+INLINE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+SKIP_DIRS = {".git", "build", ".claude"}
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def targets_of(text):
+    for match in INLINE.finditer(text):
+        yield match.group(1)
+    for match in REFDEF.finditer(text):
+        yield match.group(1)
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else
+                           os.path.join(os.path.dirname(__file__), ".."))
+    broken = []
+    for path in md_files(root):
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        for target in targets_of(text):
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            resolved = target.split("#", 1)[0]
+            if not resolved:
+                continue
+            if resolved.startswith("/"):
+                resolved = os.path.join(root, resolved.lstrip("/"))
+            else:
+                resolved = os.path.join(os.path.dirname(path), resolved)
+            if not os.path.exists(resolved):
+                broken.append((os.path.relpath(path, root), target))
+    for path, target in broken:
+        print(f"BROKEN {path}: {target}")
+    if broken:
+        print(f"{len(broken)} broken link(s)")
+        return 1
+    print("all intra-repo markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
