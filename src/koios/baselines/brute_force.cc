@@ -40,7 +40,7 @@ core::SearchResult BruteForceBaseline::Search(std::span<const TokenId> query,
     params.alpha = options.alpha;
     params.use_iub_filter = true;
     core::RefinementPhase refinement(sets_, &inverted_, query.size(), params);
-    core::RefinementOutput refined = refinement.Run(cache, &result.stats);
+    core::RefinementOutput refined = refinement.Run(&cache, &result.stats);
     to_verify.reserve(refined.survivors.size());
     for (const auto& state : refined.survivors) to_verify.push_back(state.set());
   } else {

@@ -52,6 +52,24 @@ size_t BucketIndex::Prune(Score sim, Score theta,
   return pruned;
 }
 
+size_t BucketIndex::CountSurvivors(Score sim, Score theta,
+                                   size_t limit) const {
+  size_t survivors = 0;
+  for (const auto& [m_key, bucket] : buckets_) {
+    const Score m = static_cast<Score>(m_key);
+    const Score cutoff = theta - m * sim - kScoreEps;
+    // Ascending S_i: walk the below-cutoff prefix, the rest survives.
+    size_t below = 0;
+    for (auto it = bucket.begin(); it != bucket.end() && it->first < cutoff;
+         ++it) {
+      ++below;
+    }
+    survivors += bucket.size() - below;
+    if (survivors > limit) return survivors;  // enough to answer the check
+  }
+  return survivors;
+}
+
 size_t BucketIndex::MemoryUsageBytes() const {
   size_t bytes = 0;
   for (const auto& [_, bucket] : buckets_) {

@@ -36,6 +36,13 @@ class BucketIndex {
   size_t Prune(Score sim, Score theta,
                const std::function<void(SetId)>& on_prune);
 
+  /// How many sets would survive a Prune(sim, theta) without pruning them:
+  /// |{C : S_C + m_C·sim >= theta − eps}|. Each bucket contributes
+  /// size − (its ascending below-cutoff prefix); when `limit` is exceeded
+  /// the count returns early with a value > limit (the feedback stop check
+  /// only needs "more than the budget", not the exact count).
+  size_t CountSurvivors(Score sim, Score theta, size_t limit) const;
+
   size_t size() const { return count_; }
   size_t num_buckets() const { return buckets_.size(); }
 

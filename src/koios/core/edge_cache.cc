@@ -15,28 +15,69 @@ constexpr size_t kPublishBatch = 32;
 }  // namespace
 
 EdgeCache::EdgeCache(sim::TokenStream* stream) : stream_(stream) {
+  query_ = stream->query();
+  alpha_ = stream->alpha();
   Materialize();
 }
 
-EdgeCache::EdgeCache(sim::TokenStream* stream, Deferred) : stream_(stream) {}
+EdgeCache::EdgeCache(sim::TokenStream* stream, Deferred,
+                     const sim::SimilarityFunction* completer,
+                     StopSimFn stop_sim)
+    : stream_(stream),
+      completer_(completer),
+      stop_sim_fn_(std::move(stop_sim)),
+      query_(stream->query()),
+      alpha_(stream->alpha()) {
+  // Bounded materialization truncates the edge lists; exactness then needs
+  // the completer to reconstruct the missing simα entries in BuildMatrix.
+  assert(stop_sim_fn_ == nullptr || completer_ != nullptr);
+}
+
+EdgeCache::EdgeCache(sim::TokenStream* stream, InlineProducer,
+                     const sim::SimilarityFunction* completer,
+                     StopSimFn stop_sim)
+    : stream_(stream),
+      completer_(completer),
+      stop_sim_fn_(std::move(stop_sim)),
+      inline_mode_(true),
+      query_(stream->query()),
+      alpha_(stream->alpha()) {
+  assert(stop_sim_fn_ == nullptr || completer_ != nullptr);
+}
+
+void EdgeCache::Seal(bool exhausted, Score stop_sim) {
+  if (done_.load(std::memory_order_relaxed)) return;
+  {
+    // Pair the done_ store with the mutex so a consumer can't check done_
+    // between the last publish and the wait — then sleep forever. The stop
+    // state (and the final tuple count — inline production may end mid
+    // batch) is published before done_ so any consumer that observes done_
+    // (acquire) also sees it.
+    std::lock_guard<std::mutex> lock(mutex_);
+    exhausted_ = exhausted;
+    stop_sim_ = stop_sim;
+    stream_ = nullptr;
+    published_.store(tuples_.size(), std::memory_order_release);
+    done_.store(true, std::memory_order_release);
+  }
+  grown_.notify_all();
+}
 
 void EdgeCache::Materialize() {
-  assert(!done_.load(std::memory_order_relaxed) && stream_ != nullptr);
+  assert(!inline_mode_ && !done_.load(std::memory_order_relaxed) &&
+         stream_ != nullptr);
   // Whatever happens, done_ must be published — a producer that throws
   // (bad_alloc, a faulty similarity) without it would leave blocked
   // consumers waiting on grown_ forever, turning the error into a hang.
+  // The poison defaults (stopped, slack 1.0) keep any consumer that
+  // finishes normally sound; Seal overwrites them on the happy path.
   struct Finisher {
     EdgeCache* cache;
-    ~Finisher() {
-      {
-        // Pair the done_ store with the mutex so a consumer can't check
-        // done_ between the last publish and the wait — then sleep forever.
-        std::lock_guard<std::mutex> lock(cache->mutex_);
-        cache->done_.store(true, std::memory_order_release);
-      }
-      cache->grown_.notify_all();
-    }
+    bool exhausted = false;
+    Score stop_sim = 1.0;
+    ~Finisher() { cache->Seal(exhausted, stop_sim); }
   } finisher{this};
+  sim::TokenStream* stream = stream_;
   std::vector<sim::StreamTuple> batch;
   batch.reserve(kPublishBatch);
   auto publish = [this, &batch] {
@@ -48,7 +89,10 @@ void EdgeCache::Materialize() {
     grown_.notify_all();
     batch.clear();
   };
-  while (auto tuple = stream_->Next()) {
+  // The feedback poll is per tuple: a relaxed atomic read + one division,
+  // noise against the heap pop + cursor probe behind each tuple, and it
+  // stops production at the earliest possible point.
+  while (auto tuple = stream->Next(stop_sim_fn_ ? stop_sim_fn_() : 0.0)) {
     batch.push_back(*tuple);
     // edges_ is producer-private until done_ — post-processing only reads
     // it after refinement consumed the whole stream.
@@ -56,41 +100,83 @@ void EdgeCache::Materialize() {
     if (batch.size() >= kPublishBatch) publish();
   }
   publish();
-  stream_ = nullptr;
+  finisher.exhausted = !stream->stopped();
+  finisher.stop_sim = stream->stop_sim();
+}
+
+void EdgeCache::ProduceInline(size_t until) {
+  sim::TokenStream* stream = stream_;
+  while (tuples_.size() < until) {
+    auto tuple = stream->Next(stop_sim_fn_ ? stop_sim_fn_() : 0.0);
+    if (!tuple.has_value()) {
+      Seal(!stream->stopped(), stream->stop_sim());
+      return;
+    }
+    tuples_.push_back(*tuple);
+    edges_[tuple->token].push_back({tuple->query_pos, tuple->sim});
+  }
+  // No other thread ever blocks on an inline cache, so a plain release
+  // publish (no mutex / notify) is enough for the replay consumers that
+  // run after this one on the same thread.
+  published_.store(tuples_.size(), std::memory_order_release);
+}
+
+void EdgeCache::FinishProduction() {
+  if (!inline_mode_ || done_.load(std::memory_order_relaxed)) return;
+  published_.store(tuples_.size(), std::memory_order_release);
+  // The consumer stopped pulling: unproduced pairs are bounded by whatever
+  // the stream would emit next (heap top), by any tuple it withheld, or —
+  // when the heap is empty with nothing withheld — the stream drained.
+  sim::TokenStream* stream = stream_;
+  const auto peek = stream->PeekSim();
+  const bool exhausted = !stream->stopped() && !peek.has_value();
+  const Score slack = std::max(stream->stop_sim(), peek.value_or(0.0));
+  Seal(exhausted, exhausted ? 0.0 : slack);
 }
 
 void EdgeCache::Abort() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    done_.store(true, std::memory_order_release);
-  }
-  grown_.notify_all();
+  // Poison: unseen pairs may be arbitrarily similar, so slack 1.0 is the
+  // only sound bound a surviving consumer can use.
+  Seal(/*exhausted=*/false, /*stop_sim=*/1.0);
 }
 
-size_t EdgeCache::NextTuples(size_t from,
-                             std::span<sim::StreamTuple> buf) const {
-  // Fast path: materialization finished, tuples_ is immutable.
-  if (done_.load(std::memory_order_acquire)) {
-    if (from >= tuples_.size()) return 0;
-    const size_t n = std::min(buf.size(), tuples_.size() - from);
-    std::copy_n(tuples_.begin() + static_cast<ptrdiff_t>(from), n,
-                buf.begin());
-    return n;
+size_t EdgeCache::NextTuples(size_t from, std::span<sim::StreamTuple> buf) {
+  if (!done_.load(std::memory_order_acquire)) {
+    if (inline_mode_) {
+      // Pipelined single-thread search: the consumer produces on demand,
+      // so refinement and cursor ordering interleave without a second
+      // thread; tuples_ is then stable for the copy below.
+      ProduceInline(from + buf.size());
+    } else {
+      // A producer thread may still be appending: wait and copy under the
+      // mutex (tuples_ can reallocate on growth).
+      std::unique_lock<std::mutex> lock(mutex_);
+      grown_.wait(lock, [this, from] {
+        return published_.load(std::memory_order_relaxed) > from ||
+               done_.load(std::memory_order_relaxed);
+      });
+      const size_t available = published_.load(std::memory_order_relaxed);
+      if (from >= available) return 0;  // done and exhausted
+      const size_t n = std::min(buf.size(), available - from);
+      std::copy_n(tuples_.begin() + static_cast<ptrdiff_t>(from), n,
+                  buf.begin());
+      return n;
+    }
   }
-  std::unique_lock<std::mutex> lock(mutex_);
-  grown_.wait(lock, [this, from] {
-    return published_.load(std::memory_order_relaxed) > from ||
-           done_.load(std::memory_order_relaxed);
-  });
-  const size_t available = published_.load(std::memory_order_relaxed);
-  if (from >= available) return 0;  // done and exhausted
-  const size_t n = std::min(buf.size(), available - from);
+  // Production finished (tuples_ immutable), or inline on this thread.
+  if (from >= tuples_.size()) return 0;
+  const size_t n = std::min(buf.size(), tuples_.size() - from);
   std::copy_n(tuples_.begin() + static_cast<ptrdiff_t>(from), n, buf.begin());
   return n;
 }
 
 void EdgeCache::WaitDone() const {
   if (done_.load(std::memory_order_acquire)) return;
+  // An inline cache has no producer thread to wait for — and nothing to
+  // wait on: everything lives on the consumer's own thread, and a later
+  // partition may still pull more production, so the accessors simply see
+  // the current prefix (BuildMatrix completes anything missing).
+  if (inline_mode_) return;
   std::unique_lock<std::mutex> lock(mutex_);
   grown_.wait(lock,
               [this] { return done_.load(std::memory_order_relaxed); });
@@ -98,6 +184,9 @@ void EdgeCache::WaitDone() const {
 
 const std::vector<sim::StreamTuple>& EdgeCache::tuples() const {
   WaitDone();
+  // An unsealed inline cache may still grow tuples_ (a later partition
+  // pulling production would invalidate the reference handed out here).
+  assert(done_.load(std::memory_order_relaxed));
   return tuples_;
 }
 
@@ -111,10 +200,85 @@ std::span<const CachedEdge> EdgeCache::EdgesOf(TokenId t) const {
 matching::WeightMatrix EdgeCache::BuildMatrix(
     std::span<const TokenId> candidate_tokens,
     std::vector<uint32_t>* query_rows, std::vector<uint32_t>* set_cols) const {
+  matching::WeightMatrix m(0, 0);
+  BuildMatrixInto(candidate_tokens, query_rows, set_cols, &m);
+  return m;
+}
+
+void EdgeCache::BuildMatrixInto(std::span<const TokenId> candidate_tokens,
+                                std::vector<uint32_t>* query_rows,
+                                std::vector<uint32_t>* set_cols,
+                                matching::WeightMatrix* m) const {
   WaitDone();
   query_rows->clear();
   set_cols->clear();
 
+  // Sealed caches answer from their recorded stop state; an unsealed
+  // inline cache (a serial partition's post-processing while later
+  // partitions may still extend production) asks the stream directly.
+  const bool exhausted =
+      done_.load(std::memory_order_acquire)
+          ? exhausted_
+          : !stream_->stopped() && !stream_->PeekSim().has_value();
+  if (!exhausted) {
+    // The stream stopped above α: edges in [α, stop) may be missing from
+    // the cache, and the exact matchings must see the full simα matrix.
+    // One multi-query kernel call scores every (query element, candidate
+    // token) pair; produced edges overwrite their slots afterwards so the
+    // weights refinement pruned with stay authoritative bit for bit.
+    assert(completer_ != nullptr &&
+           "bounded materialization requires a completer");
+    const size_t nq = query_.size();
+    const size_t nc = candidate_tokens.size();
+    thread_local std::vector<Score> scores;
+    scores.resize(nq * nc);
+    completer_->SimilarityBatchMulti(query_, candidate_tokens, scores);
+    thread_local std::vector<double> dense;
+    dense.assign(nq * nc, 0.0);
+    for (size_t qi = 0; qi < nq; ++qi) {
+      for (size_t cj = 0; cj < nc; ++cj) {
+        // Self-matches are 1.0 by Def. 1 (the stream injects them rather
+        // than trusting the kernel's sim(x, x)).
+        const Score s = candidate_tokens[cj] == query_[qi]
+                            ? 1.0
+                            : scores[qi * nc + cj];
+        if (s >= alpha_) dense[qi * nc + cj] = s;
+      }
+    }
+    for (size_t cj = 0; cj < nc; ++cj) {
+      for (const CachedEdge& e : EdgesOf(candidate_tokens[cj])) {
+        dense[e.query_pos * nc + cj] = e.sim;
+      }
+    }
+    // Compact to rows/cols with at least one α-edge (zero rows/columns
+    // never change the optimal matching).
+    std::vector<uint32_t>& rows = *query_rows;
+    std::vector<uint32_t>& cols = *set_cols;
+    std::vector<uint32_t> col_of(nc, 0);
+    for (size_t cj = 0; cj < nc; ++cj) {
+      bool any = false;
+      for (size_t qi = 0; qi < nq && !any; ++qi) any = dense[qi * nc + cj] > 0.0;
+      if (any) {
+        col_of[cj] = static_cast<uint32_t>(cols.size());
+        cols.push_back(static_cast<uint32_t>(cj));
+      }
+    }
+    for (size_t qi = 0; qi < nq; ++qi) {
+      bool any = false;
+      for (size_t cj = 0; cj < nc && !any; ++cj) any = dense[qi * nc + cj] > 0.0;
+      if (any) rows.push_back(static_cast<uint32_t>(qi));
+    }
+    m->Reset(rows.size(), cols.size());
+    for (size_t r = 0; r < rows.size(); ++r) {
+      const double* src = dense.data() + static_cast<size_t>(rows[r]) * nc;
+      for (const uint32_t cj : cols) {
+        if (src[cj] > 0.0) m->At(r, col_of[cj]) = src[cj];
+      }
+    }
+    return;
+  }
+
+  // Drained to α: the cache holds every α-edge; no similarity is computed.
   // Collect incident edges per candidate column.
   struct Coord {
     uint32_t q, c;
@@ -126,7 +290,10 @@ matching::WeightMatrix EdgeCache::BuildMatrix(
       coords.push_back({e.query_pos, cj, e.sim});
     }
   }
-  if (coords.empty()) return matching::WeightMatrix(0, 0);
+  if (coords.empty()) {
+    m->Reset(0, 0);
+    return;
+  }
 
   // Compact row/col id spaces.
   std::vector<uint32_t> rows, cols;
@@ -141,7 +308,7 @@ matching::WeightMatrix EdgeCache::BuildMatrix(
   *query_rows = rows;
   *set_cols = cols;
 
-  matching::WeightMatrix m(rows.size(), cols.size());
+  m->Reset(rows.size(), cols.size());
   auto row_of = [&rows](uint32_t q) {
     return static_cast<size_t>(std::lower_bound(rows.begin(), rows.end(), q) -
                                rows.begin());
@@ -151,10 +318,9 @@ matching::WeightMatrix EdgeCache::BuildMatrix(
                                cols.begin());
   };
   for (const auto& co : coords) {
-    double& slot = m.At(row_of(co.q), col_of(co.c));
+    double& slot = m->At(row_of(co.q), col_of(co.c));
     slot = std::max(slot, co.w);
   }
-  return m;
 }
 
 size_t EdgeCache::MemoryUsageBytes() const {

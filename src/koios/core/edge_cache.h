@@ -1,33 +1,52 @@
 // Materialized token stream + similarity cache.
 //
-// Refinement consumes the stream Ie to exhaustion (every pair (qi, t) with
-// sim >= α, in non-increasing similarity order). We materialize that
-// sequence once per query: (1) partitioned search can replay the same
-// global order in every partition, and (2) the α-surviving edges double as
-// the similarity cache the paper reuses when initializing the matching
-// matrices during post-processing (§VIII-A3), so no similarity is ever
-// computed twice.
+// Refinement consumes the stream Ie in non-increasing similarity order. We
+// materialize the consumed prefix once per query: (1) partitioned search
+// can replay the same global order in every partition, and (2) the
+// α-surviving edges double as the similarity cache the paper reuses when
+// initializing the matching matrices during post-processing (§VIII-A3).
 //
-// Materialization can be DEFERRED: the searcher constructs the cache with
-// the Deferred tag, submits per-partition refinement tasks, and then runs
-// Materialize() on its own thread. Consumers pull tuples through
-// NextTuples(), which blocks only when they outrun the producer — so
-// partitioned searches overlap cursor construction (the index work behind
-// each produced tuple) with refinement instead of serializing them.
+// Materialization is BOUNDED by the θlb feedback loop (§IV–VI): the
+// producer polls a stop-similarity source (derived from the partitions'
+// shared GlobalThreshold) before every tuple and stops the stream once no
+// unseen set can reach the top-k — tuples below τ are never ordered,
+// scored or materialized. The cache then records the stop similarity so
+// consumers can (a) keep it as upper-bound slack and (b) have BuildMatrix
+// complete the missing below-τ edges on demand through the similarity's
+// batch kernels, preserving exactness end to end. Without a stop source
+// the stream drains to α exactly as the seed did.
+//
+// Production runs in one of three modes:
+//  * synchronous  — the one-arg constructor drains the stream inline.
+//  * deferred     — the searcher constructs with the Deferred tag, submits
+//                   per-partition refinement tasks, and runs Materialize()
+//                   on its own thread; consumers pull through NextTuples(),
+//                   blocking only when they outrun the producer.
+//  * inline       — single-threaded searches construct with the
+//                   InlineProducer tag; the consumer itself drives
+//                   production from inside NextTuples() (pipelined, no
+//                   second thread), and FinishProduction() seals the cache
+//                   before post-processing.
 // Producer-side publishing is batched; the consumer fast path after
-// completion is lock-free.
+// completion is lock-free. Shutdown is poison-safe: if the producer dies
+// (exception) or the searcher unwinds, the cache is sealed with a slack of
+// 1.0 so any consumer that drains it still computes sound (if useless)
+// bounds instead of hanging.
 #ifndef KOIOS_CORE_EDGE_CACHE_H_
 #define KOIOS_CORE_EDGE_CACHE_H_
 
 #include <atomic>
+#include <cassert>
 #include <condition_variable>
 #include <cstddef>
+#include <functional>
 #include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "koios/matching/hungarian.h"
+#include "koios/sim/similarity.h"
 #include "koios/sim/token_stream.h"
 #include "koios/util/types.h"
 
@@ -42,64 +61,157 @@ struct CachedEdge {
 
 class EdgeCache {
  public:
+  /// Current stop similarity for the producer (0 = no stop, drain to α).
+  /// Values returned across calls must be non-decreasing; the searcher
+  /// derives them from the monotone GlobalThreshold.
+  using StopSimFn = std::function<Score()>;
+
   /// Drains `stream` synchronously in the constructor (order preserved in
   /// `tuples()`, per-token edge lists in `EdgesOf`).
   explicit EdgeCache(sim::TokenStream* stream);
 
   /// Deferred mode: records the stream but produces nothing until
-  /// Materialize() runs. Until then, consumers may only call NextTuples().
+  /// Materialize() runs (on the producer's thread). Until then, consumers
+  /// may only call NextTuples(). `completer` (the index's
+  /// SimilarityFunction) enables BuildMatrix to fill in edges the stream
+  /// never produced; `stop_sim` (requires `completer`) enables bounded
+  /// materialization — both nullable, yielding the seed drain-to-α cache.
   struct Deferred {};
-  EdgeCache(sim::TokenStream* stream, Deferred);
+  EdgeCache(sim::TokenStream* stream, Deferred,
+            const sim::SimilarityFunction* completer = nullptr,
+            StopSimFn stop_sim = nullptr);
 
-  /// Drains the stream, publishing tuples incrementally to NextTuples()
-  /// consumers. Call exactly once (the synchronous constructor calls it);
-  /// single producer, typically the searcher's main thread.
+  /// Inline mode: no producer thread — the single consumer drives
+  /// production on demand from NextTuples(). Call FinishProduction() once
+  /// consumption is over (before any blocking accessor).
+  struct InlineProducer {};
+  EdgeCache(sim::TokenStream* stream, InlineProducer,
+            const sim::SimilarityFunction* completer = nullptr,
+            StopSimFn stop_sim = nullptr);
+
+  /// Drains the stream (to α, or to the feedback stop similarity),
+  /// publishing tuples incrementally to NextTuples() consumers. Call
+  /// exactly once (the synchronous constructor calls it); single producer,
+  /// typically the searcher's main thread. Not for inline mode.
   void Materialize();
+
+  /// Seals an inline-mode cache at the stream's current position (stop
+  /// state is taken from the stream). No-op in the other modes and when
+  /// already sealed. Single-consumer context only.
+  void FinishProduction();
 
   /// Copies up to `buf.size()` tuples starting at stream position `from`
   /// into `buf` and returns how many were copied; 0 means the stream is
-  /// exhausted at `from`. Blocks while position `from` is not yet
-  /// materialized. Each consumer owns its own cursor (`from`), so any
-  /// number of consumers can replay the stream concurrently.
-  size_t NextTuples(size_t from, std::span<sim::StreamTuple> buf) const;
+  /// exhausted (or stopped) at `from`. Blocks while position `from` is not
+  /// yet materialized (inline mode produces it on the spot instead). Each
+  /// consumer owns its own cursor (`from`), so any number of consumers can
+  /// replay the stream concurrently.
+  size_t NextTuples(size_t from, std::span<sim::StreamTuple> buf);
 
-  /// True once Materialize() has completed; tuples() is then immutable
-  /// and can be iterated by reference, skipping NextTuples' copies.
+  /// True once production has completed; tuples() is then immutable and
+  /// can be iterated by reference, skipping NextTuples' copies.
   bool Materialized() const {
     return done_.load(std::memory_order_acquire);
   }
 
+  /// True when the feedback loop is wired (a stop-similarity source was
+  /// supplied). Refinement consumers use this to decide whether they may
+  /// stop consuming early themselves.
+  bool FeedbackEnabled() const { return stop_sim_fn_ != nullptr; }
+
+  /// Chunk size a pulling consumer should request. Inline production
+  /// happens inside the consumer's NextTuples call and overshoots it by up
+  /// to one chunk — a fine grain keeps the θlb feedback tight (the
+  /// producer's stop poll only sees lower bounds published from tuples the
+  /// consumer already processed). Deferred consumers copy under a mutex,
+  /// so they amortize with a coarse chunk instead.
+  size_t PreferredConsumeChunk() const { return inline_mode_ ? 16 : 256; }
+
   /// Marks the stream complete as-is and wakes every blocked consumer.
   /// Idempotent. Failure-path only: when the producer can no longer run
   /// (an exception thrown before or outside Materialize), consumers must
-  /// drain what was published and finish instead of waiting forever.
+  /// drain what was published and finish instead of waiting forever. The
+  /// cache is poisoned with slack 1.0 (every unseen pair may be arbitrarily
+  /// similar), keeping any surviving consumer's bounds sound.
   void Abort();
 
-  /// The full stream in emission order. Blocks until materialization is
-  /// complete (immediate for synchronously constructed caches).
+  // --- post-completion accessors ------------------------------------------
+  // Valid once Materialized(). The blocking ones wait for a deferred
+  // producer; an inline cache never blocks — it must be SEALED
+  // (FinishProduction, or production hitting the stream's end) before
+  // tuples()/ExhaustedToAlpha()/stop_sim() are meaningful, which the
+  // asserts below enforce (an unsealed inline cache would hand out a
+  // reference into a still-growing vector and default stop state).
+
+  /// Number of tuples produced (stats: stream_tuples_produced).
+  size_t produced() const { return published_.load(std::memory_order_acquire); }
+
+  /// True if the stream drained to α; false if the feedback loop (or an
+  /// abort) stopped it early, in which case stop_sim() is the slack.
+  bool ExhaustedToAlpha() const {
+    assert(done_.load(std::memory_order_acquire));
+    return exhausted_;
+  }
+
+  /// Sound upper bound on the similarity of every pair the stream did not
+  /// produce: 0 when drained to α, the stop similarity otherwise.
+  Score stop_sim() const {
+    assert(done_.load(std::memory_order_acquire));
+    return stop_sim_;
+  }
+
+  /// The produced stream prefix in emission order. Blocks until production
+  /// is complete (immediate for synchronously constructed caches; asserts
+  /// sealed for inline ones — the vector may still grow before that).
   const std::vector<sim::StreamTuple>& tuples() const;
 
-  /// α-surviving edges of token `t` (empty if none). Blocks until
-  /// materialization is complete.
+  /// Produced α-surviving edges of token `t` (empty if none). Blocks until
+  /// a deferred producer finishes. May be used on an unsealed inline cache
+  /// (single-threaded by construction): BuildMatrix's completion overlay
+  /// reads the current prefix, which is exact because completion computes
+  /// every missing pair anyway. The returned span is invalidated by any
+  /// further inline production.
   std::span<const CachedEdge> EdgesOf(TokenId t) const;
 
   /// Builds the bipartite weight matrix of the query vs the tokens of a
-  /// candidate set, restricted to nodes with at least one edge. Returns
+  /// candidate set, restricted to nodes with at least one α-edge. Returns
   /// the number of query rows/set columns used via the out vectors (row r
   /// corresponds to query position query_rows[r], column c to
-  /// candidate_tokens[set_cols[c]]).
+  /// candidate_tokens[set_cols[c]]). When the stream stopped early, the
+  /// below-stop edges missing from the cache are completed with ONE
+  /// SimilarityBatchMulti kernel call (cached edges stay authoritative), so
+  /// exact matching always sees the full simα matrix of the paper.
   matching::WeightMatrix BuildMatrix(std::span<const TokenId> candidate_tokens,
                                      std::vector<uint32_t>* query_rows,
                                      std::vector<uint32_t>* set_cols) const;
+
+  /// BuildMatrix into a caller-owned matrix (capacity reuse across the
+  /// post-processing EM batches; see matching::HungarianWorkspace).
+  void BuildMatrixInto(std::span<const TokenId> candidate_tokens,
+                       std::vector<uint32_t>* query_rows,
+                       std::vector<uint32_t>* set_cols,
+                       matching::WeightMatrix* m) const;
 
   size_t MemoryUsageBytes() const;
 
  private:
   void WaitDone() const;
+  /// Produces and publishes tuples until `until` tuples exist or the
+  /// stream ends; inline mode only (runs on the consumer's thread).
+  void ProduceInline(size_t until);
+  /// Records the stream's stop state and publishes done_ (idempotent).
+  void Seal(bool exhausted, Score stop_sim);
 
-  sim::TokenStream* stream_;  // null once drained
+  sim::TokenStream* stream_;  // null once production completed
+  const sim::SimilarityFunction* completer_ = nullptr;
+  StopSimFn stop_sim_fn_;
+  bool inline_mode_ = false;
+  std::vector<TokenId> query_;  // the stream's query (matrix completion)
+  Score alpha_ = 0.0;
   std::vector<sim::StreamTuple> tuples_;
   std::unordered_map<TokenId, std::vector<CachedEdge>> edges_;
+  bool exhausted_ = true;   // valid once done_
+  Score stop_sim_ = 0.0;    // valid once done_
 
   // Incremental publication: the producer appends under mutex_ and
   // publishes the new size with release semantics; consumers that observe

@@ -36,6 +36,20 @@ struct ByUbDesc {
   }
 };
 
+// Per-thread exact-matching scratch: the matrix allocation and the
+// Hungarian solve arena survive across every candidate a worker verifies
+// (EM batch, early-termination attempts, and result verification alike).
+struct EmScratch {
+  matching::WeightMatrix matrix{0, 0};
+  matching::HungarianWorkspace workspace;
+  std::vector<uint32_t> rows, cols;
+};
+
+EmScratch& ThreadEmScratch() {
+  thread_local EmScratch scratch;
+  return scratch;
+}
+
 }  // namespace
 
 PostProcessor::PostProcessor(const index::SetCollection* sets,
@@ -52,6 +66,18 @@ PostProcessor::PostProcessor(const index::SetCollection* sets,
 Score PostProcessor::ThetaLb(Score local) const {
   if (global_theta_ == nullptr) return local;
   return std::max(local, global_theta_->Get());
+}
+
+matching::MatchResult PostProcessor::SolveWithScratch(SetId id,
+                                                      Score prune_threshold) {
+  EmScratch& scratch = ThreadEmScratch();
+  if (scratch.workspace.solve_count() > 0) {
+    workspace_reuses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  cache_->BuildMatrixInto(sets_->Tokens(id), &scratch.rows, &scratch.cols,
+                          &scratch.matrix);
+  return matching::HungarianMatcher::Solve(scratch.matrix, prune_threshold,
+                                           &scratch.workspace);
 }
 
 // Invariant-based formulation of Algorithm 2. All alive candidates live in
@@ -75,7 +101,10 @@ std::vector<ResultEntry> PostProcessor::Run(RefinementOutput refinement,
     Item item;
     item.set = state.set();
     item.lb = state.partial_score();
-    item.ub = state.FinalUpperBound();  // stream exhausted: no slack term
+    // Slack ends where the stream did: 0 after a drain to α (no α-edge
+    // left, FinalUpperBound), the stop similarity when the θlb feedback
+    // loop ended the stream early.
+    item.ub = state.UpperBound(refinement.ub_slack);
     items.emplace(item.set, item);
     alive.insert({item.ub, item.set});
   }
@@ -136,14 +165,14 @@ std::vector<ResultEntry> PostProcessor::Run(RefinementOutput refinement,
     }
 
     // Exact matching (parallel batch; θlb snapshot shared by the batch).
+    // Matrix and solve arrays live in thread-local arenas: each pool
+    // worker (or the caller, serially) reuses its matrix allocation and
+    // HungarianWorkspace across every candidate it verifies instead of
+    // reallocating the dense arena per Solve.
     const Score prune_threshold =
         params_.use_em_early_termination ? ThetaLb(llb.Bottom()) : -1.0;
     auto run_em = [&](SetId id) -> EmOutcome {
-      std::vector<uint32_t> rows, cols;
-      const matching::WeightMatrix m =
-          cache_->BuildMatrix(sets_->Tokens(id), &rows, &cols);
-      const matching::MatchResult r =
-          matching::HungarianMatcher::Solve(m, prune_threshold);
+      const matching::MatchResult r = SolveWithScratch(id, prune_threshold);
       return {id, r.early_terminated, r.score};
     };
 
@@ -190,15 +219,14 @@ std::vector<ResultEntry> PostProcessor::Run(RefinementOutput refinement,
     entry.exact = item.exact;
     entry.score = item.exact ? item.ub : item.lb;
     if (!item.exact && params_.verify_result_scores) {
-      std::vector<uint32_t> rows, cols;
-      const matching::WeightMatrix m =
-          cache_->BuildMatrix(sets_->Tokens(item.set), &rows, &cols);
-      entry.score = matching::HungarianMatcher::Solve(m).score;
+      entry.score = SolveWithScratch(item.set, /*prune_threshold=*/-1.0).score;
       entry.exact = true;
       ++stats->result_verification_ems;
     }
     result.push_back(entry);
   }
+  stats->em_workspace_reuses +=
+      workspace_reuses_.exchange(0, std::memory_order_relaxed);
   std::sort(result.begin(), result.end(),
             [](const ResultEntry& a, const ResultEntry& b) {
               if (a.score != b.score) return a.score > b.score;

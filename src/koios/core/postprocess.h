@@ -16,24 +16,6 @@
 
 namespace koios::core {
 
-/// θlb shared across concurrently searched partitions (paper §VI: "all
-/// partitions share a global θlb that is the maximum of the θlb").
-/// Monotone non-decreasing maximum of published values.
-class GlobalThreshold {
- public:
-  void Publish(Score theta) {
-    Score current = value_.load(std::memory_order_relaxed);
-    while (theta > current &&
-           !value_.compare_exchange_weak(current, theta,
-                                         std::memory_order_relaxed)) {
-    }
-  }
-  Score Get() const { return value_.load(std::memory_order_relaxed); }
-
- private:
-  std::atomic<Score> value_{0.0};
-};
-
 class PostProcessor {
  public:
   /// `global_theta` may be null (unpartitioned search). `pool` may be null;
@@ -51,11 +33,19 @@ class PostProcessor {
  private:
   Score ThetaLb(Score local) const;
 
+  /// One exact matching of candidate `id` through the calling thread's
+  /// scratch arena (matrix + HungarianWorkspace reused across solves;
+  /// counts warm hits into workspace_reuses_).
+  matching::MatchResult SolveWithScratch(SetId id, Score prune_threshold);
+
   const index::SetCollection* sets_;
   const EdgeCache* cache_;
   SearchParams params_;
   GlobalThreshold* global_theta_;
   util::ThreadPool* pool_;
+  // Solves that hit a warm thread-local HungarianWorkspace (stats:
+  // em_workspace_reuses); atomic because the EM batches run on the pool.
+  std::atomic<size_t> workspace_reuses_{0};
 };
 
 }  // namespace koios::core

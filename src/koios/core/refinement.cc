@@ -14,9 +14,9 @@ RefinementPhase::RefinementPhase(const index::SetCollection* sets,
       query_size_(query_size),
       params_(params) {}
 
-RefinementOutput RefinementPhase::Run(const EdgeCache& cache,
-                                      SearchStats* stats,
-                                      GlobalThreshold* global_theta) {
+RefinementOutput RefinementPhase::Run(EdgeCache* cache, SearchStats* stats,
+                                      GlobalThreshold* global_theta,
+                                      StreamStopController* stop_controller) {
   RefinementOutput out;
   out.llb = util::TopKList<SetId>(params_.k);
 
@@ -36,6 +36,40 @@ RefinementOutput RefinementPhase::Run(const EdgeCache& cache,
     status[id] = SetStatus::kPruned;
     candidates.erase(id);
     ++stats->iub_filtered;
+  };
+
+  // Consumer-side stop (feedback only, so the drain-to-α ablation replays
+  // the stream bit for bit). Condition 1 — exactness: |Q|·s < θlb − ε
+  // rules every unseen set out (Lemma 2) and pruning is monotone in θlb.
+  // Condition 2 — work balance: stopping freezes every survivor's upper
+  // bound at UpperBound(s), so it must not strand more candidates above
+  // θlb than post-processing can cheaply dismiss; the bucket index counts
+  // the would-be survivors from the partial scores (§V's structure reused
+  // verbatim). The count runs at a coarse cadence — it costs O(candidates)
+  // worst case, versus an inverted-index probe per tuple.
+  const bool may_stop_early = cache->FeedbackEnabled();
+  const Score query_size_score = static_cast<Score>(query_size_);
+  const size_t survivor_budget = std::max<size_t>(32, 4 * params_.k);
+  constexpr size_t kStopCheckCadence = 64;
+  size_t next_stop_check = 0;
+  bool stopped_early = false;
+  auto should_stop = [&](Score s) {
+    if (!may_stop_early || s * query_size_score >= theta_lb - kScoreEps) {
+      return false;
+    }
+    if (stats->stream_tuples < next_stop_check) return false;
+    next_stop_check = stats->stream_tuples + kStopCheckCadence;
+    size_t survivors;
+    if (params_.use_iub_filter && params_.use_bucket_index) {
+      survivors = buckets.CountSurvivors(s, theta_lb, survivor_budget);
+    } else {
+      survivors = 0;
+      for (const auto& [id, state] : candidates) {
+        if (state.UpperBound(s) >= theta_lb - kScoreEps) ++survivors;
+        if (survivors > survivor_budget) break;
+      }
+    }
+    return survivors <= survivor_budget;
   };
 
   auto process_tuple = [&](const sim::StreamTuple& tuple) {
@@ -118,31 +152,62 @@ RefinementOutput RefinementPhase::Run(const EdgeCache& cache,
     ++stats->stream_tuples;
   };
 
-  if (cache.Materialized()) {
-    // Fully materialized (every non-overlapped search): iterate in place.
-    for (const sim::StreamTuple& tuple : cache.tuples()) process_tuple(tuple);
+  if (cache->Materialized()) {
+    // Fully materialized (synchronous caches and later partitions of a
+    // serial partitioned search): replay in place.
+    for (const sim::StreamTuple& tuple : cache->tuples()) {
+      if (should_stop(tuple.sim)) {
+        out.ub_slack = tuple.sim;
+        stopped_early = true;
+        break;
+      }
+      process_tuple(tuple);
+    }
   } else {
-    // Overlapped partitioned search: the producer is still materializing;
-    // pull copies in chunks through the cache's incremental interface,
-    // blocking only when refinement outruns cursor construction.
-    std::vector<sim::StreamTuple> chunk(256);
+    // Pipelined search: the producer is still materializing (or, inline,
+    // production happens inside NextTuples on this very thread); pull
+    // copies in chunks through the cache's incremental interface, blocking
+    // only when refinement outruns cursor construction.
+    std::vector<sim::StreamTuple> chunk(cache->PreferredConsumeChunk());
     size_t consumed = 0;
-    while (const size_t n = cache.NextTuples(
-               consumed, std::span<sim::StreamTuple>(chunk))) {
-      for (size_t i = 0; i < n; ++i) process_tuple(chunk[i]);
+    while (!stopped_early) {
+      const size_t n =
+          cache->NextTuples(consumed, std::span<sim::StreamTuple>(chunk));
+      if (n == 0) break;
+      for (size_t i = 0; i < n; ++i) {
+        if (should_stop(chunk[i].sim)) {
+          out.ub_slack = chunk[i].sim;
+          stopped_early = true;
+          break;
+        }
+        process_tuple(chunk[i]);
+      }
       consumed += n;
     }
   }
+  if (stopped_early) {
+    // Declare the stop so the producer may cease materializing below it
+    // once every partition's consumer has declared one.
+    if (stop_controller != nullptr) {
+      stop_controller->PublishConsumerStop(out.ub_slack);
+    }
+  } else {
+    // Consumed everything produced; unprocessed pairs are exactly the ones
+    // the producer's feedback stop withheld (0 when drained to α).
+    out.ub_slack = cache->stop_sim();
+  }
 
-  // Final sweep after stream exhaustion: the slack term vanishes (a row
-  // without a retained maximum has no α-edge left — FinalUpperBound), which
-  // for the bucket filter is exactly a prune pass with sim = 0.
+  // Final sweep after the stream ends: the slack term drops to ub_slack —
+  // 0 at exhaustion (a row without a retained maximum has no α-edge left,
+  // FinalUpperBound), the stop similarity when the feedback loop ended the
+  // stream early. For the bucket filter this is exactly a prune pass with
+  // sim = ub_slack.
   if (params_.use_iub_filter) {
     if (params_.use_bucket_index) {
-      buckets.Prune(0.0, theta_lb, prune_candidate);
+      buckets.Prune(out.ub_slack, theta_lb, prune_candidate);
     } else {
       for (auto it = candidates.begin(); it != candidates.end();) {
-        if (it->second.FinalUpperBound() < theta_lb - kScoreEps) {
+        if (it->second.UpperBound(out.ub_slack) < theta_lb - kScoreEps) {
           status[it->first] = SetStatus::kPruned;
           ++stats->iub_filtered;
           it = candidates.erase(it);

@@ -18,17 +18,20 @@
 
 namespace koios::core {
 
-class GlobalThreshold;  // postprocess.h
-
 struct RefinementOutput {
   /// Candidates that survived all refinement filters (order unspecified).
   std::vector<CandidateState> survivors;
   /// Running top-k lower-bound list; its Bottom() is θlb.
   util::TopKList<SetId> llb{1};
-  /// Last (smallest) similarity emitted by the stream (diagnostic; the
-  /// survivors' final upper bound is CandidateState::FinalUpperBound(),
-  /// whose slack term vanishes at exhaustion).
+  /// Last (smallest) similarity this consumer processed (diagnostic).
   Score last_sim = 0.0;
+  /// Sound upper bound on the similarity of every α-edge this consumer did
+  /// NOT process: 0 when the stream drained to α (the seed behaviour —
+  /// survivors' slack term vanishes, CandidateState::FinalUpperBound), the
+  /// stop similarity when the θlb feedback loop ended the stream early.
+  /// Post-processing must use CandidateState::UpperBound(ub_slack) as the
+  /// survivors' final upper bound.
+  Score ub_slack = 0.0;
 };
 
 class RefinementPhase {
@@ -39,15 +42,37 @@ class RefinementPhase {
                   const index::InvertedIndex* inverted, size_t query_size,
                   const SearchParams& params);
 
-  /// Replays the materialized stream and applies Algorithm 1 + the
-  /// bucketized iUB filter. Counters are accumulated into `stats`.
+  /// Consumes the stream incrementally through `cache` (pulling production
+  /// along in inline mode, replaying it when already materialized) and
+  /// applies Algorithm 1 + the bucketized iUB filter. Counters are
+  /// accumulated into `stats`.
   ///
   /// `global_theta` (nullable) is the cross-partition θlb of §VI: any
   /// partition's k-th best lower bound is a valid lower bound on the
   /// *merged* θ*k, so partitions can prune with the maximum across all of
-  /// them without affecting the merged result's exactness.
-  RefinementOutput Run(const EdgeCache& cache, SearchStats* stats,
-                       GlobalThreshold* global_theta = nullptr);
+  /// them without affecting the merged result's exactness. It also powers
+  /// the feedback loop: every θlb improvement is published immediately
+  /// (greedy lower bounds, Lemma 4/5).
+  ///
+  /// When the cache has feedback enabled, this consumer stops consuming at
+  /// the stop similarity τ(θlb, |Q|, partial scores) — the largest stream
+  /// similarity s satisfying BOTH:
+  ///  1. |Q|·s < θlb − ε  (exactness): an unseen set's upper bound is
+  ///     min(|Q|, |C|)·s ≤ |Q|·s < θlb ≤ θ*k (Lemma 2), and pruning is
+  ///     monotone in θlb, so nothing absent can re-enter the top-k;
+  ///  2. few enough candidates survive the slack-s final sweep — the
+  ///     candidates' partial scores must already separate the contenders,
+  ///     since stopping freezes every survivor's upper bound at
+  ///     S_i + m_i·s (condition 1 alone would freeze EVERY seen set above
+  ///     θlb and push an exact matching per candidate into
+  ///     post-processing; this work-balance condition only delays the
+  ///     stop, so exactness is untouched).
+  /// The declined similarity becomes the survivors' upper-bound slack
+  /// (ub_slack) and is declared to `stop_controller` (nullable) so the
+  /// producer can stop materializing once every partition has declared.
+  RefinementOutput Run(EdgeCache* cache, SearchStats* stats,
+                       GlobalThreshold* global_theta = nullptr,
+                       StreamStopController* stop_controller = nullptr);
 
  private:
   enum class SetStatus : uint8_t { kUnseen = 0, kCandidate = 1, kPruned = 2 };

@@ -2,6 +2,7 @@
 #ifndef KOIOS_CORE_SEARCH_TYPES_H_
 #define KOIOS_CORE_SEARCH_TYPES_H_
 
+#include <atomic>
 #include <cstddef>
 #include <vector>
 
@@ -9,6 +10,64 @@
 #include "koios/util/types.h"
 
 namespace koios::core {
+
+/// θlb shared across concurrently searched partitions (paper §VI: "all
+/// partitions share a global θlb that is the maximum of the θlb").
+/// Monotone non-decreasing maximum of published values. Besides pruning, it
+/// drives the stream-feedback loop: the searcher derives the producer's
+/// stop similarity τ = (θlb − ε) / |Q| from it, so it is published from
+/// refinement (greedy lower bounds) as early as possible, not only from
+/// post-processing.
+class GlobalThreshold {
+ public:
+  void Publish(Score theta) {
+    Score current = value_.load(std::memory_order_relaxed);
+    while (theta > current &&
+           !value_.compare_exchange_weak(current, theta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  Score Get() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<Score> value_{0.0};
+};
+
+/// Aggregates the per-consumer stream-stop declarations of the feedback
+/// loop. Each refinement consumer, on deciding it needs no tuple below a
+/// similarity s (θlb rules out unseen sets AND its surviving candidates'
+/// bounds are tight enough — see RefinementPhase::Run), publishes s here
+/// exactly once. The producer may withhold tuples below a similarity only
+/// once EVERY consumer has declared one, and then only below the minimum —
+/// a consumer that never declares (it needs the full α-drain) keeps the
+/// producer running, which is what makes the stop exact for all consumers.
+class StreamStopController {
+ public:
+  explicit StreamStopController(size_t num_consumers)
+      : remaining_(num_consumers) {}
+
+  /// Consumer declaration: "I will never need a tuple with sim < s".
+  /// Call at most once per consumer.
+  void PublishConsumerStop(Score s) {
+    Score current = min_stop_.load(std::memory_order_relaxed);
+    while (s < current &&
+           !min_stop_.compare_exchange_weak(current, s,
+                                            std::memory_order_relaxed)) {
+    }
+    remaining_.fetch_sub(1, std::memory_order_release);
+  }
+
+  /// Producer poll: the minimum declared stop once every consumer has
+  /// declared one, 0 (= keep producing) before that.
+  Score ProducerStop() const {
+    if (remaining_.load(std::memory_order_acquire) > 0) return 0.0;
+    return min_stop_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<size_t> remaining_;
+  std::atomic<Score> min_stop_{1.0};
+};
 
 /// Per-query search parameters. Filter toggles exist for the ablation
 /// benchmarks; all default to the paper's configuration (everything on).
@@ -30,6 +89,15 @@ struct SearchParams {
   bool use_no_em_filter = true;
   /// Hungarian early termination (post-processing, Lemma 8).
   bool use_em_early_termination = true;
+  /// θlb→producer stream feedback (§IV–VI): refinement publishes its
+  /// running θlb back to the token-stream producer, which stops
+  /// materializing once no unseen set can reach the top-k
+  /// (τ = (θlb − ε) / |Q|) instead of draining to α. Exact — survivors
+  /// keep the stop similarity as upper-bound slack and exact matching
+  /// completes any missing below-τ edges on demand — but only engages when
+  /// the index exposes its SimilarityFunction (SimilarityIndex::similarity);
+  /// off = the drain-to-α path, kept for the ablation benchmarks.
+  bool use_stream_feedback = true;
 
   /// Compute the exact SO of every reported result set even when the
   /// No-EM filter certified membership without verification. Needed for

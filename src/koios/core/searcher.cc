@@ -4,6 +4,7 @@
 #include <cassert>
 #include <future>
 #include <memory>
+#include <optional>
 
 #include "koios/core/edge_cache.h"
 #include "koios/core/refinement.h"
@@ -79,32 +80,75 @@ SearchResult KoiosSearcher::Search(std::span<const TokenId> query,
     attachment.index = index_;
   }
 
-  // ---- shared refinement input: the token stream, materialized once ----
+  // ---- shared refinement input: the token stream, produced once --------
   util::WallTimer stream_timer;
   sim::TokenStream stream(
       std::vector<TokenId>(query.begin(), query.end()), index_, params.alpha,
       [this](TokenId t) { return InVocabulary(t); });
-  EdgeCache cache(&stream, EdgeCache::Deferred{});
 
-  // ---- per-partition search under a shared global θlb -------------------
+  // ---- θlb→producer feedback (§IV–VI) ----------------------------------
+  // Refinement consumers publish their running θlb into the shared
+  // GlobalThreshold (one partition's k-th lower bound is a valid bound on
+  // the merged θ*k, so the maximum serves every partition) and derive from
+  // it the stop similarity τ(θlb, |Q|, partial scores) at which they stop
+  // consuming; each declares its τ to the controller, and the producer
+  // stops materializing below the minimum once every partition has
+  // declared — tuples under τ are never ordered, scored or cached.
+  // Exactness requires the index's SimilarityFunction so exact matching
+  // can complete below-τ edges on demand, AND an exact-neighbor index:
+  // completing from the raw similarity would score pairs an approximate
+  // probe (LSH/MinHash) never surfaced, silently changing results between
+  // the modes. Without either (or with the ablation toggle off) the
+  // stream drains to α as the seed did.
   GlobalThreshold global_theta;
+  StreamStopController stop_controller(p);
+  const sim::SimilarityFunction* completer = index_->similarity();
+  const bool feedback = params.use_stream_feedback && completer != nullptr &&
+                        index_->exact_neighbors();
+  EdgeCache::StopSimFn stop_fn;
+  if (feedback) {
+    stop_fn = [&stop_controller]() -> Score {
+      return stop_controller.ProducerStop();
+    };
+  }
+
+  // Overlapped (a pool exists): partitions refine on workers while this
+  // thread produces. Serial: the consumer itself pulls production along
+  // inside NextTuples (inline mode), pipelining on one thread.
+  const bool overlapped = pool != nullptr;
+  std::optional<EdgeCache> cache_storage;
+  if (overlapped) {
+    cache_storage.emplace(&stream, EdgeCache::Deferred{}, completer, stop_fn);
+  } else {
+    cache_storage.emplace(&stream, EdgeCache::InlineProducer{}, completer,
+                          stop_fn);
+  }
+  EdgeCache& cache = *cache_storage;
+
+  // ---- per-partition search under the shared global θlb ------------------
   std::vector<std::vector<ResultEntry>> partial(p);
   std::vector<SearchStats> partial_stats(p);
 
-  auto search_partition = [&](size_t part, util::ThreadPool* em_pool) {
+  auto refine_partition = [&](size_t part) -> RefinementOutput {
     SearchStats& stats = partial_stats[part];
     RefinementPhase refinement(sets_, &partition_inverted_[part], query.size(),
                                params);
     util::WallTimer timer;
-    RefinementOutput refined =
-        refinement.Run(cache, &stats, p > 1 ? &global_theta : nullptr);
+    RefinementOutput refined = refinement.Run(
+        &cache, &stats, &global_theta, feedback ? &stop_controller : nullptr);
     stats.timers.Accumulate("refinement", timer.ElapsedSeconds());
-
-    timer.Restart();
-    PostProcessor post(sets_, &cache, params, p > 1 ? &global_theta : nullptr,
-                       em_pool);
+    return refined;
+  };
+  auto postprocess_partition = [&](size_t part, RefinementOutput refined,
+                                   util::ThreadPool* em_pool) {
+    SearchStats& stats = partial_stats[part];
+    util::WallTimer timer;
+    PostProcessor post(sets_, &cache, params, &global_theta, em_pool);
     partial[part] = post.Run(std::move(refined), &stats);
     stats.timers.Accumulate("postprocess", timer.ElapsedSeconds());
+  };
+  auto search_partition = [&](size_t part, util::ThreadPool* em_pool) {
+    postprocess_partition(part, refine_partition(part), em_pool);
   };
 
   // Declared AFTER everything the partition tasks touch, with a joining
@@ -112,6 +156,7 @@ SearchResult KoiosSearcher::Search(std::span<const TokenId> query,
   // drains them before the unwind destroys cache/partial/stats (the
   // poisoned cache unblocks any consumer stuck in NextTuples). On the
   // happy path every future is already consumed and the guard no-ops.
+  std::optional<RefinementOutput> p1_refined;
   std::vector<std::future<void>> futures;
   struct FutureJoiner {
     std::vector<std::future<void>>* futures;
@@ -133,39 +178,52 @@ SearchResult KoiosSearcher::Search(std::span<const TokenId> query,
     }
   } joiner{&futures, &cache};
 
-  if (p > 1 && pool != nullptr) {
-    // Overlapped partitioned search: the partition tasks start refining
-    // immediately, pulling tuples through the cache's incremental
-    // interface, while this thread materializes the stream — cursor
-    // construction and refinement proceed concurrently instead of
-    // back-to-back. Exact matching stays inline within each partition.
-    // The producer runs here, NOT on the pool, so starved consumers can
-    // never deadlock it out of a worker slot.
+  if (overlapped) {
+    // Pipelined search: the partition tasks start refining immediately,
+    // pulling tuples through the cache's incremental interface, while this
+    // thread produces the stream — cursor construction and refinement
+    // proceed concurrently instead of back-to-back, and the consumers'
+    // θlb publications feed straight back into this producer's stop
+    // similarity. The producer runs here, NOT on the pool, so starved
+    // consumers can never deadlock it out of a worker slot. Unpartitioned
+    // searches only put REFINEMENT on the pool; post-processing runs back
+    // on this thread once production is over, so its exact-matching
+    // batches keep the pool's full width (a partition task blocked in the
+    // EM futures would strand one worker).
     futures.reserve(p);
-    for (size_t part = 0; part < p; ++part) {
+    if (p == 1) {
       futures.push_back(
-          pool->Submit([&search_partition, part] { search_partition(part, nullptr); }));
+          pool->Submit([&] { p1_refined = refine_partition(0); }));
+    } else {
+      for (size_t part = 0; part < p; ++part) {
+        futures.push_back(pool->Submit(
+            [&search_partition, part] { search_partition(part, nullptr); }));
+      }
     }
     cache.Materialize();
     // Diagnostic label. The "refinement" phase benches read still covers
     // the stream cost: every partition's refinement timer spans this whole
     // materialization (consumers block on the producer through NextTuples
-    // until the stream is drained), exactly as the seed's serialized
+    // until the stream ends), exactly as the seed's serialized
     // stream+replay did. Folding this span into "refinement" as well
     // would double-count concurrent wall-clock; "stream" exists to show
     // how much of it the overlap hides.
     result.stats.timers.Accumulate("stream", stream_timer.ElapsedSeconds());
     for (auto& f : futures) f.get();
-  } else {
-    cache.Materialize();
-    result.stats.timers.Accumulate("refinement", stream_timer.ElapsedSeconds());
     if (p == 1) {
-      // Unpartitioned: parallelism goes to the exact-matching batches.
-      search_partition(0, pool.get());
-    } else {
-      for (size_t part = 0; part < p; ++part) search_partition(part, nullptr);
+      postprocess_partition(0, std::move(*p1_refined), pool.get());
     }
+  } else {
+    // Serial: production is pipelined inside the consumers' pull loops
+    // (inline mode), so its cost lands in the partitions' "refinement"
+    // timers as the seed's materialize-then-replay did. The cache stays
+    // unsealed across partitions — a later partition may need tuples below
+    // an earlier one's stop — and is sealed once all of them finished.
+    for (size_t part = 0; part < p; ++part) search_partition(part, nullptr);
+    cache.FinishProduction();
   }
+  result.stats.stream_tuples_produced = cache.produced();
+  result.stats.stream_stop_sim = cache.stop_sim();
   result.stats.memory.AddPeak("stream.edge_cache", cache.MemoryUsageBytes());
   result.stats.memory.AddPeak("index.inverted", IndexMemoryUsageBytes());
 

@@ -6,13 +6,16 @@ namespace koios::core {
 
 std::string SearchStats::ToString() const {
   std::ostringstream out;
-  out << "refinement:  tuples=" << stream_tuples << " candidates=" << candidates
+  out << "refinement:  tuples=" << stream_tuples
+      << " produced=" << stream_tuples_produced
+      << " stop_sim=" << stream_stop_sim << " candidates=" << candidates
       << " iub_filtered=" << iub_filtered << " bucket_moves=" << bucket_moves
       << "\n";
   out << "postprocess: sets=" << postprocess_sets << " no_em=" << no_em_skipped
       << " em_early_term=" << em_early_terminated << " em=" << em_computed
       << " ub_pruned=" << postprocess_ub_pruned
-      << " verify_ems=" << result_verification_ems << "\n";
+      << " verify_ems=" << result_verification_ems
+      << " ws_reuses=" << em_workspace_reuses << "\n";
   out << "time:        ";
   for (const auto& [name, secs] : timers.phases()) {
     out << name << "=" << secs << "s ";

@@ -4,11 +4,13 @@
 #ifndef KOIOS_CORE_STATS_H_
 #define KOIOS_CORE_STATS_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <string>
 
 #include "koios/util/memory_tracker.h"
 #include "koios/util/timer.h"
+#include "koios/util/types.h"
 
 namespace koios::core {
 
@@ -16,6 +18,13 @@ struct SearchStats {
   // --- refinement --------------------------------------------------------
   /// Tuples consumed from the token stream Ie.
   size_t stream_tuples = 0;
+  /// Tuples the producer materialized (once per query, not per partition).
+  /// With θlb→producer feedback this is the pruned count; the drain-to-α
+  /// path produces every pair >= α.
+  size_t stream_tuples_produced = 0;
+  /// Similarity at which the feedback loop stopped the stream (0 = drained
+  /// to α). Strictly above α whenever feedback saved work.
+  Score stream_stop_sim = 0.0;
   /// Distinct sets that ever became candidates (appeared in a probed
   /// posting list).
   size_t candidates = 0;
@@ -39,6 +48,9 @@ struct SearchStats {
   /// Extra exact matchings run only to report exact scores for No-EM sets
   /// (not part of the algorithm; see SearchParams::verify_result_scores).
   size_t result_verification_ems = 0;
+  /// Hungarian solves that reused a warm thread-local workspace arena
+  /// (everything beyond each worker thread's first solve).
+  size_t em_workspace_reuses = 0;
 
   // --- meta ---------------------------------------------------------------
   util::PhaseTimer timers;           // "refinement", "postprocess"
@@ -46,6 +58,8 @@ struct SearchStats {
 
   void Merge(const SearchStats& other) {
     stream_tuples += other.stream_tuples;
+    stream_tuples_produced += other.stream_tuples_produced;
+    stream_stop_sim = std::max(stream_stop_sim, other.stream_stop_sim);
     candidates += other.candidates;
     iub_filtered += other.iub_filtered;
     bucket_moves += other.bucket_moves;
@@ -55,6 +69,7 @@ struct SearchStats {
     em_computed += other.em_computed;
     postprocess_ub_pruned += other.postprocess_ub_pruned;
     result_verification_ems += other.result_verification_ems;
+    em_workspace_reuses += other.em_workspace_reuses;
     timers.Merge(other.timers);
     memory.Merge(other.memory);
   }

@@ -24,12 +24,18 @@ double WeightMatrix::MaxWeight() const {
 }
 
 MatchResult HungarianMatcher::Solve(const WeightMatrix& weights,
-                                    double prune_threshold) {
+                                    double prune_threshold,
+                                    HungarianWorkspace* workspace) {
   const size_t rows = weights.rows();
   const size_t cols = weights.cols();
   MatchResult result;
   result.match_of_row.assign(rows, -1);
   if (rows == 0 || cols == 0) return result;
+
+  // Arena: caller-provided (reused across the EM loop) or call-local.
+  HungarianWorkspace local;
+  HungarianWorkspace& ws = workspace != nullptr ? *workspace : local;
+  ++ws.solve_count_;
 
   // Square-ify: n x n with zero padding.
   const size_t n = std::max(rows, cols);
@@ -37,8 +43,12 @@ MatchResult HungarianMatcher::Solve(const WeightMatrix& weights,
     return (x < rows && y < cols) ? weights.At(x, y) : 0.0;
   };
 
-  // Feasible labels: lx = row max, ly = 0.
-  std::vector<double> lx(n, 0.0), ly(n, 0.0);
+  // Feasible labels: lx = row max, ly = 0. assign() reuses the arena's
+  // capacity when it is already >= n.
+  std::vector<double>& lx = ws.lx_;
+  std::vector<double>& ly = ws.ly_;
+  lx.assign(n, 0.0);
+  ly.assign(n, 0.0);
   double label_sum = 0.0;
   for (size_t x = 0; x < n; ++x) {
     double mx = 0.0;
@@ -47,11 +57,20 @@ MatchResult HungarianMatcher::Solve(const WeightMatrix& weights,
     label_sum += mx;
   }
 
-  std::vector<int32_t> match_x(n, -1), match_y(n, -1);
-  std::vector<double> slack(n);
-  std::vector<int32_t> slack_x(n);   // argmin row for slack[y]
-  std::vector<int32_t> parent_y(n);  // alternating-tree parent of column y
-  std::vector<char> in_s(n), in_t(n);
+  std::vector<int32_t>& match_x = ws.match_x_;
+  std::vector<int32_t>& match_y = ws.match_y_;
+  match_x.assign(n, -1);
+  match_y.assign(n, -1);
+  std::vector<double>& slack = ws.slack_;
+  std::vector<int32_t>& slack_x = ws.slack_x_;    // argmin row for slack[y]
+  std::vector<int32_t>& parent_y = ws.parent_y_;  // alternating-tree parent
+  std::vector<char>& in_s = ws.in_s_;
+  std::vector<char>& in_t = ws.in_t_;
+  slack.resize(n);
+  slack_x.resize(n);
+  parent_y.resize(n);
+  in_s.resize(n);
+  in_t.resize(n);
 
   for (size_t root = 0; root < n; ++root) {
     // Early termination (Lemma 8): Σ l(v) only decreases; if it is already

@@ -25,6 +25,15 @@ class WeightMatrix {
   WeightMatrix(size_t rows, size_t cols)
       : rows_(rows), cols_(cols), w_(rows * cols, 0.0) {}
 
+  /// Re-shape to rows x cols, all zeros, reusing the existing allocation
+  /// when it is large enough (the post-processing EM loop builds one matrix
+  /// per candidate into a per-thread instance).
+  void Reset(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    w_.assign(rows * cols, 0.0);
+  }
+
   double& At(size_t r, size_t c) { return w_[r * cols_ + c]; }
   double At(size_t r, size_t c) const { return w_[r * cols_ + c]; }
 
@@ -38,6 +47,25 @@ class WeightMatrix {
   size_t rows_;
   size_t cols_;
   std::vector<double> w_;
+};
+
+/// Reusable solve arena: every array the Hungarian algorithm needs, sized
+/// lazily by Solve and reused across calls so the post-processing loop
+/// (one Solve per surviving candidate) stops paying an allocation storm
+/// per matching. One workspace per thread — Solve never shares one across
+/// concurrent calls; the pooled EM batches keep a thread_local instance.
+class HungarianWorkspace {
+ public:
+  /// Number of Solve calls that used this workspace (0 = fresh). The
+  /// em_workspace_reuses stat counts calls beyond each workspace's first.
+  size_t solve_count() const { return solve_count_; }
+
+ private:
+  friend class HungarianMatcher;
+  std::vector<double> lx_, ly_, slack_;
+  std::vector<int32_t> match_x_, match_y_, slack_x_, parent_y_;
+  std::vector<char> in_s_, in_t_;
+  size_t solve_count_ = 0;
 };
 
 struct MatchResult {
@@ -63,8 +91,12 @@ class HungarianMatcher {
   /// If `prune_threshold` >= 0, the run aborts once the dual label sum
   /// certifies that the optimum is below the threshold (Lemma 8); the
   /// result then has early_terminated = true.
+  ///
+  /// `workspace` (nullable) supplies the solve arrays; passing one across
+  /// calls eliminates the per-candidate allocations of the dense arena.
   static MatchResult Solve(const WeightMatrix& weights,
-                           double prune_threshold = -1.0);
+                           double prune_threshold = -1.0,
+                           HungarianWorkspace* workspace = nullptr);
 };
 
 }  // namespace koios::matching

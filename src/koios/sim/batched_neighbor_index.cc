@@ -72,6 +72,12 @@ BatchedNeighborIndex::BatchedNeighborIndex(const SimilarityFunction* sim,
                                            util::ThreadPool* pool)
     : sim_(sim), pool_(pool) {}
 
+void BatchedNeighborIndex::FinalizeCursor(Cursor* cursor) {
+  Score max_sim = 0.0;
+  for (const Neighbor& n : cursor->neighbors) max_sim = std::max(max_sim, n.sim);
+  cursor->max_sim = max_sim;
+}
+
 BatchedNeighborIndex::Cursor BatchedNeighborIndex::BuildCursor(
     TokenId q, Score alpha) const {
   Cursor cursor;
@@ -96,6 +102,7 @@ BatchedNeighborIndex::Cursor BatchedNeighborIndex::BuildCursor(
     if (t == q) continue;  // self-matches are injected by the token stream
     if (scores[i] >= alpha) cursor.neighbors.push_back({t, scores[i]});
   }
+  FinalizeCursor(&cursor);
   return cursor;
 }
 
@@ -141,6 +148,7 @@ std::vector<BatchedNeighborIndex::Cursor> BatchedNeighborIndex::BuildCursorBlock
           if (cand[i] == qs[qi]) continue;
           if (scores[i] >= alpha) cursor.neighbors.push_back({cand[i], scores[i]});
         }
+        FinalizeCursor(&cursor);
       }
       return cursors;
     }
@@ -173,6 +181,7 @@ std::vector<BatchedNeighborIndex::Cursor> BatchedNeighborIndex::BuildCursorBlock
         if (row[ti] >= alpha) cursor.neighbors.push_back({t, row[ti]});
       }
     }
+    FinalizeCursor(&cursor);
   }
   return cursors;
 }
@@ -200,18 +209,55 @@ void BatchedNeighborIndex::EnsureOrdered(Cursor& cursor, size_t count) {
   }
 }
 
-std::optional<Neighbor> BatchedNeighborIndex::NextNeighbor(TokenId q,
-                                                           Score alpha) {
+BatchedNeighborIndex::Cursor& BatchedNeighborIndex::CursorFor(TokenId q,
+                                                              Score alpha) {
   auto it = cursors_.find(q);
   if (it == cursors_.end() || it->second.alpha != alpha) {
     // Cache miss, or a cursor filtered at a different α (a stale cursor
     // would silently serve neighbors pruned at the old threshold).
     it = cursors_.insert_or_assign(q, BuildCursor(q, alpha)).first;
   }
-  Cursor& cursor = it->second;
+  return it->second;
+}
+
+std::optional<Neighbor> BatchedNeighborIndex::NextNeighbor(TokenId q,
+                                                           Score alpha) {
+  Cursor& cursor = CursorFor(q, alpha);
   if (cursor.next >= cursor.neighbors.size()) return std::nullopt;
   EnsureOrdered(cursor, cursor.next + 1);
   return cursor.neighbors[cursor.next++];
+}
+
+ProbeOutcome BatchedNeighborIndex::NextNeighborBounded(TokenId q, Score alpha,
+                                                       Score stop_sim,
+                                                       Neighbor* out) {
+  Cursor& cursor = CursorFor(q, alpha);
+  if (cursor.next >= cursor.neighbors.size()) return ProbeOutcome::kExhausted;
+  if (stop_sim > 0.0) {
+    // Upper bound on the next (and thus every remaining) neighbor without
+    // ordering anything: the exact value when it is already ordered; the
+    // last ordered chunk's minimum (nth_element left the tail ranked after
+    // it); the build-time max for a cursor no chunk of which was ordered.
+    const Score bound =
+        cursor.next < cursor.sorted_prefix ? cursor.neighbors[cursor.next].sim
+        : cursor.sorted_prefix > 0 ? cursor.neighbors[cursor.sorted_prefix - 1].sim
+                                   : cursor.max_sim;
+    if (bound < stop_sim) {
+      *out = {kInvalidToken, bound};
+      return ProbeOutcome::kWithheld;
+    }
+  }
+  EnsureOrdered(cursor, cursor.next + 1);
+  const Neighbor& next = cursor.neighbors[cursor.next];
+  if (next.sim < stop_sim) {
+    // Ordered but below the threshold; leave it unconsumed (callers only
+    // ever raise stop_sim, so it will never be requested again).
+    *out = {kInvalidToken, next.sim};
+    return ProbeOutcome::kWithheld;
+  }
+  *out = next;
+  ++cursor.next;
+  return ProbeOutcome::kNeighbor;
 }
 
 void BatchedNeighborIndex::Prewarm(std::span<const TokenId> tokens,

@@ -45,6 +45,16 @@ class BatchedNeighborIndex : public SimilarityIndex {
  public:
   std::optional<Neighbor> NextNeighbor(TokenId q, Score alpha) override;
 
+  /// Stop-threshold fast path: when every remaining neighbor of the cursor
+  /// is provably below `stop_sim` (the unsorted tail is bounded by the last
+  /// ordered chunk's minimum, or by the cursor's max for a fresh cursor),
+  /// the probe reports kWithheld WITHOUT ordering another chunk — tuples
+  /// the refinement θlb has ruled out are never nth_element'd or sorted.
+  ProbeOutcome NextNeighborBounded(TokenId q, Score alpha, Score stop_sim,
+                                   Neighbor* out) override;
+
+  const SimilarityFunction* similarity() const override { return sim_; }
+
   void ResetCursors() override;
 
   /// Eagerly builds (in parallel when a pool is set) the cursors for every
@@ -115,11 +125,21 @@ class BatchedNeighborIndex : public SimilarityIndex {
     std::vector<Neighbor> neighbors;  // >= alpha; [0, sorted_prefix) ordered
     size_t next = 0;
     size_t sorted_prefix = 0;
+    // Largest survivor similarity, set at build time: bounds the whole
+    // cursor before any chunk is ordered (the stop-threshold fast path).
+    Score max_sim = 0.0;
   };
 
   /// In-place union of the ascending runs of `ids` delimited by `bounds`.
   static void MergeSortedRuns(std::vector<TokenId>* ids,
                               std::vector<size_t>* bounds);
+
+  /// Records the cursor's max survivor similarity (one linear pass).
+  static void FinalizeCursor(Cursor* cursor);
+
+  /// Returns the cursor for `q` at `alpha`, building it on a cache miss or
+  /// an α mismatch.
+  Cursor& CursorFor(TokenId q, Score alpha);
 
   Cursor BuildCursor(TokenId q, Score alpha) const;
 

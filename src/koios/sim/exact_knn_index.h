@@ -34,6 +34,10 @@ class ExactKnnIndex : public BatchedNeighborIndex {
 
   size_t vocabulary_size() const { return vocabulary_.size(); }
 
+  /// Exact full-vocabulary scan: safe for the stream-feedback loop's
+  /// on-demand matrix completion (see SimilarityIndex::exact_neighbors).
+  bool exact_neighbors() const override { return true; }
+
   size_t MemoryUsageBytes() const override;
 
  protected:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <unordered_map>
+#include <utility>
 
 #include "koios/text/qgram.h"
 
@@ -80,6 +81,74 @@ void JaccardQGramSimilarity::SimilarityBatch(TokenId q,
     const TokenId t = targets[i];
     assert(t < grams_.size());
     out[i] = t == q ? 1.0 : JaccardOfIds(gq, IdsOf(t));
+  }
+}
+
+void JaccardQGramSimilarity::SimilarityBatchMulti(
+    std::span<const TokenId> queries, std::span<const TokenId> targets,
+    std::span<Score> out) const {
+  assert(out.size() == queries.size() * targets.size());
+  if (queries.empty() || targets.empty()) return;
+
+  // Transpose the block once: (gram id, target position) pairs sorted by
+  // gram id become CSR postings whose keys are scanned in lockstep with
+  // each query's sorted id array. thread_local scratch: prewarm blocks run
+  // on pool workers.
+  thread_local std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  pairs.clear();
+  for (uint32_t ti = 0; ti < targets.size(); ++ti) {
+    assert(targets[ti] < grams_.size());
+    for (const uint32_t g : IdsOf(targets[ti])) pairs.push_back({g, ti});
+  }
+  std::sort(pairs.begin(), pairs.end());
+  thread_local std::vector<uint32_t> keys;        // distinct gram ids, asc
+  thread_local std::vector<uint32_t> offsets;     // CSR bounds into pairs
+  keys.clear();
+  offsets.clear();
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (i == 0 || pairs[i].first != pairs[i - 1].first) {
+      keys.push_back(pairs[i].first);
+      offsets.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  offsets.push_back(static_cast<uint32_t>(pairs.size()));
+
+  thread_local std::vector<uint32_t> common;  // |gq ∩ gt| per target
+  common.assign(targets.size(), 0);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const TokenId q = queries[qi];
+    assert(q < grams_.size());
+    const auto gq = IdsOf(q);
+    // Merge walk of the query's sorted ids against the sorted posting
+    // keys; each hit fans its postings into the per-target counters.
+    size_t i = 0, j = 0;
+    while (i < gq.size() && j < keys.size()) {
+      if (gq[i] < keys[j]) {
+        ++i;
+      } else if (keys[j] < gq[i]) {
+        ++j;
+      } else {
+        for (uint32_t p = offsets[j]; p < offsets[j + 1]; ++p) {
+          ++common[pairs[p].second];
+        }
+        ++i;
+        ++j;
+      }
+    }
+    Score* row = out.data() + qi * targets.size();
+    for (size_t ti = 0; ti < targets.size(); ++ti) {
+      const TokenId t = targets[ti];
+      if (t == q) {
+        row[ti] = 1.0;
+      } else {
+        const size_t c = common[ti];
+        const size_t unions = gq.size() + IdsOf(t).size() - c;
+        row[ti] = unions == 0 ? 0.0
+                              : static_cast<double>(c) /
+                                    static_cast<double>(unions);
+      }
+      common[ti] = 0;  // reset while the line is hot for the next query
+    }
   }
 }
 

@@ -33,6 +33,17 @@ class JaccardQGramSimilarity : public SimilarityFunction {
   void SimilarityBatch(TokenId q, std::span<const TokenId> targets,
                        std::span<Score> out) const override;
 
+  /// Multi-query kernel over a per-block gram-id inverted list: the block's
+  /// target gram ids are transposed once into CSR postings
+  /// (gram id → target positions), then each query walks its own sorted id
+  /// array against the sorted posting keys — one merge per query instead of
+  /// one merge per (query, target) pair, with cost proportional to the
+  /// *matching* grams. This is the path MinHash prewarm blocks score
+  /// through (identical values to the pairwise overload).
+  void SimilarityBatchMulti(std::span<const TokenId> queries,
+                            std::span<const TokenId> targets,
+                            std::span<Score> out) const override;
+
   size_t q() const { return q_; }
   /// Sorted q-grams of a token (for SilkMoth's signature machinery and the
   /// MinHash signatures).

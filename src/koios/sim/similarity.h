@@ -85,6 +85,13 @@ struct Neighbor {
   Score sim = 0.0;
 };
 
+/// Result of a stop-bounded probe (NextNeighborBounded).
+enum class ProbeOutcome : uint8_t {
+  kNeighbor,   // a neighbor >= stop_sim was produced
+  kExhausted,  // the cursor has no neighbors >= alpha left
+  kWithheld,   // neighbors remain, but all are below stop_sim
+};
+
 /// Streaming per-query-token neighbor index over the vocabulary `D`.
 ///
 /// `NextNeighbor(q, alpha)` returns the most similar *not yet returned*
@@ -104,6 +111,44 @@ class SimilarityIndex {
   virtual ~SimilarityIndex() = default;
 
   virtual std::optional<Neighbor> NextNeighbor(TokenId q, Score alpha) = 0;
+
+  /// Stop-bounded probe (the θlb→producer feedback loop, paper §IV–VI): like
+  /// NextNeighbor, but the caller declares it has no use for neighbors with
+  /// similarity below `stop_sim` (a running lower bound derived from θlb;
+  /// callers only ever raise it for a given cursor). On kNeighbor, `*out` is
+  /// the neighbor and the cursor advanced. On kWithheld, `out->sim` is an
+  /// upper bound on every remaining neighbor's similarity (all < stop_sim)
+  /// and `out->token` is kInvalidToken; implementations should avoid doing
+  /// ordering work for the withheld tail — withheld neighbors are never
+  /// requested again. The default adapts NextNeighbor: a below-stop
+  /// neighbor is consumed and reported withheld, which is sound because
+  /// stop thresholds are monotone.
+  virtual ProbeOutcome NextNeighborBounded(TokenId q, Score alpha,
+                                           Score stop_sim, Neighbor* out) {
+    auto n = NextNeighbor(q, alpha);
+    if (!n.has_value()) return ProbeOutcome::kExhausted;
+    if (n->sim < stop_sim) {
+      *out = {kInvalidToken, n->sim};
+      return ProbeOutcome::kWithheld;
+    }
+    *out = *n;
+    return ProbeOutcome::kNeighbor;
+  }
+
+  /// The SimilarityFunction this index scores candidates with, when it has
+  /// one (nullptr otherwise). Consumers use it to complete similarity
+  /// matrices for pairs the feedback-terminated stream never produced; a
+  /// searcher only enables stream feedback when this is non-null.
+  virtual const SimilarityFunction* similarity() const { return nullptr; }
+
+  /// True iff NextNeighbor streams EVERY vocabulary token with sim >= α
+  /// (no recall loss). Approximate backends (LSH, MinHash) must return
+  /// false: results there are exact *with respect to the neighbors the
+  /// probe returns*, and the feedback loop's matrix completion would score
+  /// pairs the probe never surfaced — silently changing results between
+  /// the feedback and drain modes. The searcher therefore only enables
+  /// stream feedback when this is true.
+  virtual bool exact_neighbors() const { return false; }
 
   /// Forget all cursors so a new query can reuse the index.
   virtual void ResetCursors() = 0;

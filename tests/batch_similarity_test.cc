@@ -9,10 +9,12 @@
 #include <optional>
 #include <vector>
 
+#include "koios/data/string_corpus.h"
 #include "koios/embedding/embedding_store.h"
 #include "koios/embedding/synthetic_model.h"
 #include "koios/sim/cosine_similarity.h"
 #include "koios/sim/exact_knn_index.h"
+#include "koios/sim/jaccard_qgram_similarity.h"
 #include "koios/sim/similarity.h"
 #include "koios/util/rng.h"
 #include "koios/util/thread_pool.h"
@@ -131,6 +133,37 @@ TEST(BatchSimilarityTest, SimilarityBatchMultiMatchesPerQueryRows) {
       // Both paths share the same accumulation shape: bit-identical.
       EXPECT_DOUBLE_EQ(multi[qi * vocab.size() + i], row[i])
           << "q=" << queries[qi] << " t=" << vocab[i];
+    }
+  }
+}
+
+TEST(BatchSimilarityTest, JaccardBatchMultiMatchesPairwise) {
+  // The gram-id inverted-list multi kernel must divide the same integer
+  // counts as the pairwise merge: exactly equal, not approximately.
+  data::StringCorpusSpec spec;
+  spec.num_sets = 40;
+  spec.num_base_words = 150;
+  spec.typos_per_word = 2;
+  spec.seed = 77;
+  data::StringCorpus corpus = data::GenerateStringCorpus(spec);
+  JaccardQGramSimilarity jaccard(&corpus.dict, 3);
+
+  std::vector<TokenId> queries, targets;
+  for (size_t i = 0; i < corpus.vocabulary.size(); i += 11) {
+    queries.push_back(corpus.vocabulary[i]);
+  }
+  for (size_t i = 0; i < corpus.vocabulary.size(); i += 3) {
+    targets.push_back(corpus.vocabulary[i]);
+  }
+  ASSERT_FALSE(queries.empty());
+  ASSERT_FALSE(targets.empty());
+  std::vector<double> multi(queries.size() * targets.size());
+  jaccard.SimilarityBatchMulti(queries, targets, std::span<double>(multi));
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    for (size_t ti = 0; ti < targets.size(); ++ti) {
+      EXPECT_DOUBLE_EQ(multi[qi * targets.size() + ti],
+                       jaccard.Similarity(queries[qi], targets[ti]))
+          << "q=" << queries[qi] << " t=" << targets[ti];
     }
   }
 }

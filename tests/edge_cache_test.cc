@@ -149,6 +149,86 @@ TEST(EdgeCacheTest, DeferredMaterializeFeedsConcurrentConsumers) {
   }
 }
 
+TEST(EdgeCacheTest, InlineModeProducesOnDemandAndSeals) {
+  // The single-thread pipelined shape: the consumer's NextTuples pulls
+  // production along; FinishProduction seals, and replays observe the
+  // exact sequence a synchronous cache produces.
+  auto w = testing::MakeRandomWorkload(50, 250, 5, 15, 9006);
+  const auto qs = w.corpus.sets.Tokens(2);
+  std::vector<TokenId> q(qs.begin(), qs.end());
+  std::vector<sim::StreamTuple> want;
+  {
+    sim::TokenStream stream(q, w.index.get(), 0.7,
+                            [](TokenId) { return true; });
+    EdgeCache sync_cache(&stream);
+    want = sync_cache.tuples();
+  }
+  w.index->ResetCursors();
+  sim::TokenStream stream(q, w.index.get(), 0.7, [](TokenId) { return true; });
+  EdgeCache cache(&stream, EdgeCache::InlineProducer{});
+  EXPECT_FALSE(cache.Materialized());
+  std::vector<sim::StreamTuple> seen;
+  std::vector<sim::StreamTuple> buf(5);
+  size_t from = 0;
+  while (const size_t n =
+             cache.NextTuples(from, std::span<sim::StreamTuple>(buf))) {
+    seen.insert(seen.end(), buf.begin(), buf.begin() + n);
+    from += n;
+  }
+  cache.FinishProduction();
+  ASSERT_TRUE(cache.Materialized());
+  EXPECT_TRUE(cache.ExhaustedToAlpha());
+  EXPECT_DOUBLE_EQ(cache.stop_sim(), 0.0);
+  EXPECT_EQ(cache.produced(), want.size());
+  ASSERT_EQ(seen.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(seen[i].token, want[i].token) << i;
+    EXPECT_DOUBLE_EQ(seen[i].sim, want[i].sim) << i;
+  }
+}
+
+TEST(EdgeCacheTest, InlineModeSealsEarlyWithSlack) {
+  // A consumer that stops pulling mid-stream seals the cache with a sound
+  // slack: the recorded stop similarity bounds every unproduced pair.
+  auto w = testing::MakeRandomWorkload(50, 250, 5, 15, 9007);
+  const auto qs = w.corpus.sets.Tokens(4);
+  std::vector<TokenId> q(qs.begin(), qs.end());
+  std::vector<sim::StreamTuple> full;
+  {
+    sim::TokenStream stream(q, w.index.get(), 0.7,
+                            [](TokenId) { return true; });
+    EdgeCache sync_cache(&stream);
+    full = sync_cache.tuples();
+  }
+  ASSERT_GT(full.size(), 8u);
+  w.index->ResetCursors();
+  sim::TokenStream stream(q, w.index.get(), 0.7, [](TokenId) { return true; });
+  EdgeCache cache(&stream, EdgeCache::InlineProducer{});
+  std::vector<sim::StreamTuple> buf(8);
+  ASSERT_EQ(cache.NextTuples(0, std::span<sim::StreamTuple>(buf)), 8u);
+  cache.FinishProduction();
+  ASSERT_TRUE(cache.Materialized());
+  EXPECT_FALSE(cache.ExhaustedToAlpha());
+  for (size_t i = cache.produced(); i < full.size(); ++i) {
+    EXPECT_LE(full[i].sim, cache.stop_sim() + 1e-12) << i;
+  }
+}
+
+TEST(EdgeCacheTest, AbortPoisonsWithFullSlack) {
+  auto w = testing::MakeRandomWorkload(30, 150, 5, 12, 9008);
+  const auto qs = w.corpus.sets.Tokens(1);
+  std::vector<TokenId> q(qs.begin(), qs.end());
+  sim::TokenStream stream(q, w.index.get(), 0.8, [](TokenId) { return true; });
+  EdgeCache cache(&stream, EdgeCache::Deferred{});
+  cache.Abort();
+  EXPECT_TRUE(cache.Materialized());
+  EXPECT_FALSE(cache.ExhaustedToAlpha());
+  EXPECT_DOUBLE_EQ(cache.stop_sim(), 1.0);
+  // A blocked consumer wakes with 0 tuples instead of hanging.
+  std::vector<sim::StreamTuple> buf(4);
+  EXPECT_EQ(cache.NextTuples(0, std::span<sim::StreamTuple>(buf)), 0u);
+}
+
 TEST(EdgeCacheTest, SelfMatchEdgesPresentForVocabularyTokens) {
   auto w = testing::MakeRandomWorkload(30, 150, 5, 12, 9004);
   index::InvertedIndex inverted(w.corpus.sets);

@@ -24,7 +24,7 @@ struct PostHarness {
   std::vector<ResultEntry> Run(const SearchParams& params, SearchStats* stats) {
     RefinementPhase refinement(&workload->corpus.sets, &inverted, query.size(),
                                params);
-    RefinementOutput refined = refinement.Run(cache, stats);
+    RefinementOutput refined = refinement.Run(&cache, stats);
     PostProcessor post(&workload->corpus.sets, &cache, params, nullptr,
                        nullptr);
     return post.Run(std::move(refined), stats);

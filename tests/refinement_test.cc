@@ -26,7 +26,7 @@ struct RefinementHarness {
   RefinementOutput Run(const SearchParams& params, SearchStats* stats) {
     RefinementPhase phase(&workload->corpus.sets, &inverted, query.size(),
                           params);
-    return phase.Run(cache, stats);
+    return phase.Run(&cache, stats);
   }
 
   testing::RandomWorkload* workload;

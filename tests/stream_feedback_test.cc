@@ -1,0 +1,254 @@
+// The θlb→producer feedback loop (ISSUE 3): exactness of
+// feedback-terminated searches against the brute-force oracle AND against
+// a full drain-to-α run, plus the regression guarantee that the stream
+// actually stops strictly above α when the top-k saturates early.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "koios/core/edge_cache.h"
+#include "koios/core/searcher.h"
+#include "koios/matching/hungarian.h"
+#include "koios/matching/semantic_overlap.h"
+#include "koios/sim/lsh_index.h"
+#include "koios/sim/token_stream.h"
+#include "test_util.h"
+
+namespace koios::core {
+namespace {
+
+using testing::MakeRandomWorkload;
+using testing::OracleKthScore;
+using testing::OracleRanking;
+
+constexpr double kTol = 1e-9;
+
+// Runs the same query with feedback on and off and checks:
+//  * both results are identical entry by entry (set ids and exact scores),
+//  * both match the brute-force oracle (θ*k and every reported SO),
+//  * feedback never produces more tuples than the drain.
+void ExpectFeedbackExact(testing::RandomWorkload* w, SetId query_set,
+                         size_t partitions, size_t k, Score alpha,
+                         size_t num_threads, const std::string& label) {
+  const auto q = w->corpus.sets.Tokens(query_set);
+  SearcherOptions options;
+  options.num_partitions = partitions;
+  KoiosSearcher searcher(&w->corpus.sets, w->index.get(), options);
+
+  SearchParams feedback;
+  feedback.k = k;
+  feedback.alpha = alpha;
+  feedback.num_threads = num_threads;
+  feedback.use_stream_feedback = true;
+  SearchParams drain = feedback;
+  drain.use_stream_feedback = false;
+
+  const SearchResult rf = searcher.Search(q, feedback);
+  const SearchResult rd = searcher.Search(q, drain);
+
+  // Bit-identical top-k between the two modes.
+  ASSERT_EQ(rf.topk.size(), rd.topk.size()) << label;
+  for (size_t i = 0; i < rf.topk.size(); ++i) {
+    EXPECT_EQ(rf.topk[i].set, rd.topk[i].set) << label << " entry " << i;
+    EXPECT_DOUBLE_EQ(rf.topk[i].score, rd.topk[i].score)
+        << label << " entry " << i;
+  }
+
+  // Both against the independent oracle.
+  const auto oracle = OracleRanking(w->corpus.sets, q, *w->sim, alpha);
+  const Score theta_star = OracleKthScore(oracle, k);
+  ASSERT_EQ(rf.topk.size(), std::min(k, oracle.size())) << label;
+  if (!rf.topk.empty()) {
+    EXPECT_NEAR(rf.KthScore(), theta_star, kTol) << label;
+    for (const ResultEntry& entry : rf.topk) {
+      const Score truth = matching::SemanticOverlap(
+          q, w->corpus.sets.Tokens(entry.set), *w->sim, alpha);
+      EXPECT_NEAR(entry.score, truth, kTol) << label << " set " << entry.set;
+    }
+  }
+
+  // The whole point: feedback must not produce more than the drain, and
+  // the drain must report no stop (it ran to α).
+  EXPECT_LE(rf.stats.stream_tuples_produced, rd.stats.stream_tuples_produced)
+      << label;
+  EXPECT_EQ(rd.stats.stream_stop_sim, 0.0) << label;
+}
+
+// ------------------------------------------------- exactness, k x p grid --
+
+class FeedbackExactnessTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, size_t>> {};
+
+TEST_P(FeedbackExactnessTest, MatchesDrainAndBruteForce) {
+  const auto [partitions, k, num_threads] = GetParam();
+  auto w = MakeRandomWorkload(140, 650, 5, 25, 7000 + partitions * 17 + k);
+  for (SetId qid : {SetId{1}, SetId{57}}) {
+    ExpectFeedbackExact(&w, qid, partitions, k, 0.75, num_threads,
+                        "p=" + std::to_string(partitions) +
+                            " k=" + std::to_string(k) +
+                            " t=" + std::to_string(num_threads) +
+                            " q=" + std::to_string(qid));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PartitionKGrid, FeedbackExactnessTest,
+    ::testing::Combine(::testing::Values<size_t>(1, 4),     // partitions
+                       ::testing::Values<size_t>(1, 5, 20),  // k
+                       ::testing::Values<size_t>(1, 4)));    // threads
+
+// --------------------------------------------------------- stop above α --
+
+TEST(StreamFeedbackTest, StopsStrictlyAboveAlphaOnSkewedCorpus) {
+  // Querying a stored set pushes θlb to |Q| through the self-match tuples
+  // almost immediately (the set's own greedy matching completes first), so
+  // with k = 1 the stop similarity τ = (θlb − ε)/|Q| ≈ 1 and the producer
+  // must cut the skewed corpus's long α-tail off instead of draining it.
+  auto w = MakeRandomWorkload(200, 800, 8, 30, 8101);
+  const SetId query_set = 13;
+  const auto q = w.corpus.sets.Tokens(query_set);
+  KoiosSearcher searcher(&w.corpus.sets, w.index.get());
+
+  SearchParams params;
+  params.k = 1;
+  params.alpha = 0.5;  // deep drain without feedback
+  const SearchResult rf = searcher.Search(q, params);
+
+  SearchParams drain = params;
+  drain.use_stream_feedback = false;
+  const SearchResult rd = searcher.Search(q, drain);
+
+  EXPECT_GT(rf.stats.stream_stop_sim, params.alpha)
+      << "feedback should stop the stream above α";
+  EXPECT_LT(rf.stats.stream_tuples_produced, rd.stats.stream_tuples_produced)
+      << "feedback should prune producer work";
+  // Same exact answer regardless.
+  ASSERT_EQ(rf.topk.size(), rd.topk.size());
+  for (size_t i = 0; i < rf.topk.size(); ++i) {
+    EXPECT_EQ(rf.topk[i].set, rd.topk[i].set);
+    EXPECT_DOUBLE_EQ(rf.topk[i].score, rd.topk[i].score);
+  }
+}
+
+TEST(StreamFeedbackTest, PartitionedSearchSharesGlobalTheta) {
+  // §VI: the stop machinery derives from the cross-partition
+  // GlobalThreshold. In a serial 4-partition search the partition holding
+  // the query set publishes θlb = |Q|, after which every later partition's
+  // consumer breaks almost immediately — aggregate consumption must drop
+  // well below the drain's, and production must never exceed it. The
+  // threaded run (producer races the consumers, so the stop point varies)
+  // must still return the identical exact answer.
+  auto w = MakeRandomWorkload(200, 800, 8, 30, 8102);
+  SearcherOptions options;
+  options.num_partitions = 4;
+  KoiosSearcher searcher(&w.corpus.sets, w.index.get(), options);
+  const auto q = w.corpus.sets.Tokens(21);
+  SearchParams params;
+  params.k = 1;
+  params.alpha = 0.55;
+  const SearchResult serial = searcher.Search(q, params);
+
+  SearchParams drain = params;
+  drain.use_stream_feedback = false;
+  const SearchResult drained = searcher.Search(q, drain);
+  EXPECT_LT(serial.stats.stream_tuples, drained.stats.stream_tuples);
+  EXPECT_LE(serial.stats.stream_tuples_produced,
+            drained.stats.stream_tuples_produced);
+
+  params.num_threads = 4;
+  const SearchResult threaded = searcher.Search(q, params);
+  EXPECT_LE(threaded.stats.stream_tuples_produced,
+            drained.stats.stream_tuples_produced);
+  ASSERT_EQ(threaded.topk.size(), serial.topk.size());
+  for (size_t i = 0; i < threaded.topk.size(); ++i) {
+    EXPECT_EQ(threaded.topk[i].set, serial.topk[i].set);
+    EXPECT_DOUBLE_EQ(threaded.topk[i].score, serial.topk[i].score);
+  }
+}
+
+// ------------------------------------------ matrix completion, directly --
+
+TEST(StreamFeedbackTest, BuildMatrixCompletesBelowStopEdges) {
+  // A cache whose producer was stopped early must still hand exact
+  // matching the full simα matrix: the missing below-stop edges are
+  // completed through the similarity's batch kernels.
+  auto w = MakeRandomWorkload(80, 400, 6, 18, 8103);
+  const auto qs = w.corpus.sets.Tokens(2);
+  std::vector<TokenId> q(qs.begin(), qs.end());
+  const Score alpha = 0.6;
+
+  sim::TokenStream stream(q, w.index.get(), alpha,
+                          [](TokenId) { return true; });
+  // Fixed stop threshold well above α: the stream is guaranteed to stop
+  // early (self-matches at 1.0 are produced, the tail is withheld).
+  EdgeCache cache(&stream, EdgeCache::Deferred{}, w.sim.get(),
+                  [] { return 0.9; });
+  cache.Materialize();
+  ASSERT_FALSE(cache.ExhaustedToAlpha());
+  ASSERT_GE(cache.stop_sim(), alpha);
+
+  for (SetId id = 0; id < 40; ++id) {
+    std::vector<uint32_t> rows, cols;
+    const auto m = cache.BuildMatrix(w.corpus.sets.Tokens(id), &rows, &cols);
+    const Score via_cache = matching::HungarianMatcher::Solve(m).score;
+    const Score direct = matching::SemanticOverlap(
+        q, w.corpus.sets.Tokens(id), *w.sim, alpha);
+    EXPECT_NEAR(via_cache, direct, 1e-9) << "set " << id;
+  }
+}
+
+// -------------------------------------------- approximate backends gate --
+
+TEST(StreamFeedbackTest, ApproximateIndexesDoNotEnableFeedback) {
+  // LSH/MinHash results are exact only w.r.t. the neighbors the probe
+  // returns; matrix completion from the raw similarity would score pairs
+  // the probe never surfaced and silently change results between modes.
+  // The searcher must therefore keep the drain-to-α path for them.
+  auto w = MakeRandomWorkload(150, 500, 5, 20, 8105, /*coverage=*/1.0);
+  sim::LshIndexSpec spec;
+  spec.num_tables = 16;
+  spec.bits_per_table = 6;
+  sim::CosineLshIndex lsh(w.corpus.vocabulary, &w.model->store(), w.sim.get(),
+                          spec);
+  ASSERT_FALSE(lsh.exact_neighbors());
+  ASSERT_NE(lsh.similarity(), nullptr);
+  KoiosSearcher searcher(&w.corpus.sets, &lsh);
+  const auto q = w.corpus.sets.Tokens(3);
+  SearchParams feedback;
+  feedback.k = 5;
+  feedback.alpha = 0.7;
+  SearchParams drain = feedback;
+  drain.use_stream_feedback = false;
+  const SearchResult rf = searcher.Search(q, feedback);
+  const SearchResult rd = searcher.Search(q, drain);
+  // Feedback is gated off: both runs drain identically.
+  EXPECT_EQ(rf.stats.stream_stop_sim, 0.0);
+  EXPECT_EQ(rf.stats.stream_tuples_produced, rd.stats.stream_tuples_produced);
+  ASSERT_EQ(rf.topk.size(), rd.topk.size());
+  for (size_t i = 0; i < rf.topk.size(); ++i) {
+    EXPECT_EQ(rf.topk[i].set, rd.topk[i].set);
+    EXPECT_DOUBLE_EQ(rf.topk[i].score, rd.topk[i].score);
+  }
+}
+
+// ------------------------------------------------------ workspace reuse --
+
+TEST(StreamFeedbackTest, HungarianWorkspaceIsReused) {
+  auto w = MakeRandomWorkload(150, 500, 5, 25, 8104);
+  KoiosSearcher searcher(&w.corpus.sets, w.index.get());
+  const auto q = w.corpus.sets.Tokens(7);
+  SearchParams params;
+  params.k = 10;
+  params.alpha = 0.7;
+  const SearchResult r = searcher.Search(q, params);
+  const size_t solves = r.stats.em_computed + r.stats.em_early_terminated +
+                        r.stats.result_verification_ems;
+  if (solves > 1) {
+    EXPECT_GT(r.stats.em_workspace_reuses, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace koios::core
