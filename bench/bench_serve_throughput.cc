@@ -1,0 +1,332 @@
+// Throughput harness for the serve subsystem (ISSUE 4): aggregate QPS and
+// tail latency of the concurrent QueryEngine versus serial one-at-a-time
+// KoiosSearcher::Search over the same corpus, same mixed workload.
+//
+// Workload: a scenario sampler draws stored sets as queries and cycles
+// k ∈ {1, 5, 10, 20} × α ∈ {0.7, 0.8, 0.9}, so the engine juggles cheap
+// and expensive queries and the α-keyed cursor cache is exercised across
+// thresholds. Three measurements:
+//
+//  * serial      — the whole query stream through KoiosSearcher::Search on
+//                  one thread (the pre-serve execution model), warm cache.
+//  * closed loop — C client threads, each submitting its slice of the same
+//                  stream synchronously (Submit().get()); aggregate QPS.
+//                  This is the acceptance measurement: ≥ 3× serial QPS at
+//                  8 concurrent clients — on ≥ 4 real cores; a 1–2 core
+//                  runner physically cannot exceed ~1× (exit 3, tolerated,
+//                  same convention as the other benches' timing bars).
+//  * open loop   — arrivals on a fixed schedule at 70% of the closed-loop
+//                  rate; latency = completion − scheduled arrival (queue
+//                  wait included), reported as p50/p95/p99 through
+//                  serve::LatencyRecorder.
+//
+// Exactness is a HARD gate (exit 2): every engine result must be
+// bit-identical (set, score, exact flag) to the serial reference — the
+// shared cursor cache is deterministic and per-query state is isolated,
+// so concurrency must not move a single bit — and the first scenarios are
+// additionally spot-checked against the direct semantic-overlap oracle.
+//
+// Usage: bench_serve_throughput [--json out.json] [--queries N]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "koios/core/searcher.h"
+#include "koios/data/corpus.h"
+#include "koios/data/query_benchmark.h"
+#include "koios/embedding/synthetic_model.h"
+#include "koios/matching/semantic_overlap.h"
+#include "koios/serve/latency_recorder.h"
+#include "koios/serve/query_engine.h"
+#include "koios/sim/cosine_similarity.h"
+#include "koios/sim/exact_knn_index.h"
+#include "koios/util/rng.h"
+#include "koios/util/timer.h"
+
+namespace koios {
+namespace {
+
+constexpr double kRequiredSpeedup = 3.0;  // at 8 closed-loop clients
+
+struct Scenario {
+  std::vector<TokenId> tokens;
+  core::SearchParams params;
+};
+
+struct LoopOutcome {
+  double sec = 0.0;
+  double qps = 0.0;
+  bool exact = true;
+};
+
+bool SameResult(const core::SearchResult& got, const core::SearchResult& want) {
+  if (got.topk.size() != want.topk.size()) return false;
+  for (size_t i = 0; i < got.topk.size(); ++i) {
+    if (got.topk[i].set != want.topk[i].set ||
+        got.topk[i].score != want.topk[i].score ||
+        got.topk[i].exact != want.topk[i].exact) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int Run(size_t total_queries, const std::string& json_path) {
+  // ---- corpus + snapshot-equivalent serving structures ------------------
+  data::CorpusSpec spec;
+  spec.name = "serve-throughput";
+  spec.num_sets = 2500;
+  spec.vocab_size = 3000;
+  spec.element_skew = 0.7;
+  spec.size_distribution = data::SizeDistribution::kNormal;
+  spec.min_set_size = 6;
+  spec.max_set_size = 40;
+  spec.avg_set_size = 18.0;
+  spec.size_stddev = 8.0;
+  spec.seed = 20260731;
+  util::WallTimer setup_timer;
+  data::Corpus corpus = data::GenerateCorpus(spec);
+
+  embedding::SyntheticModelSpec model_spec;
+  model_spec.vocab_size = spec.vocab_size;
+  model_spec.dim = 32;
+  model_spec.avg_cluster_size = 12.0;
+  model_spec.noise_sigma = 0.38;
+  model_spec.coverage = 0.92;
+  model_spec.seed = spec.seed + 1;
+  embedding::SyntheticEmbeddingModel model(model_spec);
+  sim::CosineEmbeddingSimilarity cosine(&model.store());
+  sim::ExactKnnIndex index(corpus.vocabulary, &cosine);
+  core::KoiosSearcher serial_searcher(&corpus.sets, &index);
+  std::printf("[setup] %zu sets, %zu vocab, %.1fs\n", corpus.NumSets(),
+              corpus.vocabulary.size(), setup_timer.ElapsedSeconds());
+
+  // ---- mixed scenario sampler ------------------------------------------
+  const size_t ks[] = {1, 5, 10, 20};
+  const Score alphas[] = {0.7, 0.8, 0.9};
+  util::Rng rng(424243);
+  const auto sampled = data::SampleQueriesUniform(corpus, 48, &rng);
+  std::vector<Scenario> scenarios;
+  for (size_t i = 0; i < sampled.size(); ++i) {
+    Scenario s;
+    s.tokens = sampled[i].tokens;
+    s.params.k = ks[i % 4];
+    s.params.alpha = alphas[i % 3];
+    s.params.num_threads = 1;  // engine policy; serial uses the same
+    scenarios.push_back(std::move(s));
+  }
+  // The measured stream cycles the scenarios (cache-warm steady state, the
+  // serving regime this engine targets).
+  std::vector<size_t> stream(total_queries);
+  for (size_t i = 0; i < stream.size(); ++i) stream[i] = i % scenarios.size();
+
+  // ---- reference results + oracle spot-check (also warms the cache) ----
+  std::vector<core::SearchResult> reference;
+  for (const Scenario& s : scenarios) {
+    reference.push_back(serial_searcher.Search(s.tokens, s.params));
+  }
+  bool oracle_ok = true;
+  for (size_t i = 0; i < std::min<size_t>(8, scenarios.size()); ++i) {
+    for (const core::ResultEntry& entry : reference[i].topk) {
+      const Score truth = matching::SemanticOverlap(
+          scenarios[i].tokens, corpus.sets.Tokens(entry.set), cosine,
+          scenarios[i].params.alpha);
+      if (std::abs(entry.score - truth) > 1e-9) oracle_ok = false;
+    }
+  }
+
+  // ---- serial baseline --------------------------------------------------
+  LoopOutcome serial;
+  {
+    util::WallTimer timer;
+    bool exact = true;
+    for (const size_t si : stream) {
+      const core::SearchResult r =
+          serial_searcher.Search(scenarios[si].tokens, scenarios[si].params);
+      exact &= SameResult(r, reference[si]);
+    }
+    serial.sec = timer.ElapsedSeconds();
+    serial.qps = static_cast<double>(stream.size()) / serial.sec;
+    serial.exact = exact;
+  }
+
+  // ---- closed loop ------------------------------------------------------
+  const size_t client_counts[] = {2, 8};
+  LoopOutcome closed[2];
+  for (size_t ci = 0; ci < 2; ++ci) {
+    const size_t clients = client_counts[ci];
+    serve::EngineOptions options;
+    options.num_threads = clients;
+    options.max_queue = stream.size();
+    serve::QueryEngine engine(&corpus.sets, &index, options);
+    std::atomic<size_t> mismatches{0};
+    util::WallTimer timer;
+    std::vector<std::thread> workers;
+    for (size_t c = 0; c < clients; ++c) {
+      workers.emplace_back([&, c] {
+        for (size_t i = c; i < stream.size(); i += clients) {
+          const size_t si = stream[i];
+          serve::QueryEngine::Result r =
+              engine.Submit(scenarios[si].tokens, scenarios[si].params).get();
+          if (!r.ok() || !SameResult(r.value(), reference[si])) ++mismatches;
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    closed[ci].sec = timer.ElapsedSeconds();
+    closed[ci].qps = static_cast<double>(stream.size()) / closed[ci].sec;
+    closed[ci].exact = mismatches.load() == 0;
+  }
+
+  // ---- open loop --------------------------------------------------------
+  // Arrivals at 70% of the measured 8-client closed-loop rate; latency is
+  // completion − SCHEDULED arrival, so queue wait (and schedule slip under
+  // overload) counts against the tail. Completions are harvested in submit
+  // order — the engine pool is FIFO, so this adds no systematic bias.
+  const double open_rate = 0.7 * closed[1].qps;
+  serve::LatencyRecorder open_latency;
+  double open_sec = 0.0;
+  bool open_exact = true;
+  {
+    serve::EngineOptions options;
+    options.num_threads = 8;
+    options.max_queue = stream.size();
+    serve::QueryEngine engine(&corpus.sets, &index, options);
+    using Clock = std::chrono::steady_clock;
+    const auto start = Clock::now();
+    const auto interval = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(1.0 / std::max(open_rate, 1.0)));
+    std::vector<std::future<serve::QueryEngine::Result>> futures;
+    std::vector<Clock::time_point> scheduled;
+    futures.reserve(stream.size());
+    for (size_t i = 0; i < stream.size(); ++i) {
+      const auto arrival = start + interval * static_cast<long>(i);
+      std::this_thread::sleep_until(arrival);
+      scheduled.push_back(arrival);
+      const size_t si = stream[i];
+      futures.push_back(
+          engine.Submit(scenarios[si].tokens, scenarios[si].params));
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+      serve::QueryEngine::Result r = futures[i].get();
+      const auto done = Clock::now();
+      open_latency.Record(
+          std::chrono::duration<double>(done - scheduled[i]).count());
+      if (!r.ok() || !SameResult(r.value(), reference[stream[i]])) {
+        open_exact = false;
+      }
+    }
+    open_sec = std::chrono::duration<double>(Clock::now() - start).count();
+  }
+
+  const sim::CursorCacheStats cache = index.cursor_cache_stats();
+
+  // ---- report -----------------------------------------------------------
+  const double speedup2 = closed[0].qps / serial.qps;
+  const double speedup8 = closed[1].qps / serial.qps;
+  std::printf("\n=== serve throughput: %zu queries, %zu scenarios ===\n",
+              stream.size(), scenarios.size());
+  std::printf("%-22s | %9s | %8s | %s\n", "mode", "QPS", "speedup", "exact");
+  std::printf("%s\n", std::string(60, '-').c_str());
+  std::printf("%-22s | %9.1f | %8s | %s\n", "serial (1 thread)", serial.qps,
+              "1.0x", serial.exact ? "yes" : "NO");
+  std::printf("%-22s | %9.1f | %7.1fx | %s\n", "closed loop, 2 clients",
+              closed[0].qps, speedup2, closed[0].exact ? "yes" : "NO");
+  std::printf("%-22s | %9.1f | %7.1fx | %s\n", "closed loop, 8 clients",
+              closed[1].qps, speedup8, closed[1].exact ? "yes" : "NO");
+  std::printf("%-22s | %9.1f | %8s | %s\n", "open loop (0.7x rate)",
+              static_cast<double>(stream.size()) / open_sec, "-",
+              open_exact ? "yes" : "NO");
+  std::printf("open-loop latency: %s\n", open_latency.Summary().c_str());
+  std::printf(
+      "cursor cache: %llu hits, %llu misses, %llu duplicate builds, %llu "
+      "cursors\n",
+      static_cast<unsigned long long>(cache.hits),
+      static_cast<unsigned long long>(cache.misses),
+      static_cast<unsigned long long>(cache.duplicate_builds),
+      static_cast<unsigned long long>(cache.cursors));
+  std::printf("hardware threads: %u\n", std::thread::hardware_concurrency());
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+    } else {
+      std::fprintf(f, "{\n  \"bench\": \"serve_throughput\",\n");
+      std::fprintf(f,
+                   "  \"corpus\": {\"sets\": %zu, \"vocab\": %zu},\n"
+                   "  \"queries\": %zu, \"scenarios\": %zu,\n"
+                   "  \"hardware_threads\": %u,\n",
+                   corpus.NumSets(), corpus.vocabulary.size(), stream.size(),
+                   scenarios.size(), std::thread::hardware_concurrency());
+      std::fprintf(f, "  \"serial\": {\"qps\": %.2f, \"sec\": %.4f},\n",
+                   serial.qps, serial.sec);
+      std::fprintf(f,
+                   "  \"closed_loop\": [\n"
+                   "    {\"clients\": 2, \"qps\": %.2f, \"speedup\": %.3f},\n"
+                   "    {\"clients\": 8, \"qps\": %.2f, \"speedup\": %.3f}\n"
+                   "  ],\n",
+                   closed[0].qps, speedup2, closed[1].qps, speedup8);
+      std::fprintf(f,
+                   "  \"open_loop\": {\"rate_qps\": %.2f, \"p50_ms\": %.3f, "
+                   "\"p95_ms\": %.3f, \"p99_ms\": %.3f},\n",
+                   open_rate, open_latency.Percentile(50) * 1e3,
+                   open_latency.Percentile(95) * 1e3,
+                   open_latency.Percentile(99) * 1e3);
+      std::fprintf(
+          f,
+          "  \"cursor_cache\": {\"hits\": %llu, \"misses\": %llu, "
+          "\"duplicate_builds\": %llu},\n",
+          static_cast<unsigned long long>(cache.hits),
+          static_cast<unsigned long long>(cache.misses),
+          static_cast<unsigned long long>(cache.duplicate_builds));
+      std::fprintf(f, "  \"exact\": %s\n}\n",
+                   (serial.exact && closed[0].exact && closed[1].exact &&
+                    open_exact && oracle_ok)
+                       ? "true"
+                       : "false");
+      std::fclose(f);
+      std::printf("json written to %s\n", json_path.c_str());
+    }
+  }
+
+  if (!serial.exact || !closed[0].exact || !closed[1].exact || !open_exact ||
+      !oracle_ok) {
+    std::fprintf(stderr,
+                 "ERROR: engine results diverged from the serial reference "
+                 "(or the oracle)\n");
+    return 2;
+  }
+  if (speedup8 < kRequiredSpeedup) {
+    std::fprintf(stderr,
+                 "WARN: 8-client speedup %.2fx below the %.1fx bar (needs >= 4 "
+                 "real cores; this host reports %u)\n",
+                 speedup8, kRequiredSpeedup,
+                 std::thread::hardware_concurrency());
+    return 3;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace koios
+
+int main(int argc, char** argv) {
+  size_t total_queries = 160;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
+      total_queries = static_cast<size_t>(std::stoul(argv[++i]));
+    }
+  }
+  return koios::Run(total_queries, json_path);
+}

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "koios/core/search_types.h"
+
 namespace koios::core {
 
 namespace {
@@ -22,9 +24,10 @@ EdgeCache::EdgeCache(sim::TokenStream* stream) : stream_(stream) {
 
 EdgeCache::EdgeCache(sim::TokenStream* stream, Deferred,
                      const sim::SimilarityFunction* completer,
-                     StopSimFn stop_sim)
+                     StopSimFn stop_sim, const SearchContext* ctx)
     : stream_(stream),
       completer_(completer),
+      ctx_(ctx),
       stop_sim_fn_(std::move(stop_sim)),
       query_(stream->query()),
       alpha_(stream->alpha()) {
@@ -35,9 +38,10 @@ EdgeCache::EdgeCache(sim::TokenStream* stream, Deferred,
 
 EdgeCache::EdgeCache(sim::TokenStream* stream, InlineProducer,
                      const sim::SimilarityFunction* completer,
-                     StopSimFn stop_sim)
+                     StopSimFn stop_sim, const SearchContext* ctx)
     : stream_(stream),
       completer_(completer),
+      ctx_(ctx),
       stop_sim_fn_(std::move(stop_sim)),
       inline_mode_(true),
       query_(stream->query()),
@@ -97,7 +101,13 @@ void EdgeCache::Materialize() {
     // edges_ is producer-private until done_ — post-processing only reads
     // it after refinement consumed the whole stream.
     edges_[tuple->token].push_back({tuple->query_pos, tuple->sim});
-    if (batch.size() >= kPublishBatch) publish();
+    if (batch.size() >= kPublishBatch) {
+      publish();
+      // Deadline poll per publish batch: an expired query stops producing
+      // here; the Finisher's poison seal releases blocked consumers, and
+      // the abort unwinds through the searcher's joining guard.
+      if (ctx_ != nullptr) ctx_->CheckCancelled();
+    }
   }
   publish();
   finisher.exhausted = !stream->stopped();
@@ -105,6 +115,9 @@ void EdgeCache::Materialize() {
 }
 
 void EdgeCache::ProduceInline(size_t until) {
+  // One poll per pull chunk; the chunk is small (PreferredConsumeChunk) so
+  // an inline single-thread query still honors its deadline promptly.
+  if (ctx_ != nullptr) ctx_->CheckCancelled();
   sim::TokenStream* stream = stream_;
   while (tuples_.size() < until) {
     auto tuple = stream->Next(stop_sim_fn_ ? stop_sim_fn_() : 0.0);

@@ -52,6 +52,8 @@
 
 namespace koios::core {
 
+class SearchContext;
+
 /// One α-surviving edge incident to vocabulary token `t`: the query
 /// position and the similarity.
 struct CachedEdge {
@@ -76,10 +78,13 @@ class EdgeCache {
   /// SimilarityFunction) enables BuildMatrix to fill in edges the stream
   /// never produced; `stop_sim` (requires `completer`) enables bounded
   /// materialization — both nullable, yielding the seed drain-to-α cache.
+  /// `ctx` (nullable) lets production honor a per-query deadline: the
+  /// producer polls it per publish batch and throws SearchAborted, which
+  /// poison-seals the cache so blocked consumers unwind instead of hang.
   struct Deferred {};
   EdgeCache(sim::TokenStream* stream, Deferred,
             const sim::SimilarityFunction* completer = nullptr,
-            StopSimFn stop_sim = nullptr);
+            StopSimFn stop_sim = nullptr, const SearchContext* ctx = nullptr);
 
   /// Inline mode: no producer thread — the single consumer drives
   /// production on demand from NextTuples(). Call FinishProduction() once
@@ -87,7 +92,7 @@ class EdgeCache {
   struct InlineProducer {};
   EdgeCache(sim::TokenStream* stream, InlineProducer,
             const sim::SimilarityFunction* completer = nullptr,
-            StopSimFn stop_sim = nullptr);
+            StopSimFn stop_sim = nullptr, const SearchContext* ctx = nullptr);
 
   /// Drains the stream (to α, or to the feedback stop similarity),
   /// publishing tuples incrementally to NextTuples() consumers. Call
@@ -204,6 +209,7 @@ class EdgeCache {
 
   sim::TokenStream* stream_;  // null once production completed
   const sim::SimilarityFunction* completer_ = nullptr;
+  const SearchContext* ctx_ = nullptr;  // deadline source (nullable)
   StopSimFn stop_sim_fn_;
   bool inline_mode_ = false;
   std::vector<TokenId> query_;  // the stream's query (matrix completion)

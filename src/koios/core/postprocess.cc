@@ -54,13 +54,13 @@ EmScratch& ThreadEmScratch() {
 
 PostProcessor::PostProcessor(const index::SetCollection* sets,
                              const EdgeCache* cache,
-                             const SearchParams& params,
-                             GlobalThreshold* global_theta,
+                             const SearchParams& params, SearchContext* ctx,
                              util::ThreadPool* pool)
     : sets_(sets),
       cache_(cache),
       params_(params),
-      global_theta_(global_theta),
+      ctx_(ctx),
+      global_theta_(ctx != nullptr ? &ctx->global_theta() : nullptr),
       pool_(pool) {}
 
 Score PostProcessor::ThetaLb(Score local) const {
@@ -128,6 +128,9 @@ std::vector<ResultEntry> PostProcessor::Run(RefinementOutput refinement,
   };
 
   while (!alive.empty()) {
+    // Deadline/cancellation poll once per window round (i.e. at least once
+    // per exact-matching batch — the expensive unit of this phase).
+    if (ctx_ != nullptr) ctx_->CheckCancelled();
     prune_below_theta();
 
     // The window: first min(k, |alive|) entries by descending ub. θub is

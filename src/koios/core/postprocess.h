@@ -18,12 +18,14 @@ namespace koios::core {
 
 class PostProcessor {
  public:
-  /// `global_theta` may be null (unpartitioned search). `pool` may be null;
+  /// `ctx` may be null (phase-level tests): its GlobalThreshold is the
+  /// cross-partition θlb, its deadline/cancellation is polled between
+  /// exact-matching batches (throwing SearchAborted). `pool` may be null;
   /// with a pool, exact matchings run in parallel batches of
   /// params.num_threads as in the paper ("all sets in Lub are queued and
   /// evaluated in parallel in the background").
   PostProcessor(const index::SetCollection* sets, const EdgeCache* cache,
-                const SearchParams& params, GlobalThreshold* global_theta,
+                const SearchParams& params, SearchContext* ctx,
                 util::ThreadPool* pool);
 
   /// Consumes the refinement output and returns the top-k result entries in
@@ -41,7 +43,8 @@ class PostProcessor {
   const index::SetCollection* sets_;
   const EdgeCache* cache_;
   SearchParams params_;
-  GlobalThreshold* global_theta_;
+  SearchContext* ctx_;
+  GlobalThreshold* global_theta_;  // &ctx_->global_theta(), null without ctx
   util::ThreadPool* pool_;
   // Solves that hit a warm thread-local HungarianWorkspace (stats:
   // em_workspace_reuses); atomic because the EM batches run on the pool.

@@ -15,8 +15,8 @@ RefinementPhase::RefinementPhase(const index::SetCollection* sets,
       params_(params) {}
 
 RefinementOutput RefinementPhase::Run(EdgeCache* cache, SearchStats* stats,
-                                      GlobalThreshold* global_theta,
-                                      StreamStopController* stop_controller) {
+                                      SearchContext* ctx) {
+  GlobalThreshold* global_theta = ctx != nullptr ? &ctx->global_theta() : nullptr;
   RefinementOutput out;
   out.llb = util::TopKList<SetId>(params_.k);
 
@@ -49,27 +49,59 @@ RefinementOutput RefinementPhase::Run(EdgeCache* cache, SearchStats* stats,
   // worst case, versus an inverted-index probe per tuple.
   const bool may_stop_early = cache->FeedbackEnabled();
   const Score query_size_score = static_cast<Score>(query_size_);
-  const size_t survivor_budget = std::max<size_t>(32, 4 * params_.k);
+  constexpr size_t kMinSurvivorBudget = 32;
+  const size_t fixed_budget =
+      std::max<size_t>(kMinSurvivorBudget, 4 * params_.k);
+  // Adaptive budget (rent-to-buy, SearchParams::use_adaptive_survivor_budget):
+  // strand at most as much estimated EM work as the streaming work already
+  // spent, with one EM costed at adaptive_em_cost_tuples stream tuples.
+  // Both sides of that balance scale with the per-tuple cost, so it
+  // cancels and the rule reduces to tuples_consumed / ratio — which is
+  // precisely what makes it robust (no clock, no machine constant): on
+  // hardware where tuples are slow, the same tuple count represents
+  // proportionally more sunk cost AND proportionally costlier EMs. The
+  // budget only ever DELAYS the stop, so exactness is untouched; stats
+  // record the value in force at the stop.
+  auto survivor_budget = [&]() -> size_t {
+    if (!params_.use_adaptive_survivor_budget) return fixed_budget;
+    const double affordable = static_cast<double>(stats->stream_tuples) /
+                              std::max(params_.adaptive_em_cost_tuples, 1.0);
+    return std::max(kMinSurvivorBudget, static_cast<size_t>(affordable));
+  };
   constexpr size_t kStopCheckCadence = 64;
   size_t next_stop_check = 0;
+  size_t next_cancel_check = 0;
   bool stopped_early = false;
   auto should_stop = [&](Score s) {
+    if (ctx != nullptr && stats->stream_tuples >= next_cancel_check) {
+      // Deadline/cancellation poll at the stop-check cadence: cheap, and
+      // frequent enough that an expired query unwinds within a few dozen
+      // tuples.
+      next_cancel_check = stats->stream_tuples + kStopCheckCadence;
+      ctx->CheckCancelled();
+    }
     if (!may_stop_early || s * query_size_score >= theta_lb - kScoreEps) {
       return false;
     }
     if (stats->stream_tuples < next_stop_check) return false;
     next_stop_check = stats->stream_tuples + kStopCheckCadence;
+    const size_t budget = survivor_budget();
     size_t survivors;
     if (params_.use_iub_filter && params_.use_bucket_index) {
-      survivors = buckets.CountSurvivors(s, theta_lb, survivor_budget);
+      survivors = buckets.CountSurvivors(s, theta_lb, budget);
     } else {
       survivors = 0;
       for (const auto& [id, state] : candidates) {
         if (state.UpperBound(s) >= theta_lb - kScoreEps) ++survivors;
-        if (survivors > survivor_budget) break;
+        if (survivors > budget) break;
       }
     }
-    return survivors <= survivor_budget;
+    if (survivors <= budget) {
+      stats->stream_survivor_budget =
+          std::max(stats->stream_survivor_budget, budget);
+      return true;
+    }
+    return false;
   };
 
   auto process_tuple = [&](const sim::StreamTuple& tuple) {
@@ -187,9 +219,11 @@ RefinementOutput RefinementPhase::Run(EdgeCache* cache, SearchStats* stats,
   }
   if (stopped_early) {
     // Declare the stop so the producer may cease materializing below it
-    // once every partition's consumer has declared one.
-    if (stop_controller != nullptr) {
-      stop_controller->PublishConsumerStop(out.ub_slack);
+    // once every partition's consumer has declared one. stopped_early
+    // implies feedback was enabled, which implies a context exists (the
+    // searcher only wires a stop source when it has one).
+    if (ctx != nullptr) {
+      ctx->stop_controller().PublishConsumerStop(out.ub_slack);
     }
   } else {
     // Consumed everything produced; unprocessed pairs are exactly the ones

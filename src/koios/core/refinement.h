@@ -47,12 +47,14 @@ class RefinementPhase {
   /// applies Algorithm 1 + the bucketized iUB filter. Counters are
   /// accumulated into `stats`.
   ///
-  /// `global_theta` (nullable) is the cross-partition θlb of §VI: any
-  /// partition's k-th best lower bound is a valid lower bound on the
-  /// *merged* θ*k, so partitions can prune with the maximum across all of
-  /// them without affecting the merged result's exactness. It also powers
-  /// the feedback loop: every θlb improvement is published immediately
-  /// (greedy lower bounds, Lemma 4/5).
+  /// `ctx` (nullable) is the per-query SearchContext. Its GlobalThreshold
+  /// is the cross-partition θlb of §VI: any partition's k-th best lower
+  /// bound is a valid lower bound on the *merged* θ*k, so partitions can
+  /// prune with the maximum across all of them without affecting the
+  /// merged result's exactness. It also powers the feedback loop: every
+  /// θlb improvement is published immediately (greedy lower bounds,
+  /// Lemma 4/5). The context's deadline/cancellation is polled every
+  /// stop-check cadence; an elapsed deadline throws SearchAborted.
   ///
   /// When the cache has feedback enabled, this consumer stops consuming at
   /// the stop similarity τ(θlb, |Q|, partial scores) — the largest stream
@@ -68,11 +70,11 @@ class RefinementPhase {
   ///     post-processing; this work-balance condition only delays the
   ///     stop, so exactness is untouched).
   /// The declined similarity becomes the survivors' upper-bound slack
-  /// (ub_slack) and is declared to `stop_controller` (nullable) so the
-  /// producer can stop materializing once every partition has declared.
+  /// (ub_slack) and is declared to the context's StreamStopController so
+  /// the producer can stop materializing once every partition has
+  /// declared (no declarations happen without a context).
   RefinementOutput Run(EdgeCache* cache, SearchStats* stats,
-                       GlobalThreshold* global_theta = nullptr,
-                       StreamStopController* stop_controller = nullptr);
+                       SearchContext* ctx = nullptr);
 
  private:
   enum class SetStatus : uint8_t { kUnseen = 0, kCandidate = 1, kPruned = 2 };

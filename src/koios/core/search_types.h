@@ -3,7 +3,9 @@
 #define KOIOS_CORE_SEARCH_TYPES_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
+#include <exception>
 #include <vector>
 
 #include "koios/core/stats.h"
@@ -28,6 +30,9 @@ class GlobalThreshold {
     }
   }
   Score Get() const { return value_.load(std::memory_order_relaxed); }
+
+  /// Back to 0 so a caller-owned SearchContext can host another search.
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
   std::atomic<Score> value_{0.0};
@@ -64,9 +69,85 @@ class StreamStopController {
     return min_stop_.load(std::memory_order_relaxed);
   }
 
+  /// Rearms for a new search with `num_consumers` declarers.
+  void Reset(size_t num_consumers) {
+    min_stop_.store(1.0, std::memory_order_relaxed);
+    remaining_.store(num_consumers, std::memory_order_release);
+  }
+
  private:
   std::atomic<size_t> remaining_;
   std::atomic<Score> min_stop_{1.0};
+};
+
+/// Thrown by the search phases when a per-query deadline elapses or the
+/// caller cancels (see SearchContext). The search path is exception-safe
+/// (the EdgeCache is poison-sealed and in-flight partition tasks joined on
+/// unwind), so an aborted query leaves no shared state behind — the
+/// serve::QueryEngine catches this and turns it into a clean
+/// DeadlineExceeded rejection with no partial results.
+struct SearchAborted : public std::exception {
+  const char* what() const noexcept override {
+    return "koios: search aborted (deadline exceeded or cancelled)";
+  }
+};
+
+/// Per-query execution context, threaded through every search phase
+/// (searcher → token-stream producer → refinement → post-processing).
+/// It bundles exactly the state that must be PER QUERY for concurrent
+/// searches over one shared repository snapshot to be correct:
+///
+///  * the cross-partition θlb (GlobalThreshold) and the θlb→producer
+///    stream-feedback aggregation (StreamStopController) — previously
+///    locals of KoiosSearcher::Search, hoisted here so the whole query
+///    path is reentrant and a caller (the serve engine) can observe them;
+///  * deadline / cancellation: phases poll Cancelled() at coarse cadences
+///    (every few dozen stream tuples, every exact-matching batch) and
+///    throw SearchAborted, unwinding through the search's existing
+///    poison-safe shutdown machinery.
+///
+/// A SearchContext is single-use per Search call (the searcher rearms the
+/// members on entry); reuse across sequential searches is fine.
+class SearchContext {
+ public:
+  SearchContext() = default;
+
+  GlobalThreshold& global_theta() { return global_theta_; }
+  StreamStopController& stop_controller() { return stop_controller_; }
+
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+  void set_cancel_flag(const std::atomic<bool>* cancel) { cancel_ = cancel; }
+
+  bool Cancelled() const {
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+  }
+
+  /// Throws SearchAborted when Cancelled(). The poll is a relaxed atomic
+  /// load plus (with a deadline) one clock read — cheap enough for the
+  /// per-batch cadences the phases use.
+  void CheckCancelled() const {
+    if (Cancelled()) throw SearchAborted{};
+  }
+
+  /// Called by KoiosSearcher::Search on entry: rearms the per-query
+  /// machinery for `num_consumers` refinement partitions.
+  void BeginSearch(size_t num_consumers) {
+    global_theta_.Reset();
+    stop_controller_.Reset(num_consumers);
+  }
+
+ private:
+  GlobalThreshold global_theta_;
+  StreamStopController stop_controller_{0};
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  const std::atomic<bool>* cancel_ = nullptr;
 };
 
 /// Per-query search parameters. Filter toggles exist for the ablation
@@ -98,6 +179,23 @@ struct SearchParams {
   /// the index exposes its SimilarityFunction (SimilarityIndex::similarity);
   /// off = the drain-to-α path, kept for the ablation benchmarks.
   bool use_stream_feedback = true;
+  /// Adaptive survivor budget for the feedback stop (ROADMAP follow-up).
+  /// The stop's work-balance condition tolerates at most B survivors whose
+  /// upper bounds the stop would freeze above θlb (each may cost one exact
+  /// matching in post-processing). Fixed policy (default): B = max(32, 4k).
+  /// Adaptive policy (this knob): a rent-to-buy rule — strand at most as
+  /// much estimated EM work as the streaming work already spent, with one
+  /// EM costed at `adaptive_em_cost_tuples` stream tuples. Because both
+  /// sides scale with the per-tuple cost, the rule needs no clock or
+  /// machine constant: B = max(32, tuples_consumed / ratio). Early in the
+  /// stream the budget is tight (stopping is cheap to regret); the longer
+  /// the drain runs, the more EMs stopping is allowed to strand.
+  /// Exactness is untouched either way — the budget only delays the stop.
+  bool use_adaptive_survivor_budget = false;
+  /// Estimated cost of one stranded exact matching, expressed in stream
+  /// tuples (see use_adaptive_survivor_budget). Lower = EMs believed
+  /// cheap = looser budget = earlier stops.
+  double adaptive_em_cost_tuples = 64.0;
 
   /// Compute the exact SO of every reported result set even when the
   /// No-EM filter certified membership without verification. Needed for

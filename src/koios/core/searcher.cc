@@ -50,6 +50,13 @@ size_t KoiosSearcher::IndexMemoryUsageBytes() const {
 
 SearchResult KoiosSearcher::Search(std::span<const TokenId> query,
                                    const SearchParams& params) {
+  return Search(query, params, index_, nullptr);
+}
+
+SearchResult KoiosSearcher::Search(std::span<const TokenId> query,
+                                   const SearchParams& params,
+                                   sim::SimilarityIndex* index,
+                                   SearchContext* ctx) const {
   assert(params.k >= 1);
   assert(params.alpha > 0.0);
   SearchResult result;
@@ -75,15 +82,23 @@ SearchResult KoiosSearcher::Search(std::span<const TokenId> query,
   } attachment;
   if (params.num_threads > 1) {
     pool = std::make_unique<util::ThreadPool>(params.num_threads);
-    attachment.previous = index_->thread_pool();
-    index_->set_thread_pool(pool.get());
-    attachment.index = index_;
+    attachment.previous = index->thread_pool();
+    index->set_thread_pool(pool.get());
+    attachment.index = index;
   }
+
+  // Per-query machinery: callers that care (the serve engine) pass their
+  // own context (deadline, cancel flag, observable θlb); the legacy path
+  // gets a stack-local one.
+  SearchContext local_ctx;
+  if (ctx == nullptr) ctx = &local_ctx;
+  ctx->BeginSearch(p);
+  ctx->CheckCancelled();  // an already-expired deadline never starts work
 
   // ---- shared refinement input: the token stream, produced once --------
   util::WallTimer stream_timer;
   sim::TokenStream stream(
-      std::vector<TokenId>(query.begin(), query.end()), index_, params.alpha,
+      std::vector<TokenId>(query.begin(), query.end()), index, params.alpha,
       [this](TokenId t) { return InVocabulary(t); });
 
   // ---- θlb→producer feedback (§IV–VI) ----------------------------------
@@ -100,15 +115,13 @@ SearchResult KoiosSearcher::Search(std::span<const TokenId> query,
   // probe (LSH/MinHash) never surfaced, silently changing results between
   // the modes. Without either (or with the ablation toggle off) the
   // stream drains to α as the seed did.
-  GlobalThreshold global_theta;
-  StreamStopController stop_controller(p);
-  const sim::SimilarityFunction* completer = index_->similarity();
+  const sim::SimilarityFunction* completer = index->similarity();
   const bool feedback = params.use_stream_feedback && completer != nullptr &&
-                        index_->exact_neighbors();
+                        index->exact_neighbors();
   EdgeCache::StopSimFn stop_fn;
   if (feedback) {
-    stop_fn = [&stop_controller]() -> Score {
-      return stop_controller.ProducerStop();
+    stop_fn = [ctx]() -> Score {
+      return ctx->stop_controller().ProducerStop();
     };
   }
 
@@ -118,10 +131,11 @@ SearchResult KoiosSearcher::Search(std::span<const TokenId> query,
   const bool overlapped = pool != nullptr;
   std::optional<EdgeCache> cache_storage;
   if (overlapped) {
-    cache_storage.emplace(&stream, EdgeCache::Deferred{}, completer, stop_fn);
+    cache_storage.emplace(&stream, EdgeCache::Deferred{}, completer, stop_fn,
+                          ctx);
   } else {
     cache_storage.emplace(&stream, EdgeCache::InlineProducer{}, completer,
-                          stop_fn);
+                          stop_fn, ctx);
   }
   EdgeCache& cache = *cache_storage;
 
@@ -134,8 +148,7 @@ SearchResult KoiosSearcher::Search(std::span<const TokenId> query,
     RefinementPhase refinement(sets_, &partition_inverted_[part], query.size(),
                                params);
     util::WallTimer timer;
-    RefinementOutput refined = refinement.Run(
-        &cache, &stats, &global_theta, feedback ? &stop_controller : nullptr);
+    RefinementOutput refined = refinement.Run(&cache, &stats, ctx);
     stats.timers.Accumulate("refinement", timer.ElapsedSeconds());
     return refined;
   };
@@ -143,7 +156,7 @@ SearchResult KoiosSearcher::Search(std::span<const TokenId> query,
                                    util::ThreadPool* em_pool) {
     SearchStats& stats = partial_stats[part];
     util::WallTimer timer;
-    PostProcessor post(sets_, &cache, params, &global_theta, em_pool);
+    PostProcessor post(sets_, &cache, params, ctx, em_pool);
     partial[part] = post.Run(std::move(refined), &stats);
     stats.timers.Accumulate("postprocess", timer.ElapsedSeconds());
   };

@@ -32,8 +32,25 @@ class KoiosSearcher {
                 const SearcherOptions& options = {});
 
   /// Top-k semantic overlap search for `query` (distinct tokens).
+  /// Single-consumer convenience: probes the constructor's index directly
+  /// (its cursor positions are mutated), so calls must not overlap.
   SearchResult Search(std::span<const TokenId> query,
                       const SearchParams& params);
+
+  /// Reentrant search: identical semantics, but every piece of mutable
+  /// state lives in the arguments — `index` is the per-query probe view
+  /// (a SimilarityIndex::NewSession() of the shared index; sessions share
+  /// built cursors behind internal synchronization), `ctx` the per-query
+  /// SearchContext (deadline/cancellation; rearmed on entry; nullable).
+  /// The searcher itself is immutable after construction, so any number
+  /// of threads may run this concurrently with DISTINCT sessions —
+  /// results are bit-identical to the single-consumer overload (cursor
+  /// payloads are deterministic in (token, α), and the feedback loop's
+  /// withheld bounds never depend on other sessions' progress). Throws
+  /// SearchAborted when `ctx` expires mid-query.
+  SearchResult Search(std::span<const TokenId> query,
+                      const SearchParams& params, sim::SimilarityIndex* index,
+                      SearchContext* ctx) const;
 
   size_t num_partitions() const { return partition_inverted_.size(); }
 

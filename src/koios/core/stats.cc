@@ -8,7 +8,9 @@ std::string SearchStats::ToString() const {
   std::ostringstream out;
   out << "refinement:  tuples=" << stream_tuples
       << " produced=" << stream_tuples_produced
-      << " stop_sim=" << stream_stop_sim << " candidates=" << candidates
+      << " stop_sim=" << stream_stop_sim
+      << " survivor_budget=" << stream_survivor_budget
+      << " candidates=" << candidates
       << " iub_filtered=" << iub_filtered << " bucket_moves=" << bucket_moves
       << "\n";
   out << "postprocess: sets=" << postprocess_sets << " no_em=" << no_em_skipped

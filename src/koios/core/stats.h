@@ -25,6 +25,10 @@ struct SearchStats {
   /// Similarity at which the feedback loop stopped the stream (0 = drained
   /// to α). Strictly above α whenever feedback saved work.
   Score stream_stop_sim = 0.0;
+  /// Survivor budget in force when a refinement consumer stopped early
+  /// (0 = never stopped). Fixed max(32, 4k) by default; varies with the
+  /// measured stream cost under SearchParams::use_adaptive_survivor_budget.
+  size_t stream_survivor_budget = 0;
   /// Distinct sets that ever became candidates (appeared in a probed
   /// posting list).
   size_t candidates = 0;
@@ -60,6 +64,8 @@ struct SearchStats {
     stream_tuples += other.stream_tuples;
     stream_tuples_produced += other.stream_tuples_produced;
     stream_stop_sim = std::max(stream_stop_sim, other.stream_stop_sim);
+    stream_survivor_budget =
+        std::max(stream_survivor_budget, other.stream_survivor_budget);
     candidates += other.candidates;
     iub_filtered += other.iub_filtered;
     bucket_moves += other.bucket_moves;

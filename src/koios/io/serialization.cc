@@ -15,6 +15,12 @@ constexpr uint32_t kSetsMagic = 0x4B534554u;        // "TESK"
 constexpr uint32_t kEmbeddingMagic = 0x4B454D42u;   // "BMEK"
 constexpr uint32_t kRepositoryMagic = 0x4B52504Fu;  // "OPRK"
 constexpr uint32_t kVersion = 1;
+// Embedding store v2 adds a quantized-tier flag after the row count, so a
+// store that was Finalize()d before saving comes back quantized (the int8
+// codes are a deterministic function of the float rows, so the loader
+// re-finalizes instead of persisting 4 redundant arrays). v1 files load
+// unchanged (never quantized).
+constexpr uint32_t kEmbeddingVersion = 2;
 
 template <typename T>
 void WritePod(std::ostream& out, const T& value) {
@@ -27,14 +33,18 @@ bool ReadPod(std::istream& in, T* value) {
   return static_cast<bool>(in);
 }
 
-util::Status WriteHeader(std::ostream& out, uint32_t magic) {
+util::Status WriteHeader(std::ostream& out, uint32_t magic,
+                         uint32_t version = kVersion) {
   WritePod(out, magic);
-  WritePod(out, kVersion);
+  WritePod(out, version);
   if (!out) return util::Status::Internal("write failed");
   return util::Status::OK();
 }
 
-util::Status CheckHeader(std::istream& in, uint32_t magic, const char* what) {
+util::Status CheckHeader(std::istream& in, uint32_t magic, const char* what,
+                         uint32_t min_version = kVersion,
+                         uint32_t max_version = kVersion,
+                         uint32_t* version_out = nullptr) {
   uint32_t got_magic = 0, got_version = 0;
   if (!ReadPod(in, &got_magic) || !ReadPod(in, &got_version)) {
     return util::Status::InvalidArgument(std::string("truncated ") + what +
@@ -43,10 +53,11 @@ util::Status CheckHeader(std::istream& in, uint32_t magic, const char* what) {
   if (got_magic != magic) {
     return util::Status::InvalidArgument(std::string("bad magic for ") + what);
   }
-  if (got_version != kVersion) {
+  if (got_version < min_version || got_version > max_version) {
     return util::Status::InvalidArgument(std::string("unsupported version for ") +
                                          what);
   }
+  if (version_out != nullptr) *version_out = got_version;
   return util::Status::OK();
 }
 
@@ -136,10 +147,15 @@ util::StatusOr<index::SetCollection> LoadSetCollection(std::istream& in) {
 
 util::Status SaveEmbeddingStore(const embedding::EmbeddingStore& store,
                                 TokenId token_bound, std::ostream& out) {
-  auto status = WriteHeader(out, kEmbeddingMagic);
+  auto status = WriteHeader(out, kEmbeddingMagic, kEmbeddingVersion);
   if (!status.ok()) return status;
   WritePod<uint64_t>(out, store.dim());
   WritePod<uint64_t>(out, store.covered());
+  // A finalized store round-trips with its int8 tier intact: the loader
+  // re-runs Finalize() (deterministic given the rows) when this flag is
+  // set, so the Precision::kInt8 paths work on a loaded repository exactly
+  // as they did on the saved one.
+  WritePod<uint8_t>(out, store.quantized() ? 1 : 0);
   for (TokenId t = 0; t < token_bound; ++t) {
     if (!store.Has(t)) continue;
     WritePod<TokenId>(out, t);
@@ -152,10 +168,16 @@ util::Status SaveEmbeddingStore(const embedding::EmbeddingStore& store,
 }
 
 util::StatusOr<embedding::EmbeddingStore> LoadEmbeddingStore(std::istream& in) {
-  auto status = CheckHeader(in, kEmbeddingMagic, "embedding store");
+  uint32_t version = 0;
+  auto status = CheckHeader(in, kEmbeddingMagic, "embedding store",
+                            /*min_version=*/1, kEmbeddingVersion, &version);
   if (!status.ok()) return status;
   uint64_t dim = 0, rows = 0;
   if (!ReadPod(in, &dim) || !ReadPod(in, &rows) || dim == 0) {
+    return util::Status::InvalidArgument("truncated embedding header");
+  }
+  uint8_t quantized = 0;  // v1 files predate the int8 tier
+  if (version >= 2 && !ReadPod(in, &quantized)) {
     return util::Status::InvalidArgument("truncated embedding header");
   }
   embedding::EmbeddingStore store(dim);
@@ -170,6 +192,7 @@ util::StatusOr<embedding::EmbeddingStore> LoadEmbeddingStore(std::istream& in) {
     if (!in) return util::Status::InvalidArgument("truncated embedding row");
     store.Add(token, vec);
   }
+  if (quantized != 0) store.Finalize();
   return store;
 }
 

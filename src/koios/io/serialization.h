@@ -31,7 +31,10 @@ util::StatusOr<index::SetCollection> LoadSetCollection(std::istream& in);
 
 // ---- EmbeddingStore ----------------------------------------------------------
 /// `token_bound`: exclusive upper bound of token ids to scan (e.g.
-/// dictionary size).
+/// dictionary size). A Finalize()d store's int8 tier survives the round
+/// trip: the file records the flag and the loader re-finalizes (the codes
+/// are deterministic in the float rows), so `quantized()` and the
+/// Precision::kInt8 kernels behave identically on the loaded store.
 util::Status SaveEmbeddingStore(const embedding::EmbeddingStore& store,
                                 TokenId token_bound, std::ostream& out);
 util::StatusOr<embedding::EmbeddingStore> LoadEmbeddingStore(std::istream& in);

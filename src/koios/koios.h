@@ -31,6 +31,9 @@
 #include "koios/io/serialization.h"
 #include "koios/index/set_collection.h"
 #include "koios/matching/semantic_overlap.h"
+#include "koios/serve/latency_recorder.h"
+#include "koios/serve/query_engine.h"
+#include "koios/serve/snapshot.h"
 #include "koios/sim/cosine_similarity.h"
 #include "koios/sim/exact_knn_index.h"
 #include "koios/sim/jaccard_qgram_similarity.h"

@@ -1,0 +1,54 @@
+#include "koios/serve/latency_recorder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace koios::serve {
+
+void LatencyRecorder::Record(double seconds) {
+  samples_.push_back(seconds);
+  sorted_ = false;
+}
+
+void LatencyRecorder::Merge(const LatencyRecorder& other) {
+  if (other.samples_.empty()) return;
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
+void LatencyRecorder::EnsureSorted() const {
+  if (sorted_) return;
+  std::sort(samples_.begin(), samples_.end());
+  sorted_ = true;
+}
+
+double LatencyRecorder::Percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  if (p <= 0.0) return samples_.front();
+  // Nearest-rank: the smallest sample with at least p% of the mass at or
+  // below it. ceil(p/100 · n) as a 1-based rank, clamped.
+  const double n = static_cast<double>(samples_.size());
+  const size_t rank = static_cast<size_t>(std::ceil(p / 100.0 * n));
+  return samples_[std::min(samples_.size(), std::max<size_t>(rank, 1)) - 1];
+}
+
+double LatencyRecorder::Mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+std::string LatencyRecorder::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms",
+                count(), Mean() * 1e3, Percentile(50) * 1e3,
+                Percentile(95) * 1e3, Percentile(99) * 1e3, Max() * 1e3);
+  return buf;
+}
+
+}  // namespace koios::serve

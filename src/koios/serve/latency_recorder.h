@@ -1,0 +1,54 @@
+// Latency sample sink with percentile readout — the measurement vocabulary
+// of the serve subsystem and the throughput benches (QPS alone hides tail
+// behavior; a serving system is judged by its p99).
+//
+// Exact by construction: every sample is kept (8 bytes each — a million
+// queries cost 8 MB), sorted lazily on the first percentile read after new
+// samples. That beats sketch estimators at this scale and keeps Merge
+// trivial and lossless, which the per-thread-recorder → global-summary
+// pattern of the benches relies on.
+//
+// Thread-safety: none. Each thread records into its own recorder (or the
+// owner locks); Merge the recorders afterwards. The serve::QueryEngine
+// wraps one recorder in its stats mutex.
+#ifndef KOIOS_SERVE_LATENCY_RECORDER_H_
+#define KOIOS_SERVE_LATENCY_RECORDER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace koios::serve {
+
+class LatencyRecorder {
+ public:
+  /// Records one latency sample (seconds; any non-negative double).
+  void Record(double seconds);
+
+  /// Appends every sample of `other` (lossless).
+  void Merge(const LatencyRecorder& other);
+
+  size_t count() const { return samples_.size(); }
+
+  /// Nearest-rank percentile, `p` in [0, 100]; 0 when empty. p=0 is the
+  /// minimum, p=100 the maximum.
+  double Percentile(double p) const;
+
+  double Mean() const;
+  double Max() const { return Percentile(100.0); }
+
+  /// One-line human-readable summary in milliseconds, e.g.
+  /// "n=128 mean=1.2ms p50=1.1ms p95=2.0ms p99=3.4ms max=5.0ms".
+  std::string Summary() const;
+
+ private:
+  void EnsureSorted() const;
+
+  // Sorted lazily; mutable so read-only percentile queries stay const.
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace koios::serve
+
+#endif  // KOIOS_SERVE_LATENCY_RECORDER_H_

@@ -1,0 +1,184 @@
+#include "koios/serve/query_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "koios/util/timer.h"
+
+namespace koios::serve {
+
+namespace {
+
+/// A future already carrying a rejection status (Submit must never block
+/// the caller, least of all to say "no").
+std::future<QueryEngine::Result> RejectedFuture(util::Status status) {
+  std::promise<QueryEngine::Result> promise;
+  promise.set_value(QueryEngine::Result(std::move(status)));
+  return promise.get_future();
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const index::SetCollection* sets,
+                         sim::SimilarityIndex* index,
+                         const EngineOptions& options)
+    : sets_(sets),
+      index_(index),
+      options_(options),
+      searcher_(sets, index, options.searcher),
+      sessions_supported_(index->NewSession() != nullptr),
+      pool_(std::max<size_t>(1, options.num_threads)) {}
+
+QueryEngine::QueryEngine(std::shared_ptr<const Snapshot> snapshot,
+                         const EngineOptions& options)
+    : QueryEngine(&snapshot->sets(), snapshot->index(), options) {
+  snapshot_ = std::move(snapshot);
+}
+
+QueryEngine::~QueryEngine() = default;  // pool_ drains admitted queries
+
+QueryEngine::Ticket QueryEngine::MakeTicket(
+    std::chrono::milliseconds deadline) const {
+  Ticket ticket;
+  if (deadline.count() > 0) {
+    ticket.deadline = std::chrono::steady_clock::now() + deadline;
+    ticket.has_deadline = true;
+  }
+  return ticket;
+}
+
+std::future<QueryEngine::Result> QueryEngine::Submit(
+    std::vector<TokenId> query, const core::SearchParams& params) {
+  return Enqueue(std::move(query), params, MakeTicket(options_.default_deadline),
+                 /*enforce_queue_bound=*/true);
+}
+
+std::future<QueryEngine::Result> QueryEngine::Submit(
+    std::vector<TokenId> query, const core::SearchParams& params,
+    std::chrono::milliseconds deadline) {
+  return Enqueue(std::move(query), params, MakeTicket(deadline),
+                 /*enforce_queue_bound=*/true);
+}
+
+std::future<QueryEngine::Result> QueryEngine::Enqueue(
+    std::vector<TokenId> query, const core::SearchParams& params,
+    Ticket ticket, bool enforce_queue_bound) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++counters_.submitted;
+  }
+  // fetch_add-then-check keeps the bound exact under concurrent submitters
+  // (a plain load+add would let two of them both slip past the last slot).
+  const size_t admitted = in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  if (enforce_queue_bound &&
+      admitted >= pool_.num_threads() + options_.max_queue) {
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++counters_.rejected_queue_full;
+    }
+    return RejectedFuture(util::Status::ResourceExhausted(
+        "query queue full (" + std::to_string(options_.max_queue) +
+        " waiting + " + std::to_string(pool_.num_threads()) + " running)"));
+  }
+  return pool_.Submit(
+      [this, query = std::move(query), params, ticket]() -> Result {
+        // The slot must be released on EVERY exit — Execute absorbs
+        // deadline aborts, but an unexpected exception (bad_alloc, a
+        // faulty similarity backend) propagates into the future, and a
+        // leaked slot would erode admission capacity permanently.
+        struct SlotRelease {
+          std::atomic<size_t>* in_flight;
+          ~SlotRelease() { in_flight->fetch_sub(1, std::memory_order_acq_rel); }
+        } release{&in_flight_};
+        return Execute(query, params, ticket);
+      });
+}
+
+QueryEngine::Result QueryEngine::Execute(const std::vector<TokenId>& query,
+                                         core::SearchParams params,
+                                         const Ticket& ticket) {
+  // Engine policy: intra-query parallelism off (see the header comment) —
+  // the query runs single-threaded in inline-pipelined mode; concurrency
+  // comes from the other workers.
+  params.num_threads = 1;
+
+  core::SearchContext ctx;
+  if (ticket.has_deadline) ctx.set_deadline(ticket.deadline);
+  try {
+    ctx.CheckCancelled();  // expired while queued: reject without running
+    util::WallTimer timer;
+    core::SearchResult result;
+    if (sessions_supported_) {
+      // Fresh per-query probe session over the shared cursor cache: the
+      // only per-query state is a position table, so creation is cheap and
+      // any number of Executes run concurrently.
+      std::unique_ptr<sim::SimilarityIndex> session = index_->NewSession();
+      result = searcher_.Search(query, params, session.get(), &ctx);
+    } else {
+      // No session support: correctness first — one query at a time.
+      std::lock_guard<std::mutex> lock(no_session_fallback_mutex_);
+      result = searcher_.Search(query, params, index_, &ctx);
+    }
+    const double elapsed = timer.ElapsedSeconds();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++counters_.completed;
+      latency_.Record(elapsed);
+    }
+    return result;
+  } catch (const core::SearchAborted&) {
+    // Clean rejection: the phases unwound through the poison-safe shutdown
+    // machinery; nothing partial escapes.
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++counters_.deadline_exceeded;
+    return Result(util::Status::DeadlineExceeded(
+        "query deadline elapsed; partial results discarded"));
+  }
+}
+
+std::vector<QueryEngine::Result> QueryEngine::SearchMany(
+    const std::vector<std::vector<TokenId>>& queries,
+    const core::SearchParams& params) {
+  // Deduplicate the batch's tokens and pay each (token, α) cursor build
+  // once, fanned across the engine pool, BEFORE any query runs. Queries
+  // then find their cursors hot in the shared cache (counted as hits).
+  std::vector<TokenId> tokens;
+  for (const auto& query : queries) {
+    tokens.insert(tokens.end(), query.begin(), query.end());
+  }
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  if (sessions_supported_ && !tokens.empty()) {
+    std::unique_ptr<sim::SimilarityIndex> session = index_->NewSession();
+    session->set_thread_pool(&pool_);
+    session->Prewarm(tokens, params.alpha);
+  }
+
+  // The batch bypasses the rejection bound (the caller is synchronous, so
+  // the work is bounded by them) but still occupies in-flight slots — see
+  // the header contract.
+  const Ticket ticket = MakeTicket(options_.default_deadline);
+  std::vector<std::future<Result>> futures;
+  futures.reserve(queries.size());
+  for (const auto& query : queries) {
+    futures.push_back(
+        Enqueue(query, params, ticket, /*enforce_queue_bound=*/false));
+  }
+  std::vector<Result> results;
+  results.reserve(queries.size());
+  for (auto& future : futures) results.push_back(future.get());
+  return results;
+}
+
+EngineCounters QueryEngine::counters() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return counters_;
+}
+
+LatencyRecorder QueryEngine::latency() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return latency_;
+}
+
+}  // namespace koios::serve

@@ -1,0 +1,159 @@
+// QueryEngine — the concurrent serving layer over one immutable repository
+// snapshot. KoiosSearcher::Search answers ONE query; this engine
+// multiplexes many over a shared util::ThreadPool:
+//
+//  * Shared immutable state, per-query sessions. The engine owns the
+//    partition inverted indexes (inside a const KoiosSearcher) and borrows
+//    the snapshot's neighbor index; every admitted query probes through
+//    its own SimilarityIndex::NewSession(), so concurrent queries share
+//    built cursors (the sharded cache pays each (token, α) build once
+//    across the whole workload) while consuming them independently.
+//    Results are bit-identical to serial one-at-a-time Search.
+//  * Admission control. At most `num_threads` queries run at once; beyond
+//    that, up to `max_queue` wait. Overflow is rejected IMMEDIATELY with
+//    ResourceExhausted (an overloaded serving system must shed load, not
+//    grow an unbounded queue). Each query carries a deadline (explicit or
+//    options default); one that expires before or while running is
+//    rejected cleanly with DeadlineExceeded and NO partial results — the
+//    search phases poll the deadline and unwind through the exception-safe
+//    shutdown machinery.
+//  * Batched admission. SearchMany deduplicates the tokens shared across a
+//    batch and prewarms their cursors ONCE (in parallel, on the engine
+//    pool) before the queries run, so overlapping queries never build the
+//    same cursor twice — the cross-query analogue of TokenStream's
+//    per-query Prewarm.
+//
+// Intra-query threading is intentionally OFF in engine execution
+// (params.num_threads is forced to 1): at serving concurrency the cores
+// are already saturated by distinct queries, and single-threaded inline
+// execution keeps per-query latency deterministic and avoids nested-pool
+// deadlocks (a pool task waiting on sub-tasks of the same pool).
+#ifndef KOIOS_SERVE_QUERY_ENGINE_H_
+#define KOIOS_SERVE_QUERY_ENGINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "koios/core/search_types.h"
+#include "koios/core/searcher.h"
+#include "koios/serve/latency_recorder.h"
+#include "koios/serve/snapshot.h"
+#include "koios/util/status.h"
+#include "koios/util/thread_pool.h"
+
+namespace koios::serve {
+
+struct EngineOptions {
+  /// Worker threads = maximum concurrently RUNNING queries.
+  size_t num_threads = 4;
+  /// Admitted-but-waiting bound; a Submit arriving with the queue full is
+  /// rejected with ResourceExhausted.
+  size_t max_queue = 256;
+  /// Deadline applied to queries submitted without an explicit one;
+  /// zero = no deadline.
+  std::chrono::milliseconds default_deadline{0};
+  /// Repository partitioning (paper §VI) used by the engine's searcher.
+  core::SearcherOptions searcher;
+};
+
+/// Monotone engine counters (snapshot; taken under the stats mutex).
+struct EngineCounters {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t rejected_queue_full = 0;
+  uint64_t deadline_exceeded = 0;
+};
+
+class QueryEngine {
+ public:
+  using Result = util::StatusOr<core::SearchResult>;
+
+  /// Serves over caller-owned parts (both must outlive the engine). The
+  /// index must support NewSession() for true concurrency; without it the
+  /// engine still works but serializes query execution behind a mutex.
+  QueryEngine(const index::SetCollection* sets, sim::SimilarityIndex* index,
+              const EngineOptions& options = {});
+
+  /// Serves over (and keeps alive) a shared snapshot.
+  explicit QueryEngine(std::shared_ptr<const Snapshot> snapshot,
+                       const EngineOptions& options = {});
+
+  /// Drains: blocks until every admitted query finished.
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Admits one query. The future resolves to the SearchResult, or to
+  /// ResourceExhausted (rejected at the door, never ran) /
+  /// DeadlineExceeded (expired waiting or mid-execution; any partial work
+  /// was discarded). Thread-safe.
+  std::future<Result> Submit(std::vector<TokenId> query,
+                             const core::SearchParams& params);
+  std::future<Result> Submit(std::vector<TokenId> query,
+                             const core::SearchParams& params,
+                             std::chrono::milliseconds deadline);
+
+  /// Batched execution: prewarms the union of the batch's query tokens
+  /// once (deduplicated, parallel on the engine pool), then runs every
+  /// query concurrently and waits for all of them. Results are positional.
+  /// The batch itself is never rejected (the caller blocks, so the work is
+  /// bounded by them), but its queries DO occupy in-flight slots while
+  /// they run — concurrent Submit() callers can see the queue as full
+  /// until the batch drains. Per-query deadlines still apply.
+  std::vector<Result> SearchMany(
+      const std::vector<std::vector<TokenId>>& queries,
+      const core::SearchParams& params);
+
+  const core::KoiosSearcher& searcher() const { return searcher_; }
+  size_t num_threads() const { return pool_.num_threads(); }
+
+  EngineCounters counters() const;
+  /// Copy of the per-query wall-latency samples (successful queries only).
+  LatencyRecorder latency() const;
+
+ private:
+  struct Ticket {
+    std::chrono::steady_clock::time_point deadline{};
+    bool has_deadline = false;
+  };
+
+  Ticket MakeTicket(std::chrono::milliseconds deadline) const;
+  /// Worker-side execution. Deadline aborts become DeadlineExceeded
+  /// statuses; anything else a search throws (bad_alloc, a faulty
+  /// similarity backend) propagates through the future — the wrapper in
+  /// Enqueue still releases the admission slot.
+  Result Execute(const std::vector<TokenId>& query, core::SearchParams params,
+                 const Ticket& ticket);
+  std::future<Result> Enqueue(std::vector<TokenId> query,
+                              const core::SearchParams& params, Ticket ticket,
+                              bool enforce_queue_bound);
+
+  std::shared_ptr<const Snapshot> snapshot_;  // null for the borrowed ctor
+  const index::SetCollection* sets_;
+  sim::SimilarityIndex* index_;
+  EngineOptions options_;
+  core::KoiosSearcher searcher_;
+  bool sessions_supported_;
+  // Serializes whole searches when the index cannot hand out sessions.
+  std::mutex no_session_fallback_mutex_;
+
+  // Admitted (queued or running) queries, for the queue bound.
+  std::atomic<size_t> in_flight_{0};
+
+  mutable std::mutex stats_mutex_;
+  EngineCounters counters_;
+  LatencyRecorder latency_;
+
+  // LAST member: its destructor joins workers that still touch the stats
+  // mutex and counters above, so they must outlive it.
+  util::ThreadPool pool_;
+};
+
+}  // namespace koios::serve
+
+#endif  // KOIOS_SERVE_QUERY_ENGINE_H_

@@ -1,0 +1,72 @@
+#include "koios/serve/snapshot.h"
+
+#include <utility>
+#include <vector>
+
+#include "koios/io/serialization.h"
+#include "koios/sim/exact_knn_index.h"
+
+namespace koios::serve {
+
+namespace {
+
+/// Distinct tokens across all sets (ascending). One dense presence pass —
+/// cheaper than building an InvertedIndex just to ask for its vocabulary.
+std::vector<TokenId> DistinctTokens(const index::SetCollection& sets) {
+  std::vector<bool> present(sets.TokenIdBound(), false);
+  for (SetId id = 0; id < sets.size(); ++id) {
+    for (const TokenId t : sets.Tokens(id)) present[t] = true;
+  }
+  std::vector<TokenId> vocabulary;
+  for (TokenId t = 0; t < present.size(); ++t) {
+    if (present[t]) vocabulary.push_back(t);
+  }
+  return vocabulary;
+}
+
+}  // namespace
+
+void Snapshot::BuildServingStructures(const SnapshotOptions& options) {
+  if (options.quantize_embeddings) store_.Finalize();
+  similarity_ = std::make_unique<sim::CosineEmbeddingSimilarity>(
+      &store_, options.precision);
+  index_ = std::make_unique<sim::ExactKnnIndex>(DistinctTokens(sets_),
+                                                similarity_.get());
+}
+
+util::StatusOr<std::shared_ptr<const Snapshot>> Snapshot::Load(
+    const std::string& path, const SnapshotOptions& options) {
+  auto repo = io::LoadRepository(path);
+  if (!repo.ok()) return repo.status();
+  if (!repo.value().has_embeddings) {
+    return util::Status::FailedPrecondition(
+        "snapshot requires a repository with an embedding store: " + path);
+  }
+  // make_shared needs a public constructor; the snapshot type is move-built
+  // here instead.
+  std::shared_ptr<Snapshot> snapshot(new Snapshot());
+  snapshot->dict_ = std::move(repo.value().dict);
+  snapshot->sets_ = std::move(repo.value().sets);
+  snapshot->store_ = std::move(repo.value().store);
+  snapshot->BuildServingStructures(options);
+  return std::shared_ptr<const Snapshot>(std::move(snapshot));
+}
+
+std::shared_ptr<const Snapshot> Snapshot::Build(text::Dictionary dict,
+                                                index::SetCollection sets,
+                                                embedding::EmbeddingStore store,
+                                                const SnapshotOptions& options) {
+  std::shared_ptr<Snapshot> snapshot(new Snapshot());
+  snapshot->dict_ = std::move(dict);
+  snapshot->sets_ = std::move(sets);
+  snapshot->store_ = std::move(store);
+  snapshot->BuildServingStructures(options);
+  return snapshot;
+}
+
+size_t Snapshot::MemoryUsageBytes() const {
+  return sets_.MemoryUsageBytes() + store_.MemoryUsageBytes() +
+         index_->MemoryUsageBytes();
+}
+
+}  // namespace koios::serve

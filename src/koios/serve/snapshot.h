@@ -1,0 +1,82 @@
+// A repository snapshot: everything a serving process needs to answer
+// queries — dictionary, set collection, embeddings, similarity function,
+// neighbor index — bundled as ONE immutable, shareable unit.
+//
+// Ownership model: a snapshot is built (or loaded from the binary
+// repository format of io::SaveRepository) once, then handed around as
+// shared_ptr<const Snapshot>. Every QueryEngine (and any number of
+// concurrent queries inside each) reads the same instance; "const" is the
+// reentrancy contract — the only mutation behind it is the neighbor
+// index's internally synchronized shared cursor cache, which is not
+// observable through probe results (cursor builds are deterministic).
+// Snapshot swap (reindex, corpus update) is therefore just: load the new
+// one, point new engines at it, drop the old shared_ptr when its last
+// in-flight query finishes.
+#ifndef KOIOS_SERVE_SNAPSHOT_H_
+#define KOIOS_SERVE_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+
+#include "koios/embedding/embedding_store.h"
+#include "koios/index/set_collection.h"
+#include "koios/sim/cosine_similarity.h"
+#include "koios/sim/similarity.h"
+#include "koios/text/dictionary.h"
+#include "koios/util/status.h"
+
+namespace koios::serve {
+
+struct SnapshotOptions {
+  /// Build the embedding store's int8 quantized tier after load
+  /// (EmbeddingStore::Finalize) so approximate/throughput consumers can
+  /// select Precision::kInt8. A loaded repository that was saved with a
+  /// finalized store re-finalizes automatically regardless (the io layer
+  /// persists the flag); this forces the tier for older files.
+  bool quantize_embeddings = false;
+  /// Precision the snapshot's cosine similarity reads (kInt8 requires the
+  /// quantized tier; exact search should keep the default).
+  embedding::Precision precision = embedding::Precision::kFloat64;
+};
+
+class Snapshot {
+ public:
+  /// Loads a repository file written by io::SaveRepository and builds the
+  /// serving structures (cosine similarity over the embeddings, exact kNN
+  /// index over the sets' distinct tokens). Fails on files without an
+  /// embedding store — a snapshot must be able to score similarities.
+  static util::StatusOr<std::shared_ptr<const Snapshot>> Load(
+      const std::string& path, const SnapshotOptions& options = {});
+
+  /// Builds a snapshot from in-memory parts (takes ownership). Same
+  /// structures as Load without the round-trip through disk.
+  static std::shared_ptr<const Snapshot> Build(
+      text::Dictionary dict, index::SetCollection sets,
+      embedding::EmbeddingStore store, const SnapshotOptions& options = {});
+
+  const text::Dictionary& dict() const { return dict_; }
+  const index::SetCollection& sets() const { return sets_; }
+  const embedding::EmbeddingStore& store() const { return store_; }
+  const sim::SimilarityFunction& similarity() const { return *similarity_; }
+
+  /// The shared neighbor index. Non-const: probing mutates its internal
+  /// (synchronized) cursor cache; concurrent queries must each probe
+  /// through their own index->NewSession().
+  sim::SimilarityIndex* index() const { return index_.get(); }
+
+  size_t MemoryUsageBytes() const;
+
+ private:
+  Snapshot() = default;
+  void BuildServingStructures(const SnapshotOptions& options);
+
+  text::Dictionary dict_;
+  index::SetCollection sets_;
+  embedding::EmbeddingStore store_{0};
+  std::unique_ptr<sim::CosineEmbeddingSimilarity> similarity_;
+  std::unique_ptr<sim::SimilarityIndex> index_;
+};
+
+}  // namespace koios::serve
+
+#endif  // KOIOS_SERVE_SNAPSHOT_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <future>
 #include <utility>
 
@@ -13,13 +14,71 @@ namespace {
 
 // Descending similarity, token id as the deterministic tie-break. The lazy
 // chunked ordering and an eager full sort agree because this comparator is
-// a strict total order.
+// a strict total order — which is also why the sorted prefix of a SHARED
+// cursor is one unique sequence no matter which consumer extended it.
 inline bool NeighborBefore(const Neighbor& a, const Neighbor& b) {
   if (a.sim != b.sim) return a.sim > b.sim;
   return a.token < b.token;
 }
 
 }  // namespace
+
+// ---- per-query probe session ------------------------------------------------
+
+// A per-query SimilarityIndex view: private consumption positions over the
+// parent's shared cursor cache. Everything stateful that a query touches
+// through the SimilarityIndex interface lives here, which is what makes
+// KoiosSearcher::Search reentrant when each concurrent query probes its
+// own session.
+class BatchedNeighborIndex::Session final : public SimilarityIndex {
+ public:
+  explicit Session(const BatchedNeighborIndex* parent) : parent_(parent) {}
+
+  std::optional<Neighbor> NextNeighbor(TokenId q, Score alpha) override {
+    return parent_->ProbeNext(positions_, q, alpha);
+  }
+
+  ProbeOutcome NextNeighborBounded(TokenId q, Score alpha, Score stop_sim,
+                                   Neighbor* out) override {
+    return parent_->ProbeNextBounded(positions_, q, alpha, stop_sim, out);
+  }
+
+  const SimilarityFunction* similarity() const override {
+    return parent_->similarity();
+  }
+
+  bool exact_neighbors() const override { return parent_->exact_neighbors(); }
+
+  void ResetCursors() override { positions_.clear(); }
+
+  void Prewarm(std::span<const TokenId> tokens, Score alpha) override {
+    parent_->PrewarmShared(tokens, alpha, pool_);
+  }
+
+  /// Sessions carry their own pool so a per-query pool attachment never
+  /// races another query's (the parent's pool_ is not touched).
+  void set_thread_pool(util::ThreadPool* pool) override { pool_ = pool; }
+  util::ThreadPool* thread_pool() const override { return pool_; }
+
+  std::unique_ptr<SimilarityIndex> NewSession() override {
+    return std::make_unique<Session>(parent_);
+  }
+
+  size_t MemoryUsageBytes() const override {
+    return parent_->MemoryUsageBytes();
+  }
+
+ private:
+  const BatchedNeighborIndex* parent_;
+  util::ThreadPool* pool_ = nullptr;
+  PositionMap positions_;
+};
+
+std::unique_ptr<SimilarityIndex> BatchedNeighborIndex::NewSession() {
+  return std::make_unique<Session>(this);
+}
+
+// ---- candidate collection helpers ------------------------------------------
 
 void BatchedNeighborIndex::CollectCandidates(TokenId q,
                                              std::vector<TokenId>* out) const {
@@ -72,17 +131,64 @@ BatchedNeighborIndex::BatchedNeighborIndex(const SimilarityFunction* sim,
                                            util::ThreadPool* pool)
     : sim_(sim), pool_(pool) {}
 
-void BatchedNeighborIndex::FinalizeCursor(Cursor* cursor) {
-  Score max_sim = 0.0;
-  for (const Neighbor& n : cursor->neighbors) max_sim = std::max(max_sim, n.sim);
-  cursor->max_sim = max_sim;
+// ---- shared cursor cache ----------------------------------------------------
+
+size_t BatchedNeighborIndex::CacheKeyHash::operator()(
+    const CacheKey& k) const {
+  uint64_t bits;
+  static_assert(sizeof(Score) == sizeof(uint64_t));
+  std::memcpy(&bits, &k.alpha, sizeof(bits));
+  // Mix the token into the α bits, then avalanche: shard selection masks
+  // the LOW bits of this value (ShardFor), so they must depend on every
+  // input bit or same-α traffic would pile onto a few shards.
+  uint64_t h = (static_cast<uint64_t>(k.token) + 0x9E3779B97F4A7C15ull) ^
+               (bits * 0xC2B2AE3D27D4EB4Full);
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 32;
+  return static_cast<size_t>(h);
 }
 
-BatchedNeighborIndex::Cursor BatchedNeighborIndex::BuildCursor(
+BatchedNeighborIndex::CacheShard& BatchedNeighborIndex::ShardFor(
+    const CacheKey& key) const {
+  static_assert((kCacheShards & (kCacheShards - 1)) == 0);
+  return shards_[CacheKeyHash{}(key) & (kCacheShards - 1)];
+}
+
+BatchedNeighborIndex::CursorPtr BatchedNeighborIndex::FindCursor(
     TokenId q, Score alpha) const {
-  Cursor cursor;
-  cursor.alpha = alpha;
-  // thread_local scratch: Prewarm runs builds concurrently on pool workers.
+  const CacheKey key{q, alpha};
+  CacheShard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return nullptr;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+BatchedNeighborIndex::CursorPtr BatchedNeighborIndex::PublishCursor(
+    TokenId q, Score alpha, CursorPtr built) const {
+  const CacheKey key{q, alpha};
+  CacheShard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto [it, inserted] = shard.map.try_emplace(key, std::move(built));
+  if (!inserted) duplicate_builds_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+BatchedNeighborIndex::CursorPtr BatchedNeighborIndex::CursorFor(
+    TokenId q, Score alpha) const {
+  if (CursorPtr cached = FindCursor(q, alpha)) return cached;
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return PublishCursor(q, alpha, BuildCursor(q, alpha));
+}
+
+BatchedNeighborIndex::CursorPtr BatchedNeighborIndex::BuildCursor(
+    TokenId q, Score alpha) const {
+  auto cursor = std::make_shared<SharedCursor>();
+  cursor->alpha = alpha;
+  // thread_local scratch: builds run concurrently on pool workers and on
+  // concurrent sessions' cache misses.
   thread_local std::vector<TokenId> collected;
   const std::vector<TokenId>* candidates = SharedCandidates();
   if (candidates == nullptr) {
@@ -97,19 +203,32 @@ BatchedNeighborIndex::Cursor BatchedNeighborIndex::BuildCursor(
   thread_local std::vector<Score> scores;
   scores.resize(candidates->size());
   sim_->SimilarityBatch(q, *candidates, scores);
+  Score max_sim = 0.0;
   for (size_t i = 0; i < candidates->size(); ++i) {
     const TokenId t = (*candidates)[i];
     if (t == q) continue;  // self-matches are injected by the token stream
-    if (scores[i] >= alpha) cursor.neighbors.push_back({t, scores[i]});
+    if (scores[i] >= alpha) {
+      cursor->neighbors.push_back({t, scores[i]});
+      max_sim = std::max(max_sim, scores[i]);
+    }
   }
-  FinalizeCursor(&cursor);
+  cursor->max_sim = max_sim;
   return cursor;
 }
 
-std::vector<BatchedNeighborIndex::Cursor> BatchedNeighborIndex::BuildCursorBlock(
-    std::span<const TokenId> qs, Score alpha) const {
-  std::vector<Cursor> cursors(qs.size());
-  for (Cursor& c : cursors) c.alpha = alpha;
+std::vector<BatchedNeighborIndex::CursorPtr>
+BatchedNeighborIndex::BuildCursorBlock(std::span<const TokenId> qs,
+                                       Score alpha) const {
+  std::vector<CursorPtr> cursors(qs.size());
+  for (CursorPtr& c : cursors) {
+    c = std::make_shared<SharedCursor>();
+    c->alpha = alpha;
+  }
+  auto finalize = [](SharedCursor& c) {
+    Score max_sim = 0.0;
+    for (const Neighbor& n : c.neighbors) max_sim = std::max(max_sim, n.sim);
+    c.max_sim = max_sim;
+  };
 
   // Resolve the block's target list: the shared candidate set when the
   // backend has one, otherwise the sorted union of each query's candidates
@@ -143,12 +262,12 @@ std::vector<BatchedNeighborIndex::Cursor> BatchedNeighborIndex::BuildCursorBlock
         if (cand.empty()) continue;
         scores.resize(cand.size());
         sim_->SimilarityBatch(qs[qi], cand, scores);
-        Cursor& cursor = cursors[qi];
+        SharedCursor& cursor = *cursors[qi];
         for (size_t i = 0; i < cand.size(); ++i) {
           if (cand[i] == qs[qi]) continue;
           if (scores[i] >= alpha) cursor.neighbors.push_back({cand[i], scores[i]});
         }
-        FinalizeCursor(&cursor);
+        finalize(cursor);
       }
       return cursors;
     }
@@ -163,7 +282,7 @@ std::vector<BatchedNeighborIndex::Cursor> BatchedNeighborIndex::BuildCursorBlock
   sim_->SimilarityBatchMulti(qs, *targets, scores);
 
   for (size_t qi = 0; qi < qs.size(); ++qi) {
-    Cursor& cursor = cursors[qi];
+    SharedCursor& cursor = *cursors[qi];
     const Score* row = scores.data() + qi * targets->size();
     if (shared != nullptr) {
       for (size_t i = 0; i < targets->size(); ++i) {
@@ -181,74 +300,88 @@ std::vector<BatchedNeighborIndex::Cursor> BatchedNeighborIndex::BuildCursorBlock
         if (row[ti] >= alpha) cursor.neighbors.push_back({t, row[ti]});
       }
     }
-    FinalizeCursor(&cursor);
+    finalize(cursor);
   }
   return cursors;
 }
 
-void BatchedNeighborIndex::EnsureOrdered(Cursor& cursor, size_t count) {
+void BatchedNeighborIndex::EnsureOrdered(SharedCursor& cursor, size_t count) {
   const size_t wanted = std::min(count, cursor.neighbors.size());
-  while (cursor.sorted_prefix < wanted) {
+  // Lock-free fast path: the acquire pairs with the release below, so a
+  // consumer that sees the prefix covering `wanted` also sees the ordered
+  // elements themselves.
+  if (cursor.ordered_prefix.load(std::memory_order_acquire) >= wanted) return;
+  std::lock_guard<std::mutex> lock(cursor.order_mutex);
+  size_t prefix = cursor.ordered_prefix.load(std::memory_order_relaxed);
+  while (prefix < wanted) {
     // Chunks double as consumption deepens: nth_element costs O(remaining)
     // per round, so a flat chunk would make a full drain (the EdgeCache
     // materializes the whole stream today) quadratic. Doubling keeps short
     // prefixes cheap and bounds full consumption at O(m log m), matching
     // the eager sort this replaced.
-    const size_t chunk = std::max(kSortChunk, cursor.sorted_prefix);
-    const size_t chunk_end =
-        std::min(cursor.sorted_prefix + chunk, cursor.neighbors.size());
-    const auto first = cursor.neighbors.begin() +
-                       static_cast<ptrdiff_t>(cursor.sorted_prefix);
+    const size_t chunk = std::max(kSortChunk, prefix);
+    const size_t chunk_end = std::min(prefix + chunk, cursor.neighbors.size());
+    const auto first =
+        cursor.neighbors.begin() + static_cast<ptrdiff_t>(prefix);
     const auto nth =
         cursor.neighbors.begin() + static_cast<ptrdiff_t>(chunk_end - 1);
     // Partition the next chunk's members in front of everything ranked
-    // after them, then order the chunk itself.
+    // after them, then order the chunk itself. Only [prefix, end) moves:
+    // the published prefix stays immutable under concurrent readers.
     std::nth_element(first, nth, cursor.neighbors.end(), NeighborBefore);
     std::sort(first, nth + 1, NeighborBefore);
-    cursor.sorted_prefix = chunk_end;
+    prefix = chunk_end;
   }
+  cursor.ordered_prefix.store(prefix, std::memory_order_release);
 }
 
-BatchedNeighborIndex::Cursor& BatchedNeighborIndex::CursorFor(TokenId q,
-                                                              Score alpha) {
-  auto it = cursors_.find(q);
-  if (it == cursors_.end() || it->second.alpha != alpha) {
-    // Cache miss, or a cursor filtered at a different α (a stale cursor
+// ---- probe bodies -----------------------------------------------------------
+
+std::optional<Neighbor> BatchedNeighborIndex::ProbeNext(PositionMap& positions,
+                                                        TokenId q,
+                                                        Score alpha) const {
+  ProbePos& pos = positions[q];
+  if (pos.cursor == nullptr || pos.cursor->alpha != alpha) {
+    // First probe, or a cursor filtered at a different α (a stale cursor
     // would silently serve neighbors pruned at the old threshold).
-    it = cursors_.insert_or_assign(q, BuildCursor(q, alpha)).first;
+    pos.cursor = CursorFor(q, alpha);
+    pos.next = 0;
   }
-  return it->second;
+  SharedCursor& cursor = *pos.cursor;
+  if (pos.next >= cursor.neighbors.size()) return std::nullopt;
+  EnsureOrdered(cursor, pos.next + 1);
+  return cursor.neighbors[pos.next++];
 }
 
-std::optional<Neighbor> BatchedNeighborIndex::NextNeighbor(TokenId q,
-                                                           Score alpha) {
-  Cursor& cursor = CursorFor(q, alpha);
-  if (cursor.next >= cursor.neighbors.size()) return std::nullopt;
-  EnsureOrdered(cursor, cursor.next + 1);
-  return cursor.neighbors[cursor.next++];
-}
-
-ProbeOutcome BatchedNeighborIndex::NextNeighborBounded(TokenId q, Score alpha,
-                                                       Score stop_sim,
-                                                       Neighbor* out) {
-  Cursor& cursor = CursorFor(q, alpha);
-  if (cursor.next >= cursor.neighbors.size()) return ProbeOutcome::kExhausted;
+ProbeOutcome BatchedNeighborIndex::ProbeNextBounded(PositionMap& positions,
+                                                    TokenId q, Score alpha,
+                                                    Score stop_sim,
+                                                    Neighbor* out) const {
+  ProbePos& pos = positions[q];
+  if (pos.cursor == nullptr || pos.cursor->alpha != alpha) {
+    pos.cursor = CursorFor(q, alpha);
+    pos.next = 0;
+  }
+  SharedCursor& cursor = *pos.cursor;
+  if (pos.next >= cursor.neighbors.size()) return ProbeOutcome::kExhausted;
   if (stop_sim > 0.0) {
-    // Upper bound on the next (and thus every remaining) neighbor without
-    // ordering anything: the exact value when it is already ordered; the
-    // last ordered chunk's minimum (nth_element left the tail ranked after
-    // it); the build-time max for a cursor no chunk of which was ordered.
+    // Upper bound on every remaining neighbor without ordering anything:
+    // consumption is in non-increasing order, so the LAST CONSUMED
+    // neighbor bounds the tail; before anything was consumed the
+    // build-time max does. Deliberately independent of how far OTHER
+    // consumers ordered this shared cursor — a shared-progress bound
+    // would be tighter but would make the withheld slack (and thus the
+    // producer's stop point) depend on concurrent queries, breaking
+    // bit-reproducibility of concurrent vs serial execution.
     const Score bound =
-        cursor.next < cursor.sorted_prefix ? cursor.neighbors[cursor.next].sim
-        : cursor.sorted_prefix > 0 ? cursor.neighbors[cursor.sorted_prefix - 1].sim
-                                   : cursor.max_sim;
+        pos.next > 0 ? cursor.neighbors[pos.next - 1].sim : cursor.max_sim;
     if (bound < stop_sim) {
       *out = {kInvalidToken, bound};
       return ProbeOutcome::kWithheld;
     }
   }
-  EnsureOrdered(cursor, cursor.next + 1);
-  const Neighbor& next = cursor.neighbors[cursor.next];
+  EnsureOrdered(cursor, pos.next + 1);
+  const Neighbor& next = cursor.neighbors[pos.next];
   if (next.sim < stop_sim) {
     // Ordered but below the threshold; leave it unconsumed (callers only
     // ever raise stop_sim, so it will never be requested again).
@@ -256,57 +389,103 @@ ProbeOutcome BatchedNeighborIndex::NextNeighborBounded(TokenId q, Score alpha,
     return ProbeOutcome::kWithheld;
   }
   *out = next;
-  ++cursor.next;
+  ++pos.next;
   return ProbeOutcome::kNeighbor;
 }
 
-void BatchedNeighborIndex::Prewarm(std::span<const TokenId> tokens,
-                                   Score alpha) {
+std::optional<Neighbor> BatchedNeighborIndex::NextNeighbor(TokenId q,
+                                                           Score alpha) {
+  return ProbeNext(legacy_positions_, q, alpha);
+}
+
+ProbeOutcome BatchedNeighborIndex::NextNeighborBounded(TokenId q, Score alpha,
+                                                       Score stop_sim,
+                                                       Neighbor* out) {
+  return ProbeNextBounded(legacy_positions_, q, alpha, stop_sim, out);
+}
+
+// ---- prewarm ----------------------------------------------------------------
+
+void BatchedNeighborIndex::PrewarmShared(std::span<const TokenId> tokens,
+                                         Score alpha,
+                                         util::ThreadPool* pool) const {
   std::vector<TokenId> missing;
   missing.reserve(tokens.size());
-  for (TokenId t : tokens) {
-    auto it = cursors_.find(t);
-    if (it == cursors_.end() || it->second.alpha != alpha) missing.push_back(t);
-  }
+  for (TokenId t : tokens) missing.push_back(t);
   std::sort(missing.begin(), missing.end());
   missing.erase(std::unique(missing.begin(), missing.end()), missing.end());
+  // Drop tokens already cached at this α (each counts as a prewarm hit —
+  // possibly warmed by a concurrent query or an earlier SearchMany batch).
+  std::erase_if(missing,
+                [&](TokenId t) { return FindCursor(t, alpha) != nullptr; });
   if (missing.empty()) return;
+  misses_.fetch_add(missing.size(), std::memory_order_relaxed);
 
   const std::span<const TokenId> all(missing);
-  if (pool_ != nullptr && missing.size() > kPrewarmBlock) {
+  if (pool != nullptr && missing.size() > kPrewarmBlock) {
     // Fan blocks out across the pool; cursors are independent, so the only
-    // serial part is inserting the finished blocks into the map.
-    std::vector<std::future<std::vector<Cursor>>> futures;
+    // serial part is publishing the finished blocks into the shard maps.
+    std::vector<std::future<std::vector<CursorPtr>>> futures;
     for (size_t b = 0; b < missing.size(); b += kPrewarmBlock) {
-      const auto block = all.subspan(b, std::min(kPrewarmBlock,
-                                                 missing.size() - b));
-      futures.push_back(pool_->Submit(
+      const auto block =
+          all.subspan(b, std::min(kPrewarmBlock, missing.size() - b));
+      futures.push_back(pool->Submit(
           [this, block, alpha] { return BuildCursorBlock(block, alpha); }));
     }
     size_t b = 0;
     for (auto& f : futures) {
-      for (Cursor& c : f.get()) {
-        cursors_.insert_or_assign(missing[b++], std::move(c));
+      for (CursorPtr& c : f.get()) {
+        PublishCursor(missing[b++], alpha, std::move(c));
       }
     }
   } else {
     for (size_t b = 0; b < missing.size(); b += kPrewarmBlock) {
-      const auto block = all.subspan(b, std::min(kPrewarmBlock,
-                                                 missing.size() - b));
-      std::vector<Cursor> built = BuildCursorBlock(block, alpha);
+      const auto block =
+          all.subspan(b, std::min(kPrewarmBlock, missing.size() - b));
+      std::vector<CursorPtr> built = BuildCursorBlock(block, alpha);
       for (size_t i = 0; i < block.size(); ++i) {
-        cursors_.insert_or_assign(block[i], std::move(built[i]));
+        PublishCursor(block[i], alpha, std::move(built[i]));
       }
     }
   }
 }
 
-void BatchedNeighborIndex::ResetCursors() { cursors_.clear(); }
+void BatchedNeighborIndex::Prewarm(std::span<const TokenId> tokens,
+                                   Score alpha) {
+  PrewarmShared(tokens, alpha, pool_);
+}
+
+// ---- maintenance ------------------------------------------------------------
+
+void BatchedNeighborIndex::ResetCursors() { legacy_positions_.clear(); }
+
+void BatchedNeighborIndex::ClearCursorCache() {
+  for (CacheShard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.map.clear();
+  }
+  legacy_positions_.clear();
+}
+
+CursorCacheStats BatchedNeighborIndex::cursor_cache_stats() const {
+  CursorCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.duplicate_builds = duplicate_builds_.load(std::memory_order_relaxed);
+  for (const CacheShard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    stats.cursors += shard.map.size();
+  }
+  return stats;
+}
 
 size_t BatchedNeighborIndex::MemoryUsageBytes() const {
   size_t bytes = 0;
-  for (const auto& [_, c] : cursors_) {
-    bytes += sizeof(Cursor) + c.neighbors.capacity() * sizeof(Neighbor);
+  for (const CacheShard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [_, c] : shard.map) {
+      bytes += sizeof(SharedCursor) + c->neighbors.capacity() * sizeof(Neighbor);
+    }
   }
   return bytes;
 }

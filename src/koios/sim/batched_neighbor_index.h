@@ -23,13 +23,30 @@
 //    once per multi-query block) and fans independent blocks across an
 //    optional util::ThreadPool.
 //
-// Thread-safety: Prewarm() may build cursors on pool workers internally,
-// but the public interface is single-consumer — NextNeighbor/ResetCursors/
-// Prewarm must not be called concurrently with each other.
+// CONCURRENCY (the serve subsystem's reentrancy contract): built cursors
+// live in a sharded, mutex-protected cache keyed by (token, α) and are
+// SHARED across consumers — concurrent queries over the same vocabulary
+// reuse each other's cursor builds, with hit/miss counters to prove it.
+// A shared cursor's neighbor array is append-frozen at build time; the
+// only post-build mutation is the lazy chunk ordering, which extends a
+// monotone ordered prefix under a per-cursor mutex and publishes it with
+// an atomic, so readers of the ordered prefix never take a lock. What
+// CANNOT be shared is consumption position: each consumer advances its
+// own per-token position over the shared payload. NewSession() returns a
+// per-query view holding exactly that state; the index's own
+// NextNeighbor/ResetCursors remain the single-consumer convenience
+// interface backed by one internal legacy position table. ResetCursors
+// resets POSITIONS only — the shared cursor payloads persist across
+// queries (they are deterministic pure functions of (token, α), so
+// replaying against a warm cache is bit-identical to a cold one).
 #ifndef KOIOS_SIM_BATCHED_NEIGHBOR_INDEX_H_
 #define KOIOS_SIM_BATCHED_NEIGHBOR_INDEX_H_
 
+#include <array>
+#include <atomic>
 #include <cstddef>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -41,32 +58,70 @@ class ThreadPool;
 
 namespace koios::sim {
 
+/// Counters of the shared cursor cache (monotone; snapshot accessor).
+/// hits/misses count cursor resolutions by ANY consumer (sessions, the
+/// legacy single-consumer interface, Prewarm); a hit means a previously
+/// built cursor — possibly built by a DIFFERENT query — was reused.
+struct CursorCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  /// Concurrent builders raced on the same (token, α): the loser's build
+  /// is discarded (the first insert wins so its ordering progress is
+  /// kept). Wasted work, bounded by the race window, never a correctness
+  /// issue — builds are deterministic.
+  uint64_t duplicate_builds = 0;
+  /// Currently cached cursors across all shards.
+  uint64_t cursors = 0;
+};
+
 class BatchedNeighborIndex : public SimilarityIndex {
  public:
   std::optional<Neighbor> NextNeighbor(TokenId q, Score alpha) override;
 
   /// Stop-threshold fast path: when every remaining neighbor of the cursor
-  /// is provably below `stop_sim` (the unsorted tail is bounded by the last
-  /// ordered chunk's minimum, or by the cursor's max for a fresh cursor),
-  /// the probe reports kWithheld WITHOUT ordering another chunk — tuples
-  /// the refinement θlb has ruled out are never nth_element'd or sorted.
+  /// is provably below `stop_sim` (bounded by the last consumed neighbor's
+  /// similarity, or by the cursor's build-time max before anything was
+  /// consumed), the probe reports kWithheld WITHOUT ordering another
+  /// chunk — tuples the refinement θlb has ruled out are never
+  /// nth_element'd or sorted. The reported bound depends only on this
+  /// consumer's own consumption, never on other sessions' ordering
+  /// progress, so concurrent queries stay bit-reproducible.
   ProbeOutcome NextNeighborBounded(TokenId q, Score alpha, Score stop_sim,
                                    Neighbor* out) override;
 
   const SimilarityFunction* similarity() const override { return sim_; }
 
+  /// Resets the single-consumer probe POSITIONS. Shared cursor payloads
+  /// stay cached across queries (see the class comment); use
+  /// ClearCursorCache() to actually drop them.
   void ResetCursors() override;
 
   /// Eagerly builds (in parallel when a pool is set) the cursors for every
-  /// token in `tokens` that is not already cached at this α.
+  /// token in `tokens` that is not already cached at this α. Cursors land
+  /// in the shared cache, so one query's (or one SearchMany batch's)
+  /// prewarm is every concurrent query's warm start.
   void Prewarm(std::span<const TokenId> tokens, Score alpha) override;
+
+  /// Per-query probe session over the shared cursor cache (see
+  /// SimilarityIndex::NewSession). Sessions are cheap (an empty position
+  /// table); any number may run concurrently with each other, with
+  /// Prewarm, and with the owning index's legacy interface.
+  std::unique_ptr<SimilarityIndex> NewSession() override;
 
   /// Swap the worker pool used by Prewarm (nullptr = serial). The searcher
   /// attaches its per-query pool around TokenStream construction so cursor
-  /// builds fan out without the index owning threads.
+  /// builds fan out without the index owning threads. Sessions carry their
+  /// own pool pointer, so this setting is only for the legacy interface.
   void set_thread_pool(util::ThreadPool* pool) override { pool_ = pool; }
 
   util::ThreadPool* thread_pool() const override { return pool_; }
+
+  CursorCacheStats cursor_cache_stats() const;
+
+  /// Drops every cached cursor (memory pressure / tests). Sessions holding
+  /// a cursor keep it alive until they release it; in-flight probes are
+  /// unaffected.
+  void ClearCursorCache();
 
   size_t MemoryUsageBytes() const override;
 
@@ -82,9 +137,9 @@ class BatchedNeighborIndex : public SimilarityIndex {
   /// backends union their (naturally sorted) bucket lists with
   /// UnionBuckets. `q` itself may be included (the α filter skips it; the
   /// token stream injects self-matches). Called concurrently from pool
-  /// workers during Prewarm, so implementations must be const-thread-safe.
-  /// Backends with SharedCandidates() never receive this call; the
-  /// default asserts that.
+  /// workers during Prewarm AND from concurrent sessions' cache misses, so
+  /// implementations must be const-thread-safe. Backends with
+  /// SharedCandidates() never receive this call; the default asserts that.
   virtual void CollectCandidates(TokenId q, std::vector<TokenId>* out) const;
 
   /// Sorts + dedupes a vocabulary in place. Bucket backends run this
@@ -112,6 +167,8 @@ class BatchedNeighborIndex : public SimilarityIndex {
   const SimilarityFunction* sim() const { return sim_; }
 
  private:
+  class Session;
+
   // Neighbors ordered in chunks of this size; the common case consumes one
   // chunk or less before the θ-bound stops the stream.
   static constexpr size_t kSortChunk = 64;
@@ -120,45 +177,110 @@ class BatchedNeighborIndex : public SimilarityIndex {
   // the granularity of the thread-pool fan-out.
   static constexpr size_t kPrewarmBlock = 8;
 
-  struct Cursor {
+  // Shards of the cursor cache. Sixteen keeps the mutex word count trivial
+  // while making same-instant collisions of concurrent queries unlikely.
+  static constexpr size_t kCacheShards = 16;
+
+  /// One built cursor, shared by every consumer probing its (token, α).
+  /// `neighbors` is append-frozen at build time; the lazy chunk ordering
+  /// permutes only [ordered_prefix, end) under `order_mutex` and then
+  /// publishes the new prefix length, so [0, ordered_prefix) — the only
+  /// part consumers read without the lock — is immutable once observed
+  /// through the acquire load.
+  struct SharedCursor {
     Score alpha = -1.0;               // threshold the α filter ran at
-    std::vector<Neighbor> neighbors;  // >= alpha; [0, sorted_prefix) ordered
-    size_t next = 0;
-    size_t sorted_prefix = 0;
+    std::vector<Neighbor> neighbors;  // >= alpha; [0, ordered_prefix) sorted
     // Largest survivor similarity, set at build time: bounds the whole
-    // cursor before any chunk is ordered (the stop-threshold fast path).
+    // cursor before anything is consumed (the stop-threshold fast path).
     Score max_sim = 0.0;
+    std::atomic<size_t> ordered_prefix{0};
+    std::mutex order_mutex;
+  };
+  using CursorPtr = std::shared_ptr<SharedCursor>;
+
+  /// Per-consumer consumption state over a shared cursor.
+  struct ProbePos {
+    CursorPtr cursor;  // resolved payload (null until first probe)
+    size_t next = 0;   // neighbors consumed by THIS consumer
+  };
+  using PositionMap = std::unordered_map<TokenId, ProbePos>;
+
+  struct CacheKey {
+    TokenId token;
+    Score alpha;
+    bool operator==(const CacheKey& o) const {
+      return token == o.token && alpha == o.alpha;
+    }
+  };
+  struct CacheKeyHash {
+    size_t operator()(const CacheKey& k) const;
+  };
+  struct CacheShard {
+    mutable std::mutex mutex;
+    std::unordered_map<CacheKey, CursorPtr, CacheKeyHash> map;
   };
 
   /// In-place union of the ascending runs of `ids` delimited by `bounds`.
   static void MergeSortedRuns(std::vector<TokenId>* ids,
                               std::vector<size_t>* bounds);
 
-  /// Records the cursor's max survivor similarity (one linear pass).
-  static void FinalizeCursor(Cursor* cursor);
+  /// Extends the shared ordered prefix until it covers `count` neighbors
+  /// (or all of them): nth_element partitions the next chunk's members to
+  /// the front, then the chunk is sorted with the deterministic tie-break,
+  /// so full consumption reproduces the eager full sort exactly. Lock-free
+  /// fast path when the prefix already covers `count`.
+  static void EnsureOrdered(SharedCursor& cursor, size_t count);
 
-  /// Returns the cursor for `q` at `alpha`, building it on a cache miss or
-  /// an α mismatch.
-  Cursor& CursorFor(TokenId q, Score alpha);
+  CacheShard& ShardFor(const CacheKey& key) const;
 
-  Cursor BuildCursor(TokenId q, Score alpha) const;
+  /// Cache lookup; counts a hit when found. Null on miss (no counter —
+  /// callers that go on to build count the miss).
+  CursorPtr FindCursor(TokenId q, Score alpha) const;
+
+  /// Publishes a built cursor; on an insert race the FIRST insert wins
+  /// (its lazy-ordering progress is kept) and the loser is counted in
+  /// duplicate_builds. Returns the cached winner.
+  CursorPtr PublishCursor(TokenId q, Score alpha, CursorPtr built) const;
+
+  /// Cache lookup, building (one batched kernel scan + α filter) on a
+  /// miss. Safe from any thread.
+  CursorPtr CursorFor(TokenId q, Score alpha) const;
+
+  CursorPtr BuildCursor(TokenId q, Score alpha) const;
 
   /// Batched build of one prewarm block: the block's candidate union is
   /// scored with one SimilarityBatchMulti call, then each query's α filter
   /// runs over its own candidates' rows (a merge walk of two sorted lists,
   /// so no per-candidate lookups).
-  std::vector<Cursor> BuildCursorBlock(std::span<const TokenId> qs,
-                                       Score alpha) const;
+  std::vector<CursorPtr> BuildCursorBlock(std::span<const TokenId> qs,
+                                          Score alpha) const;
 
-  /// Extends the ordered prefix until it covers `count` neighbors (or all
-  /// of them): nth_element partitions the next chunk's members to the
-  /// front, then the chunk is sorted with the deterministic tie-break, so
-  /// full consumption reproduces the eager full sort exactly.
-  static void EnsureOrdered(Cursor& cursor, size_t count);
+  /// Prewarm body shared by the legacy interface and sessions: builds the
+  /// (token, α) pairs missing from the shared cache, fanning blocks across
+  /// `pool` when given.
+  void PrewarmShared(std::span<const TokenId> tokens, Score alpha,
+                     util::ThreadPool* pool) const;
+
+  /// Probe bodies shared by the legacy interface and sessions; `positions`
+  /// is the calling consumer's private state.
+  std::optional<Neighbor> ProbeNext(PositionMap& positions, TokenId q,
+                                    Score alpha) const;
+  ProbeOutcome ProbeNextBounded(PositionMap& positions, TokenId q, Score alpha,
+                                Score stop_sim, Neighbor* out) const;
 
   const SimilarityFunction* sim_;
   util::ThreadPool* pool_;
-  std::unordered_map<TokenId, Cursor> cursors_;
+
+  // Shared cursor cache + stats. Mutable: caching is not observable
+  // through the probe results (builds are deterministic), and sessions
+  // must be able to populate it through a const parent.
+  mutable std::array<CacheShard, kCacheShards> shards_;
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  mutable std::atomic<uint64_t> duplicate_builds_{0};
+
+  // Consumption state of the legacy single-consumer interface.
+  PositionMap legacy_positions_;
 };
 
 }  // namespace koios::sim

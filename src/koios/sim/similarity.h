@@ -23,6 +23,7 @@
 #define KOIOS_SIM_SIMILARITY_H_
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <span>
 
@@ -152,6 +153,19 @@ class SimilarityIndex {
 
   /// Forget all cursors so a new query can reuse the index.
   virtual void ResetCursors() = 0;
+
+  /// A per-query *probe session*: an independent SimilarityIndex view over
+  /// the same vocabulary whose cursor consumption state is private to the
+  /// caller, so any number of sessions may probe CONCURRENTLY (the serve
+  /// subsystem hands one to every in-flight query). Implementations share
+  /// the expensive cursor payloads across sessions behind internal
+  /// synchronization — concurrent queries over the same vocabulary reuse
+  /// each other's cursors — while NextNeighbor positions stay per-session.
+  /// The session borrows the index (it must outlive the session) and
+  /// forwards similarity()/exact_neighbors(). Returns nullptr when the
+  /// backend has no concurrent probe support (callers must then serialize
+  /// whole searches themselves).
+  virtual std::unique_ptr<SimilarityIndex> NewSession() { return nullptr; }
 
   /// Hint that `NextNeighbor(t, alpha)` is about to be called for every
   /// token in `tokens`. Implementations may build the cursors eagerly (and

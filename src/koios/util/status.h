@@ -18,6 +18,11 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kInternal,
+  /// Admission control: a bounded queue or in-flight limit is full; the
+  /// caller may retry after backing off.
+  kResourceExhausted,
+  /// A per-query deadline elapsed before (or while) the work ran.
+  kDeadlineExceeded,
 };
 
 /// Lightweight status object. OK carries no allocation.
@@ -42,6 +47,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

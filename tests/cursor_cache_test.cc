@@ -1,0 +1,183 @@
+// The sharded shared cursor cache under concurrency (ISSUE 4 satellite):
+// per-query sessions over one BatchedNeighborIndex must stream identical
+// neighbor sequences no matter how many threads hammer the cache, because
+// cursor payloads are deterministic in (token, α) and the lazy ordering's
+// sorted prefix is one unique sequence under the strict total order.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "koios/sim/exact_knn_index.h"
+#include "koios/sim/lsh_index.h"
+#include "koios/util/rng.h"
+#include "test_util.h"
+
+namespace koios::sim {
+namespace {
+
+std::vector<TokenId> FullVocabulary(size_t n) {
+  std::vector<TokenId> vocab(n);
+  for (size_t i = 0; i < n; ++i) vocab[i] = static_cast<TokenId>(i);
+  return vocab;
+}
+
+/// Drains a token's stream through `index` and returns the sequence.
+std::vector<Neighbor> Drain(SimilarityIndex* index, TokenId q, Score alpha) {
+  std::vector<Neighbor> out;
+  while (auto n = index->NextNeighbor(q, alpha)) out.push_back(*n);
+  return out;
+}
+
+TEST(CursorCacheTest, SessionsShareCursorPayloads) {
+  auto w = testing::MakeRandomWorkload(40, 400, 5, 15, 9001);
+  auto s1 = w.index->NewSession();
+  auto s2 = w.index->NewSession();
+  ASSERT_NE(s1, nullptr);
+  ASSERT_NE(s2, nullptr);
+
+  const auto a = Drain(s1.get(), 7, 0.5);
+  const CursorCacheStats after_first = w.index->cursor_cache_stats();
+  const auto b = Drain(s2.get(), 7, 0.5);
+  const CursorCacheStats after_second = w.index->cursor_cache_stats();
+
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].token, b[i].token);
+    EXPECT_DOUBLE_EQ(a[i].sim, b[i].sim);
+  }
+  // The second session reused the first one's build: misses unchanged,
+  // hits grew.
+  EXPECT_EQ(after_second.misses, after_first.misses);
+  EXPECT_GT(after_second.hits, after_first.hits);
+}
+
+TEST(CursorCacheTest, AlphaKeyedEntriesCoexist) {
+  auto w = testing::MakeRandomWorkload(40, 300, 5, 15, 9002);
+  auto s1 = w.index->NewSession();
+  auto s2 = w.index->NewSession();
+  // Same token at two thresholds concurrently alive: each session keeps
+  // streaming from its own α cursor (the old single-slot cache would have
+  // rebuilt and clobbered).
+  const auto strict = Drain(s1.get(), 11, 0.8);
+  const auto loose = Drain(s2.get(), 11, 0.4);
+  EXPECT_GE(loose.size(), strict.size());
+  for (const Neighbor& n : strict) EXPECT_GE(n.sim, 0.8);
+  // Re-draining either α on fresh sessions hits the cache.
+  const CursorCacheStats before = w.index->cursor_cache_stats();
+  auto s3 = w.index->NewSession();
+  const auto strict_again = Drain(s3.get(), 11, 0.8);
+  EXPECT_EQ(w.index->cursor_cache_stats().misses, before.misses);
+  ASSERT_EQ(strict_again.size(), strict.size());
+  for (size_t i = 0; i < strict.size(); ++i) {
+    EXPECT_EQ(strict_again[i].token, strict[i].token);
+  }
+}
+
+TEST(CursorCacheTest, LegacyResetCursorsKeepsPayloads) {
+  auto w = testing::MakeRandomWorkload(40, 300, 5, 15, 9003);
+  const auto first = Drain(w.index.get(), 3, 0.5);
+  const CursorCacheStats warm = w.index->cursor_cache_stats();
+  w.index->ResetCursors();
+  const auto second = Drain(w.index.get(), 3, 0.5);
+  // Positions restarted, payload reused.
+  ASSERT_EQ(first.size(), second.size());
+  EXPECT_EQ(w.index->cursor_cache_stats().misses, warm.misses);
+  w.index->ClearCursorCache();
+  EXPECT_EQ(w.index->cursor_cache_stats().cursors, 0u);
+}
+
+// ----------------------------------------------- 8-thread hammer (TSan) --
+
+TEST(CursorCacheTest, EightThreadHammerMatchesColdIndex) {
+  // 8 threads × private sessions, overlapping tokens and both α values,
+  // racing on cache insertion AND on each shared cursor's lazy ordering.
+  // Every drained sequence must equal the one a cold single-threaded index
+  // produces. This is the regression test the ThreadSanitizer CI job runs.
+  constexpr size_t kThreads = 8;
+  constexpr size_t kTokensPerThread = 24;
+  const Score alphas[] = {0.45, 0.7};
+
+  auto w = testing::MakeRandomWorkload(60, 500, 5, 20, 9004);
+  const std::vector<TokenId>& vocab = w.corpus.vocabulary;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  std::vector<std::string> errors(kThreads);
+  for (size_t ti = 0; ti < kThreads; ++ti) {
+    threads.emplace_back([&, ti] {
+      util::Rng rng(100 + ti);
+      auto session = w.index->NewSession();
+      // Per-thread cold reference over a PRIVATE index (its own cache), so
+      // comparisons never synchronize through the hammered one. Same
+      // vocabulary as the workload index.
+      ExactKnnIndex reference(vocab, w.sim.get());
+      for (size_t i = 0; i < kTokensPerThread; ++i) {
+        const TokenId q = vocab[rng.NextBounded(vocab.size())];
+        const Score alpha = alphas[rng.NextBounded(2)];
+        // Interleave bounded probes to exercise the withheld fast path.
+        if (i % 3 == 1) {
+          Neighbor out;
+          (void)session->NextNeighborBounded(q, alpha, 0.99, &out);
+          session->ResetCursors();
+        }
+        const auto got = Drain(session.get(), q, alpha);
+        const auto want = Drain(&reference, q, alpha);
+        if (got.size() != want.size()) {
+          errors[ti] = "size mismatch";
+          failed.store(true);
+          return;
+        }
+        for (size_t j = 0; j < got.size(); ++j) {
+          if (got[j].token != want[j].token || got[j].sim != want[j].sim) {
+            errors[ti] = "sequence mismatch";
+            failed.store(true);
+            return;
+          }
+        }
+        // Restart both consumers so repeated draws of the same token
+        // re-drain from the top (payloads stay cached).
+        session->ResetCursors();
+        reference.ResetCursors();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (size_t ti = 0; ti < kThreads; ++ti) {
+    EXPECT_TRUE(errors[ti].empty()) << "thread " << ti << ": " << errors[ti];
+  }
+  ASSERT_FALSE(failed.load());
+  const CursorCacheStats stats = w.index->cursor_cache_stats();
+  // Cross-thread reuse must actually have happened: way fewer builds than
+  // resolutions. (Duplicate builds are allowed — racing builders — but
+  // every one of them is counted, not lost.)
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GE(stats.hits + stats.misses,
+            kThreads * kTokensPerThread);
+  EXPECT_LE(stats.cursors, stats.misses);
+}
+
+TEST(CursorCacheTest, BucketBackendSessionsAreConsistent) {
+  // Sessions also work over an approximate backend (per-query candidate
+  // collection instead of a shared vocabulary scan).
+  auto w = testing::MakeRandomWorkload(40, 300, 5, 15, 9005);
+  LshIndexSpec spec;
+  CosineLshIndex lsh(FullVocabulary(300), &w.model->store(), w.sim.get(),
+                     spec);
+  auto s1 = lsh.NewSession();
+  auto s2 = lsh.NewSession();
+  for (TokenId q : {TokenId{5}, TokenId{99}, TokenId{200}}) {
+    const auto a = Drain(s1.get(), q, 0.5);
+    const auto b = Drain(s2.get(), q, 0.5);
+    ASSERT_EQ(a.size(), b.size()) << "q=" << q;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].token, b[i].token) << "q=" << q;
+      EXPECT_DOUBLE_EQ(a[i].sim, b[i].sim) << "q=" << q;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace koios::sim

@@ -127,6 +127,55 @@ TEST(SerializationTest, EmbeddingStoreRoundTrip) {
   EXPECT_NEAR(loaded.value().Cosine(2, 5), store.Cosine(2, 5), 1e-6);
 }
 
+TEST(SerializationTest, QuantizedTierSurvivesRoundTrip) {
+  // A Finalize()d store must come back quantized (the loader re-finalizes
+  // from the persisted flag) with the int8 kernels agreeing exactly — the
+  // codes are deterministic in the float rows.
+  embedding::EmbeddingStore store(4);
+  store.Add(0, std::vector<float>{0.9f, 0.1f, -0.3f, 0.2f});
+  store.Add(1, std::vector<float>{-0.2f, 0.8f, 0.5f, 0.1f});
+  store.Add(3, std::vector<float>{0.4f, -0.4f, 0.6f, -0.5f});
+  store.Finalize();
+  ASSERT_TRUE(store.quantized());
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveEmbeddingStore(store, 10, buffer).ok());
+  auto loaded = LoadEmbeddingStore(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded.value().quantized());
+  EXPECT_GT(loaded.value().QuantizedMemoryUsageBytes(), 0u);
+  // Both tiers agree with the saved store, pair by pair.
+  const TokenId ids[] = {0, 1, 3};
+  for (TokenId a : ids) {
+    for (TokenId b : ids) {
+      EXPECT_DOUBLE_EQ(loaded.value().Cosine(a, b), store.Cosine(a, b));
+      EXPECT_DOUBLE_EQ(loaded.value().CosineQuantized(a, b),
+                       store.CosineQuantized(a, b));
+    }
+  }
+  // The Precision selector reads the restored tier (kInt8 must not fall
+  // back to float rows).
+  std::vector<TokenId> targets{0, 1, 3};
+  std::vector<double> got(targets.size()), want(targets.size());
+  loaded.value().CosineBatch(0, targets, std::span<double>(got),
+                             embedding::Precision::kInt8);
+  store.CosineBatch(0, targets, std::span<double>(want),
+                    embedding::Precision::kInt8);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got[i], want[i]);
+  }
+}
+
+TEST(SerializationTest, UnquantizedStoreRoundTripsUnquantized) {
+  embedding::EmbeddingStore store(2);
+  store.Add(0, std::vector<float>{1.0f, 0.0f});
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveEmbeddingStore(store, 4, buffer).ok());
+  auto loaded = LoadEmbeddingStore(buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded.value().quantized());
+}
+
 TEST(SerializationTest, CorruptMagicRejected) {
   std::stringstream buffer;
   buffer << "garbage bytes here and more of them";

@@ -1,0 +1,68 @@
+// serve::LatencyRecorder: nearest-rank percentiles, lossless Merge, and
+// the summary rendering the benches print.
+#include <gtest/gtest.h>
+
+#include "koios/serve/latency_recorder.h"
+
+namespace koios::serve {
+namespace {
+
+TEST(LatencyRecorderTest, EmptyIsZero) {
+  LatencyRecorder r;
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_EQ(r.Percentile(50), 0.0);
+  EXPECT_EQ(r.Mean(), 0.0);
+  EXPECT_EQ(r.Max(), 0.0);
+}
+
+TEST(LatencyRecorderTest, NearestRankPercentiles) {
+  LatencyRecorder r;
+  // 1..100 ms, recorded out of order.
+  for (int i = 100; i >= 1; --i) r.Record(i / 1000.0);
+  ASSERT_EQ(r.count(), 100u);
+  // Nearest rank over n=100: p50 is the 50th smallest, p99 the 99th.
+  EXPECT_DOUBLE_EQ(r.Percentile(50), 0.050);
+  EXPECT_DOUBLE_EQ(r.Percentile(95), 0.095);
+  EXPECT_DOUBLE_EQ(r.Percentile(99), 0.099);
+  EXPECT_DOUBLE_EQ(r.Percentile(100), 0.100);
+  EXPECT_DOUBLE_EQ(r.Percentile(0), 0.001);
+  EXPECT_DOUBLE_EQ(r.Percentile(1), 0.001);
+  EXPECT_NEAR(r.Mean(), 0.0505, 1e-12);
+}
+
+TEST(LatencyRecorderTest, SingleSampleEveryPercentile) {
+  LatencyRecorder r;
+  r.Record(0.25);
+  for (double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(r.Percentile(p), 0.25) << "p=" << p;
+  }
+}
+
+TEST(LatencyRecorderTest, MergeIsLossless) {
+  LatencyRecorder a, b;
+  for (int i = 1; i <= 50; ++i) a.Record(i / 1000.0);
+  for (int i = 51; i <= 100; ++i) b.Record(i / 1000.0);
+  // Interleave a percentile read between merges: sorting must not corrupt
+  // later appends.
+  EXPECT_DOUBLE_EQ(a.Percentile(100), 0.050);
+  a.Merge(b);
+  ASSERT_EQ(a.count(), 100u);
+  EXPECT_DOUBLE_EQ(a.Percentile(50), 0.050);
+  EXPECT_DOUBLE_EQ(a.Percentile(99), 0.099);
+  // Merging an empty recorder is a no-op.
+  LatencyRecorder empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 100u);
+}
+
+TEST(LatencyRecorderTest, SummaryMentionsTail) {
+  LatencyRecorder r;
+  r.Record(0.001);
+  r.Record(0.002);
+  const std::string summary = r.Summary();
+  EXPECT_NE(summary.find("p99"), std::string::npos);
+  EXPECT_NE(summary.find("n=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace koios::serve

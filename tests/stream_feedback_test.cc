@@ -4,6 +4,7 @@
 // actually stops strictly above α when the top-k saturates early.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 #include <vector>
@@ -230,6 +231,60 @@ TEST(StreamFeedbackTest, ApproximateIndexesDoNotEnableFeedback) {
   for (size_t i = 0; i < rf.topk.size(); ++i) {
     EXPECT_EQ(rf.topk[i].set, rd.topk[i].set);
     EXPECT_DOUBLE_EQ(rf.topk[i].score, rd.topk[i].score);
+  }
+}
+
+// ------------------------------------------- adaptive survivor budget --
+
+TEST(StreamFeedbackTest, AdaptiveSurvivorBudgetStaysExact) {
+  // The adaptive (rent-to-buy) budget only moves WHERE the stop lands, so
+  // both policies must return the drain's exact answer, and a stop under
+  // either must record the budget that authorized it.
+  auto w = MakeRandomWorkload(200, 800, 8, 30, 8105);
+  const auto q = w.corpus.sets.Tokens(21);
+  KoiosSearcher searcher(&w.corpus.sets, w.index.get());
+
+  SearchParams drain;
+  drain.k = 5;
+  drain.alpha = 0.6;
+  drain.use_stream_feedback = false;
+  const SearchResult rd = searcher.Search(q, drain);
+
+  for (const double em_cost_tuples : {4.0, 64.0, 4096.0}) {
+    SearchParams adaptive = drain;
+    adaptive.use_stream_feedback = true;
+    adaptive.use_adaptive_survivor_budget = true;
+    adaptive.adaptive_em_cost_tuples = em_cost_tuples;
+    const SearchResult ra = searcher.Search(q, adaptive);
+
+    ASSERT_EQ(ra.topk.size(), rd.topk.size()) << "ratio " << em_cost_tuples;
+    for (size_t i = 0; i < ra.topk.size(); ++i) {
+      EXPECT_EQ(ra.topk[i].set, rd.topk[i].set) << "ratio " << em_cost_tuples;
+      EXPECT_DOUBLE_EQ(ra.topk[i].score, rd.topk[i].score)
+          << "ratio " << em_cost_tuples;
+    }
+    EXPECT_LE(ra.stats.stream_tuples_produced, rd.stats.stream_tuples_produced);
+    if (ra.stats.stream_stop_sim > 0.0) {
+      // The consumer stopped: the budget in force was recorded and honors
+      // the floor.
+      EXPECT_GE(ra.stats.stream_survivor_budget, 32u);
+    }
+  }
+}
+
+TEST(StreamFeedbackTest, AdaptiveBudgetDefaultsOff) {
+  // Default params keep the fixed max(32, 4k) policy: a stopping search
+  // records exactly that budget.
+  auto w = MakeRandomWorkload(200, 800, 8, 30, 8106);
+  const auto q = w.corpus.sets.Tokens(13);
+  KoiosSearcher searcher(&w.corpus.sets, w.index.get());
+  SearchParams params;
+  params.k = 1;
+  params.alpha = 0.5;
+  ASSERT_FALSE(params.use_adaptive_survivor_budget);
+  const SearchResult r = searcher.Search(q, params);
+  if (r.stats.stream_stop_sim > 0.0) {
+    EXPECT_EQ(r.stats.stream_survivor_budget, std::max<size_t>(32, 4 * params.k));
   }
 }
 
