@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 #include "koios/core/search_types.h"
 
@@ -24,7 +25,8 @@ EdgeCache::EdgeCache(sim::TokenStream* stream) : stream_(stream) {
 
 EdgeCache::EdgeCache(sim::TokenStream* stream, Deferred,
                      const sim::SimilarityFunction* completer,
-                     StopSimFn stop_sim, const SearchContext* ctx)
+                     StopSimFn stop_sim, const SearchContext* ctx,
+                     size_t expected_consumers, size_t producer_lead)
     : stream_(stream),
       completer_(completer),
       ctx_(ctx),
@@ -34,6 +36,18 @@ EdgeCache::EdgeCache(sim::TokenStream* stream, Deferred,
   // Bounded materialization truncates the edge lists; exactness then needs
   // the completer to reconstruct the missing simα entries in BuildMatrix.
   assert(stop_sim_fn_ == nullptr || completer_ != nullptr);
+  // Pacing exists to protect the feedback loop's savings; without a stop
+  // source the consumers want the full α-drain anyway, so the producer
+  // free-runs.
+  if (stop_sim_fn_ != nullptr && expected_consumers > 0 && producer_lead > 0) {
+    producer_lead_ = producer_lead;
+    expected_consumers_ = expected_consumers;
+    consumer_pos_ =
+        std::make_unique<std::atomic<size_t>[]>(expected_consumers);
+    for (size_t i = 0; i < expected_consumers; ++i) {
+      consumer_pos_[i].store(0, std::memory_order_relaxed);
+    }
+  }
 }
 
 EdgeCache::EdgeCache(sim::TokenStream* stream, InlineProducer,
@@ -47,6 +61,85 @@ EdgeCache::EdgeCache(sim::TokenStream* stream, InlineProducer,
       query_(stream->query()),
       alpha_(stream->alpha()) {
   assert(stop_sim_fn_ == nullptr || completer_ != nullptr);
+}
+
+// ---- producer pacing --------------------------------------------------------
+
+size_t EdgeCache::RegisterConsumer() {
+  const size_t slot =
+      consumers_registered_.fetch_add(1, std::memory_order_acq_rel);
+  // Over-subscription (more guards than expected consumers) leaves the
+  // extras unpaced; the searcher sizes the slots to its partition count,
+  // so this is belt-and-braces only.
+  if (slot >= expected_consumers_) return kConsumerDone;
+  // Registration itself may unblock the producer (the "nobody registered
+  // yet" hold) — wake it like an advance would.
+  { std::lock_guard<std::mutex> lock(mutex_); }
+  pace_cv_.notify_one();
+  return slot;
+}
+
+void EdgeCache::AdvanceConsumer(size_t slot, size_t consumed) {
+  // The store happens under mutex_, which the producer holds across its
+  // predicate check and wait — so an advance either lands before the
+  // check (the producer sees it) or after the wait began (the notify
+  // wakes it). A lock-free fast path here (flag + relaxed stores) is the
+  // store-buffer litmus and CAN miss wakeups; one uncontended lock per
+  // pull chunk is the same cadence NextTuples already pays.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    consumer_pos_[slot].store(consumed, std::memory_order_relaxed);
+  }
+  pace_cv_.notify_one();
+}
+
+void EdgeCache::FinishConsumer(size_t slot) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    consumer_pos_[slot].store(kConsumerDone, std::memory_order_relaxed);
+  }
+  pace_cv_.notify_one();
+}
+
+bool EdgeCache::ProducerMayRun() const {
+  const size_t registered = std::min(
+      consumers_registered_.load(std::memory_order_acquire),
+      expected_consumers_);
+  // Nobody consuming yet: produce one lead window so the first consumer
+  // starts against a warm prefix, then hold until someone registers. The
+  // consumer tasks were submitted before Materialize() runs, so a worker
+  // will pick one up — this hold cannot deadlock.
+  if (registered == 0) return tuples_.size() < producer_lead_;
+  size_t min_pos = kConsumerDone;
+  for (size_t i = 0; i < registered; ++i) {
+    min_pos =
+        std::min(min_pos, consumer_pos_[i].load(std::memory_order_relaxed));
+  }
+  // Every registered consumer finished (declared its stop or unwound).
+  // Late-registering consumers replay the cached prefix and pace from the
+  // frontier once they arrive; holding for them here would deadlock when
+  // partitions outnumber pool workers (a queued partition can only start
+  // after a running one finishes, which may require production to go on).
+  if (min_pos == kConsumerDone) return true;
+  return tuples_.size() < min_pos + producer_lead_;
+}
+
+void EdgeCache::PaceProducer() {
+  if (!PacingEnabled()) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!ProducerMayRun()) {
+    // Consumers advance their positions under mutex_ (held here across
+    // check and wait), so wakeups cannot be missed; the bounded wait is a
+    // backstop, and the deadline poll keeps a consumer that died without
+    // unwinding its guard from holding production hostage past the query
+    // budget.
+    pace_cv_.wait_for(lock, std::chrono::milliseconds(50));
+    if (ctx_ != nullptr) {
+      lock.unlock();
+      ctx_->CheckCancelled();
+      lock.lock();
+    }
+  }
 }
 
 void EdgeCache::Seal(bool exhausted, Score stop_sim) {
@@ -107,6 +200,10 @@ void EdgeCache::Materialize() {
       // here; the Finisher's poison seal releases blocked consumers, and
       // the abort unwinds through the searcher's joining guard.
       if (ctx_ != nullptr) ctx_->CheckCancelled();
+      // Pacing (per publish batch, so the producer overshoots the lead by
+      // at most kPublishBatch): wait for the slowest registered consumer
+      // instead of racing everyone to α — see the class comment.
+      PaceProducer();
     }
   }
   publish();

@@ -27,6 +27,23 @@
 //                   production from inside NextTuples() (pipelined, no
 //                   second thread), and FinishProduction() seals the cache
 //                   before post-processing.
+//
+// PRODUCER PACING (deferred + feedback only): a free-running producer
+// races the consumers — it can drain the stream to α before a slow
+// consumer has processed enough tuples to declare its stop similarity,
+// silently forfeiting the feedback loop's whole savings (the serial modes
+// never had this race: production is interleaved with consumption). The
+// deferred constructor therefore takes a producer lead L: the producer
+// stays within L tuples of the slowest REGISTERED consumer's hand-off
+// position (consumers register through ConsumerGuard and advance as they
+// pull) and within L of the start while no consumer has registered yet.
+// Consumers that register late (partition tasks queued behind a full
+// pool) do not hold production — they replay the already-cached prefix at
+// full speed and only pace the producer once they reach the frontier,
+// which is what makes pacing deadlock-free when partitions outnumber pool
+// workers. Pacing never changes WHAT is produced (order and stop
+// conditions are untouched), only how far production runs ahead, so
+// results are unchanged; the pace wait polls the query deadline.
 // Producer-side publishing is batched; the consumer fast path after
 // completion is lock-free. Shutdown is poison-safe: if the producer dies
 // (exception) or the searcher unwinds, the cache is sealed with a slack of
@@ -40,6 +57,8 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <limits>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <unordered_map>
@@ -81,10 +100,14 @@ class EdgeCache {
   /// `ctx` (nullable) lets production honor a per-query deadline: the
   /// producer polls it per publish batch and throws SearchAborted, which
   /// poison-seals the cache so blocked consumers unwind instead of hang.
+  /// `expected_consumers`/`producer_lead` enable producer pacing (see the
+  /// class comment); pacing requires feedback (`stop_sim`), and either
+  /// value at 0 disables it (the producer then free-runs as before).
   struct Deferred {};
   EdgeCache(sim::TokenStream* stream, Deferred,
             const sim::SimilarityFunction* completer = nullptr,
-            StopSimFn stop_sim = nullptr, const SearchContext* ctx = nullptr);
+            StopSimFn stop_sim = nullptr, const SearchContext* ctx = nullptr,
+            size_t expected_consumers = 0, size_t producer_lead = 0);
 
   /// Inline mode: no producer thread — the single consumer drives
   /// production on demand from NextTuples(). Call FinishProduction() once
@@ -131,6 +154,41 @@ class EdgeCache {
   /// consumer already processed). Deferred consumers copy under a mutex,
   /// so they amortize with a coarse chunk instead.
   size_t PreferredConsumeChunk() const { return inline_mode_ ? 16 : 256; }
+
+  /// RAII handle of one pacing consumer (see the class comment). The
+  /// searcher opens one at the top of every partition task; Advance
+  /// reports the consumer's hand-off position after each NextTuples pull;
+  /// destruction (normal return OR unwind — a consumer that dies must not
+  /// pace the producer forever) marks the slot finished. A no-op on caches
+  /// without pacing, so callers construct it unconditionally.
+  class ConsumerGuard {
+   public:
+    ConsumerGuard() = default;
+    explicit ConsumerGuard(EdgeCache* cache) {
+      if (cache != nullptr && cache->PacingEnabled()) {
+        slot_ = cache->RegisterConsumer();
+        if (slot_ != kUnpaced) cache_ = cache;
+      }
+    }
+    ~ConsumerGuard() {
+      if (cache_ != nullptr) cache_->FinishConsumer(slot_);
+    }
+    ConsumerGuard(const ConsumerGuard&) = delete;
+    ConsumerGuard& operator=(const ConsumerGuard&) = delete;
+
+    /// Tuples [0, consumed) were handed to this consumer.
+    void Advance(size_t consumed) {
+      if (cache_ != nullptr) cache_->AdvanceConsumer(slot_, consumed);
+    }
+
+   private:
+    static constexpr size_t kUnpaced = std::numeric_limits<size_t>::max();
+    EdgeCache* cache_ = nullptr;
+    size_t slot_ = kUnpaced;
+  };
+
+  /// True when the deferred producer paces itself against consumers.
+  bool PacingEnabled() const { return producer_lead_ > 0; }
 
   /// Marks the stream complete as-is and wakes every blocked consumer.
   /// Idempotent. Failure-path only: when the producer can no longer run
@@ -200,12 +258,26 @@ class EdgeCache {
   size_t MemoryUsageBytes() const;
 
  private:
+  /// A consumer slot holding this position is finished (or was never
+  /// handed out) and must not pace the producer.
+  static constexpr size_t kConsumerDone = std::numeric_limits<size_t>::max();
+
   void WaitDone() const;
   /// Produces and publishes tuples until `until` tuples exist or the
   /// stream ends; inline mode only (runs on the consumer's thread).
   void ProduceInline(size_t until);
   /// Records the stream's stop state and publishes done_ (idempotent).
   void Seal(bool exhausted, Score stop_sim);
+
+  // --- producer pacing (ConsumerGuard's backend) --------------------------
+  size_t RegisterConsumer();
+  void AdvanceConsumer(size_t slot, size_t consumed);
+  void FinishConsumer(size_t slot);
+  /// True when the producer is within its lead of the slowest registered
+  /// consumer (callers hold mutex_ so tuples_.size() is stable).
+  bool ProducerMayRun() const;
+  /// Blocks the producer until ProducerMayRun(), polling the deadline.
+  void PaceProducer();
 
   sim::TokenStream* stream_;  // null once production completed
   const sim::SimilarityFunction* completer_ = nullptr;
@@ -227,6 +299,17 @@ class EdgeCache {
   mutable std::condition_variable grown_;
   std::atomic<size_t> published_{0};
   std::atomic<bool> done_{false};
+
+  // Producer pacing state. consumer_pos_[slot] is the consumer's hand-off
+  // position (kConsumerDone once finished); slots are handed out by
+  // RegisterConsumer in arrival order and advanced under mutex_, which
+  // the paced producer holds across its predicate check and wait — so
+  // wakeups cannot be missed.
+  size_t producer_lead_ = 0;       // 0 = pacing off
+  size_t expected_consumers_ = 0;  // pacing slots allocated
+  std::unique_ptr<std::atomic<size_t>[]> consumer_pos_;
+  std::atomic<size_t> consumers_registered_{0};
+  std::condition_variable pace_cv_;  // waited on by the producer, mutex_
 };
 
 }  // namespace koios::core

@@ -15,7 +15,8 @@ RefinementPhase::RefinementPhase(const index::SetCollection* sets,
       params_(params) {}
 
 RefinementOutput RefinementPhase::Run(EdgeCache* cache, SearchStats* stats,
-                                      SearchContext* ctx) {
+                                      SearchContext* ctx,
+                                      EdgeCache::ConsumerGuard* consumer) {
   GlobalThreshold* global_theta = ctx != nullptr ? &ctx->global_theta() : nullptr;
   RefinementOutput out;
   out.llb = util::TopKList<SetId>(params_.k);
@@ -206,6 +207,10 @@ RefinementOutput RefinementPhase::Run(EdgeCache* cache, SearchStats* stats,
       const size_t n =
           cache->NextTuples(consumed, std::span<sim::StreamTuple>(chunk));
       if (n == 0) break;
+      // Report the hand-off before processing: a paced producer measures
+      // its lead from tuples DELIVERED here, so the lead budget absorbs
+      // the chunk being worked on.
+      if (consumer != nullptr) consumer->Advance(consumed + n);
       for (size_t i = 0; i < n; ++i) {
         if (should_stop(chunk[i].sim)) {
           out.ub_slack = chunk[i].sim;

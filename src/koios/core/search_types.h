@@ -179,6 +179,15 @@ struct SearchParams {
   /// the index exposes its SimilarityFunction (SimilarityIndex::similarity);
   /// off = the drain-to-α path, kept for the ablation benchmarks.
   bool use_stream_feedback = true;
+  /// Producer lead (in stream tuples) for OVERLAPPED feedback searches:
+  /// the producer thread stays within this many tuples of the slowest
+  /// consuming partition instead of free-running, so a slow consumer
+  /// still gets its stop similarity declared before the stream drains to
+  /// α (the production-race fix; serial/inline modes are naturally paced
+  /// and ignore this). 0 restores the free-running producer. Results are
+  /// identical either way — pacing changes only how far ahead production
+  /// runs, never what is produced.
+  size_t stream_producer_lead = 1024;
   /// Adaptive survivor budget for the feedback stop (ROADMAP follow-up).
   /// The stop's work-balance condition tolerates at most B survivors whose
   /// upper bounds the stop would freeze above θlb (each may cost one exact

@@ -131,8 +131,14 @@ SearchResult KoiosSearcher::Search(std::span<const TokenId> query,
   const bool overlapped = pool != nullptr;
   std::optional<EdgeCache> cache_storage;
   if (overlapped) {
+    // Paced deferred production (feedback only): the producer thread stays
+    // within stream_producer_lead tuples of the slowest partition consumer
+    // so slow consumers still declare their stop before the drain — the
+    // overlapped-mode production race. Inline mode needs no pacing: the
+    // consumer drives production itself.
     cache_storage.emplace(&stream, EdgeCache::Deferred{}, completer, stop_fn,
-                          ctx);
+                          ctx, /*expected_consumers=*/feedback ? p : 0,
+                          /*producer_lead=*/params.stream_producer_lead);
   } else {
     cache_storage.emplace(&stream, EdgeCache::InlineProducer{}, completer,
                           stop_fn, ctx);
@@ -145,10 +151,14 @@ SearchResult KoiosSearcher::Search(std::span<const TokenId> query,
 
   auto refine_partition = [&](size_t part) -> RefinementOutput {
     SearchStats& stats = partial_stats[part];
+    // Pacing registration first thing in the task (before refinement's own
+    // allocations), released on every exit — a partition that unwinds must
+    // not pace the producer forever. No-op when pacing is off.
+    EdgeCache::ConsumerGuard consumer(&cache);
     RefinementPhase refinement(sets_, &partition_inverted_[part], query.size(),
                                params);
     util::WallTimer timer;
-    RefinementOutput refined = refinement.Run(&cache, &stats, ctx);
+    RefinementOutput refined = refinement.Run(&cache, &stats, ctx, &consumer);
     stats.timers.Accumulate("refinement", timer.ElapsedSeconds());
     return refined;
   };

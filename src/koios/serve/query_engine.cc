@@ -1,8 +1,11 @@
 #include "koios/serve/query_engine.h"
 
 #include <algorithm>
+#include <cassert>
+#include <span>
 #include <utility>
 
+#include "koios/sim/batched_neighbor_index.h"
 #include "koios/util/timer.h"
 
 namespace koios::serve {
@@ -19,23 +22,65 @@ std::future<QueryEngine::Result> RejectedFuture(util::Status status) {
 
 }  // namespace
 
+QueryEngine::StatePtr QueryEngine::MakeState(
+    std::shared_ptr<const Snapshot> snapshot, const index::SetCollection* sets,
+    sim::SimilarityIndex* index) const {
+  auto state = std::make_shared<ServingState>(std::move(snapshot), sets, index,
+                                              options_.searcher);
+  if (options_.cursor_cache_bytes > 0) {
+    if (auto* cache = dynamic_cast<sim::BatchedNeighborIndex*>(index)) {
+      cache->SetCursorCacheCapacity(options_.cursor_cache_bytes);
+    }
+  }
+  return state;
+}
+
+QueryEngine::StatePtr QueryEngine::CurrentState() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return state_;
+}
+
 QueryEngine::QueryEngine(const index::SetCollection* sets,
                          sim::SimilarityIndex* index,
                          const EngineOptions& options)
-    : sets_(sets),
-      index_(index),
-      options_(options),
-      searcher_(sets, index, options.searcher),
-      sessions_supported_(index->NewSession() != nullptr),
+    : options_(options),
+      state_(MakeState(nullptr, sets, index)),
       pool_(std::max<size_t>(1, options.num_threads)) {}
 
 QueryEngine::QueryEngine(std::shared_ptr<const Snapshot> snapshot,
                          const EngineOptions& options)
-    : QueryEngine(&snapshot->sets(), snapshot->index(), options) {
-  snapshot_ = std::move(snapshot);
+    : options_(options), pool_(std::max<size_t>(1, options.num_threads)) {
+  const Snapshot* raw = snapshot.get();
+  state_ = MakeState(std::move(snapshot), &raw->sets(), raw->index());
 }
 
 QueryEngine::~QueryEngine() = default;  // pool_ drains admitted queries
+
+void QueryEngine::SwapSnapshot(std::shared_ptr<const Snapshot> snapshot) {
+  // An engine always serves SOMETHING; swapping to "no snapshot" is a
+  // caller bug, not a supported transition (snapshot() being null is only
+  // the borrowed-parts construction mode).
+  assert(snapshot != nullptr);
+  if (snapshot == nullptr) return;
+  // Build the replacement state (partition inverted indexes, session
+  // probe, cache budget) BEFORE taking the lock: in-flight and newly
+  // admitted queries keep serving against the current state while the
+  // expensive part runs; only the pointer flip itself is serialized.
+  const Snapshot* raw = snapshot.get();
+  StatePtr next = MakeState(std::move(snapshot), &raw->sets(), raw->index());
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  state_ = std::move(next);
+}
+
+std::shared_ptr<const Snapshot> QueryEngine::snapshot() const {
+  return CurrentState()->snapshot;
+}
+
+std::shared_ptr<const core::KoiosSearcher> QueryEngine::searcher() const {
+  StatePtr state = CurrentState();
+  const core::KoiosSearcher* ptr = &state->searcher;
+  return std::shared_ptr<const core::KoiosSearcher>(std::move(state), ptr);
+}
 
 QueryEngine::Ticket QueryEngine::MakeTicket(
     std::chrono::milliseconds deadline) const {
@@ -47,22 +92,29 @@ QueryEngine::Ticket QueryEngine::MakeTicket(
   return ticket;
 }
 
+bool QueryEngine::TicketExpired(const Ticket& ticket) {
+  return ticket.has_deadline &&
+         std::chrono::steady_clock::now() >= ticket.deadline;
+}
+
 std::future<QueryEngine::Result> QueryEngine::Submit(
     std::vector<TokenId> query, const core::SearchParams& params) {
-  return Enqueue(std::move(query), params, MakeTicket(options_.default_deadline),
+  return Enqueue(CurrentState(), std::move(query), params,
+                 MakeTicket(options_.default_deadline),
                  /*enforce_queue_bound=*/true);
 }
 
 std::future<QueryEngine::Result> QueryEngine::Submit(
     std::vector<TokenId> query, const core::SearchParams& params,
     std::chrono::milliseconds deadline) {
-  return Enqueue(std::move(query), params, MakeTicket(deadline),
+  return Enqueue(CurrentState(), std::move(query), params, MakeTicket(deadline),
                  /*enforce_queue_bound=*/true);
 }
 
 std::future<QueryEngine::Result> QueryEngine::Enqueue(
-    std::vector<TokenId> query, const core::SearchParams& params,
-    Ticket ticket, bool enforce_queue_bound) {
+    StatePtr state, std::vector<TokenId> query,
+    const core::SearchParams& params, Ticket ticket,
+    bool enforce_queue_bound) {
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++counters_.submitted;
@@ -81,8 +133,12 @@ std::future<QueryEngine::Result> QueryEngine::Enqueue(
         "query queue full (" + std::to_string(options_.max_queue) +
         " waiting + " + std::to_string(pool_.num_threads()) + " running)"));
   }
+  // The task pins `state`: its snapshot/searcher/index stay alive and
+  // untouched until this query completes, no matter how many hot swaps
+  // happen while it waits in the queue.
   return pool_.Submit(
-      [this, query = std::move(query), params, ticket]() -> Result {
+      [this, state = std::move(state), query = std::move(query), params,
+       ticket]() -> Result {
         // The slot must be released on EVERY exit — Execute absorbs
         // deadline aborts, but an unexpected exception (bad_alloc, a
         // faulty similarity backend) propagates into the future, and a
@@ -91,11 +147,12 @@ std::future<QueryEngine::Result> QueryEngine::Enqueue(
           std::atomic<size_t>* in_flight;
           ~SlotRelease() { in_flight->fetch_sub(1, std::memory_order_acq_rel); }
         } release{&in_flight_};
-        return Execute(query, params, ticket);
+        return Execute(*state, query, params, ticket);
       });
 }
 
-QueryEngine::Result QueryEngine::Execute(const std::vector<TokenId>& query,
+QueryEngine::Result QueryEngine::Execute(const ServingState& state,
+                                         const std::vector<TokenId>& query,
                                          core::SearchParams params,
                                          const Ticket& ticket) {
   // Engine policy: intra-query parallelism off (see the header comment) —
@@ -109,16 +166,16 @@ QueryEngine::Result QueryEngine::Execute(const std::vector<TokenId>& query,
     ctx.CheckCancelled();  // expired while queued: reject without running
     util::WallTimer timer;
     core::SearchResult result;
-    if (sessions_supported_) {
+    if (state.sessions_supported) {
       // Fresh per-query probe session over the shared cursor cache: the
       // only per-query state is a position table, so creation is cheap and
       // any number of Executes run concurrently.
-      std::unique_ptr<sim::SimilarityIndex> session = index_->NewSession();
-      result = searcher_.Search(query, params, session.get(), &ctx);
+      std::unique_ptr<sim::SimilarityIndex> session = state.index->NewSession();
+      result = state.searcher.Search(query, params, session.get(), &ctx);
     } else {
       // No session support: correctness first — one query at a time.
       std::lock_guard<std::mutex> lock(no_session_fallback_mutex_);
-      result = searcher_.Search(query, params, index_, &ctx);
+      result = state.searcher.Search(query, params, state.index, &ctx);
     }
     const double elapsed = timer.ElapsedSeconds();
     {
@@ -140,6 +197,15 @@ QueryEngine::Result QueryEngine::Execute(const std::vector<TokenId>& query,
 std::vector<QueryEngine::Result> QueryEngine::SearchMany(
     const std::vector<std::vector<TokenId>>& queries,
     const core::SearchParams& params) {
+  // The deadline ticket exists BEFORE any batch work: the prewarm below
+  // runs on the queries' clock. (It used to be made after the prewarm, so
+  // a stalled prewarm delayed every query unboundedly while their
+  // deadlines had not even started — the worst of both.)
+  const Ticket ticket = MakeTicket(options_.default_deadline);
+  // One state for the whole batch: the prewarmed cache and the executed
+  // queries must be the same index even if a swap lands mid-batch.
+  const StatePtr state = CurrentState();
+
   // Deduplicate the batch's tokens and pay each (token, α) cursor build
   // once, fanned across the engine pool, BEFORE any query runs. Queries
   // then find their cursors hot in the shared cache (counted as hits).
@@ -149,21 +215,32 @@ std::vector<QueryEngine::Result> QueryEngine::SearchMany(
   }
   std::sort(tokens.begin(), tokens.end());
   tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
-  if (sessions_supported_ && !tokens.empty()) {
-    std::unique_ptr<sim::SimilarityIndex> session = index_->NewSession();
+  if (state->sessions_supported && !tokens.empty()) {
+    std::unique_ptr<sim::SimilarityIndex> session = state->index->NewSession();
     session->set_thread_pool(&pool_);
-    session->Prewarm(tokens, params.alpha);
+    // Chunked fan-out with a deadline poll between chunks: a stalled or
+    // oversized prewarm stops warming the moment the batch deadline
+    // expires, and the queries then surface clean DeadlineExceeded
+    // rejections instead of silently blowing their budget warming cursors
+    // nobody will get to use. Each chunk still fans across the pool.
+    constexpr size_t kPrewarmPollChunk = 64;
+    const std::span<const TokenId> all(tokens);
+    for (size_t i = 0; i < tokens.size() && !TicketExpired(ticket);
+         i += kPrewarmPollChunk) {
+      session->Prewarm(
+          all.subspan(i, std::min(kPrewarmPollChunk, tokens.size() - i)),
+          params.alpha);
+    }
   }
 
   // The batch bypasses the rejection bound (the caller is synchronous, so
   // the work is bounded by them) but still occupies in-flight slots — see
   // the header contract.
-  const Ticket ticket = MakeTicket(options_.default_deadline);
   std::vector<std::future<Result>> futures;
   futures.reserve(queries.size());
   for (const auto& query : queries) {
     futures.push_back(
-        Enqueue(query, params, ticket, /*enforce_queue_bound=*/false));
+        Enqueue(state, query, params, ticket, /*enforce_queue_bound=*/false));
   }
   std::vector<Result> results;
   results.reserve(queries.size());

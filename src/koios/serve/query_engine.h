@@ -21,7 +21,19 @@
 //    batch and prewarms their cursors ONCE (in parallel, on the engine
 //    pool) before the queries run, so overlapping queries never build the
 //    same cursor twice — the cross-query analogue of TokenStream's
-//    per-query Prewarm.
+//    per-query Prewarm. The batch deadline ticket is created BEFORE the
+//    prewarm and polled between prewarm chunks, so a stalled prewarm
+//    counts against (and is cut short by) the queries' deadline instead
+//    of silently delaying every query with the clock not yet running.
+//  * Live snapshot hot-swap. Everything a query dereferences — snapshot,
+//    searcher (partition indexes), neighbor index — is bundled in one
+//    immutable ServingState resolved at ADMISSION time and pinned by the
+//    query until it completes. SwapSnapshot builds a replacement state
+//    off the serving path and flips the shared pointer between queries:
+//    already-admitted queries finish bit-identically against the state
+//    they were admitted under, later submissions see the new snapshot,
+//    and the old snapshot is destroyed when its last in-flight query
+//    drops the reference — no drain, no lock held across a search.
 //
 // Intra-query threading is intentionally OFF in engine execution
 // (params.num_threads is forced to 1): at serving concurrency the cores
@@ -56,6 +68,12 @@ struct EngineOptions {
   /// Deadline applied to queries submitted without an explicit one;
   /// zero = no deadline.
   std::chrono::milliseconds default_deadline{0};
+  /// Byte budget for the neighbor index's shared cursor cache (applied via
+  /// BatchedNeighborIndex::SetCursorCacheCapacity to the served index and
+  /// to every index swapped in later; 0 = unbounded, and non-batched
+  /// backends ignore it). A long-running engine should set this: the
+  /// (token, α) cache otherwise grows with lifetime traffic.
+  size_t cursor_cache_bytes = 0;
   /// Repository partitioning (paper §VI) used by the engine's searcher.
   core::SearcherOptions searcher;
 };
@@ -104,12 +122,33 @@ class QueryEngine {
   /// The batch itself is never rejected (the caller blocks, so the work is
   /// bounded by them), but its queries DO occupy in-flight slots while
   /// they run — concurrent Submit() callers can see the queue as full
-  /// until the batch drains. Per-query deadlines still apply.
+  /// until the batch drains. The options deadline covers the whole batch
+  /// INCLUDING the prewarm (the ticket is made first and polled between
+  /// prewarm chunks); an expired batch yields DeadlineExceeded per query.
   std::vector<Result> SearchMany(
       const std::vector<std::vector<TokenId>>& queries,
       const core::SearchParams& params);
 
-  const core::KoiosSearcher& searcher() const { return searcher_; }
+  /// Atomically points the engine at a rebuilt repository between queries
+  /// (reindex, corpus update) WITHOUT draining: the replacement serving
+  /// state — searcher with partition indexes, cursor-cache budget — is
+  /// built here off the serving path, then flipped. Queries admitted
+  /// before the flip complete against the snapshot they were admitted
+  /// under (bit-identical to an un-swapped engine); queries submitted
+  /// after it run against `snapshot`. The old snapshot is released when
+  /// its last in-flight query finishes. Thread-safe; concurrent swappers
+  /// serialize on the flip (last one wins).
+  void SwapSnapshot(std::shared_ptr<const Snapshot> snapshot);
+
+  /// The snapshot currently being served (null when the engine was
+  /// constructed over borrowed parts and never swapped).
+  std::shared_ptr<const Snapshot> snapshot() const;
+
+  /// The CURRENT serving state's searcher. The returned pointer PINS the
+  /// state it belongs to (aliasing shared_ptr), so it stays valid across
+  /// hot swaps — but a caller holding it across a swap keeps reading the
+  /// OLD snapshot's searcher, exactly like an in-flight query would.
+  std::shared_ptr<const core::KoiosSearcher> searcher() const;
   size_t num_threads() const { return pool_.num_threads(); }
 
   EngineCounters counters() const;
@@ -122,23 +161,54 @@ class QueryEngine {
     bool has_deadline = false;
   };
 
+  /// Everything a query dereferences while it runs, bundled immutably so
+  /// a hot swap is one shared_ptr flip. A query pins the state it was
+  /// ADMITTED under (captured into its task), which is what makes the
+  /// swap safe with queries in flight: nothing a running search touches
+  /// is ever mutated or freed underneath it.
+  struct ServingState {
+    ServingState(std::shared_ptr<const Snapshot> snap,
+                 const index::SetCollection* sets,
+                 sim::SimilarityIndex* index_in,
+                 const core::SearcherOptions& searcher_options)
+        : snapshot(std::move(snap)),
+          index(index_in),
+          searcher(sets, index_in, searcher_options),
+          sessions_supported(index_in->NewSession() != nullptr) {}
+
+    std::shared_ptr<const Snapshot> snapshot;  // null for borrowed parts
+    sim::SimilarityIndex* index;
+    core::KoiosSearcher searcher;  // holds the sets pointer itself
+    bool sessions_supported;
+  };
+  using StatePtr = std::shared_ptr<const ServingState>;
+
+  /// Builds a serving state (partition indexes, sessions probe, cursor
+  /// cache budget). Runs off the serving path — existing queries keep
+  /// executing against the current state meanwhile.
+  StatePtr MakeState(std::shared_ptr<const Snapshot> snapshot,
+                     const index::SetCollection* sets,
+                     sim::SimilarityIndex* index) const;
+  StatePtr CurrentState() const;
+
   Ticket MakeTicket(std::chrono::milliseconds deadline) const;
-  /// Worker-side execution. Deadline aborts become DeadlineExceeded
-  /// statuses; anything else a search throws (bad_alloc, a faulty
-  /// similarity backend) propagates through the future — the wrapper in
-  /// Enqueue still releases the admission slot.
-  Result Execute(const std::vector<TokenId>& query, core::SearchParams params,
-                 const Ticket& ticket);
-  std::future<Result> Enqueue(std::vector<TokenId> query,
+  static bool TicketExpired(const Ticket& ticket);
+  /// Worker-side execution against the query's admission-time state.
+  /// Deadline aborts become DeadlineExceeded statuses; anything else a
+  /// search throws (bad_alloc, a faulty similarity backend) propagates
+  /// through the future — the wrapper in Enqueue still releases the
+  /// admission slot.
+  Result Execute(const ServingState& state, const std::vector<TokenId>& query,
+                 core::SearchParams params, const Ticket& ticket);
+  std::future<Result> Enqueue(StatePtr state, std::vector<TokenId> query,
                               const core::SearchParams& params, Ticket ticket,
                               bool enforce_queue_bound);
 
-  std::shared_ptr<const Snapshot> snapshot_;  // null for the borrowed ctor
-  const index::SetCollection* sets_;
-  sim::SimilarityIndex* index_;
   EngineOptions options_;
-  core::KoiosSearcher searcher_;
-  bool sessions_supported_;
+  // The hot-swappable serving state; reads and the swap flip are brief
+  // critical sections (never held across a search).
+  mutable std::mutex state_mutex_;
+  StatePtr state_;
   // Serializes whole searches when the index cannot hand out sessions.
   std::mutex no_session_fallback_mutex_;
 

@@ -163,6 +163,9 @@ BatchedNeighborIndex::CursorPtr BatchedNeighborIndex::FindCursor(
   auto it = shard.map.find(key);
   if (it == shard.map.end()) return nullptr;
   hits_.fetch_add(1, std::memory_order_relaxed);
+  // Every hit arms the CLOCK reference bit: the eviction hand must go all
+  // the way round without another hit before this entry may be dropped.
+  it->second->referenced.store(true, std::memory_order_relaxed);
   return it->second;
 }
 
@@ -170,10 +173,97 @@ BatchedNeighborIndex::CursorPtr BatchedNeighborIndex::PublishCursor(
     TokenId q, Score alpha, CursorPtr built) const {
   const CacheKey key{q, alpha};
   CacheShard& shard = ShardFor(key);
+  CursorPtr winner;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto [it, inserted] = shard.map.try_emplace(key, std::move(built));
+    if (!inserted) {
+      duplicate_builds_.fetch_add(1, std::memory_order_relaxed);
+      // The losing builder still RESOLVED this entry — two concurrent
+      // queries wanted it, so it is hot: arm the bit like a hit would.
+      it->second->referenced.store(true, std::memory_order_relaxed);
+      return it->second;
+    }
+    // Fresh entry: fix its exact footprint (the neighbor array is frozen
+    // from here on), credit the budget, and hand it to the CLOCK ring
+    // with the reference bit armed (standard CLOCK: a new entry survives
+    // at least one full hand lap, so a hot cursor rebuilt after an
+    // unlucky eviction is not immediately evicted again).
+    SharedCursor& cursor = *it->second;
+    cursor.bytes =
+        sizeof(SharedCursor) + cursor.neighbors.capacity() * sizeof(Neighbor);
+    cursor.referenced.store(true, std::memory_order_relaxed);
+    cache_bytes_.Add(cursor.bytes);
+    shard.ring.push_back(key);
+    winner = it->second;
+  }
+  // Pay for the insert immediately (outside the shard lock — the eviction
+  // hand may land on any shard): by the time this publish returns the
+  // cache is back under its budget.
+  EvictToCapacity();
+  return winner;
+}
+
+void BatchedNeighborIndex::SetCursorCacheCapacity(size_t bytes) {
+  cache_bytes_.set_capacity(bytes);
+  EvictToCapacity();
+}
+
+void BatchedNeighborIndex::EvictToCapacity() const {
+  // Round-robin laps over the shards until within budget. Termination is
+  // guaranteed: ClockEvictOne's forced final step evicts from any
+  // non-empty shard, and every shard empty means zero accounted bytes,
+  // i.e. OverBy() == 0.
+  while (cache_bytes_.OverBy() > 0) {
+    for (size_t i = 0; i < kCacheShards && cache_bytes_.OverBy() > 0; ++i) {
+      const size_t s =
+          evict_shard_.fetch_add(1, std::memory_order_relaxed) % kCacheShards;
+      ClockEvictOne(shards_[s]);
+    }
+  }
+}
+
+size_t BatchedNeighborIndex::ClockEvictOne(CacheShard& shard) const {
   std::lock_guard<std::mutex> lock(shard.mutex);
-  auto [it, inserted] = shard.map.try_emplace(key, std::move(built));
-  if (!inserted) duplicate_builds_.fetch_add(1, std::memory_order_relaxed);
-  return it->second;
+  if (shard.map.empty()) {
+    shard.ring.clear();
+    shard.hand = 0;
+    return 0;
+  }
+  // Up to two passes over the ring: the first may only clear reference
+  // bits, the second then finds a clear one. The final forced step keeps
+  // eviction from livelocking against a hit storm that re-arms bits as
+  // fast as the hand clears them.
+  const size_t limit = 2 * shard.ring.size();
+  for (size_t step = 0; step <= limit && !shard.ring.empty(); ++step) {
+    if (shard.hand >= shard.ring.size()) shard.hand = 0;
+    auto it = shard.map.find(shard.ring[shard.hand]);
+    if (it == shard.map.end()) {
+      // Dead slot (evicted earlier, or the key lost an insert race):
+      // swap-remove keeps the sweep O(1) per slot; strict ring order is
+      // not needed, only that the hand keeps visiting every live entry.
+      shard.ring[shard.hand] = shard.ring.back();
+      shard.ring.pop_back();
+      continue;
+    }
+    SharedCursor& cursor = *it->second;
+    if (step < limit &&
+        cursor.referenced.exchange(false, std::memory_order_relaxed)) {
+      ++shard.hand;
+      continue;
+    }
+    // Drop the cache's reference ONLY. Sessions still holding the payload
+    // keep consuming it untouched (shared_ptr lifetime); the next cache
+    // resolution of this (token, α) rebuilds deterministically.
+    const size_t freed = cursor.bytes;
+    shard.map.erase(it);
+    shard.ring[shard.hand] = shard.ring.back();
+    shard.ring.pop_back();
+    cache_bytes_.Sub(freed);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    return freed;
+  }
+  return 0;
 }
 
 BatchedNeighborIndex::CursorPtr BatchedNeighborIndex::CursorFor(
@@ -213,6 +303,9 @@ BatchedNeighborIndex::CursorPtr BatchedNeighborIndex::BuildCursor(
     }
   }
   cursor->max_sim = max_sim;
+  // Long-lived cached payload: drop the push_back growth slack so the
+  // budget accounting (capacity-based) matches what is actually resident.
+  cursor->neighbors.shrink_to_fit();
   return cursor;
 }
 
@@ -228,6 +321,7 @@ BatchedNeighborIndex::BuildCursorBlock(std::span<const TokenId> qs,
     Score max_sim = 0.0;
     for (const Neighbor& n : c.neighbors) max_sim = std::max(max_sim, n.sim);
     c.max_sim = max_sim;
+    c.neighbors.shrink_to_fit();  // see BuildCursor
   };
 
   // Resolve the block's target list: the shared candidate set when the
@@ -462,7 +556,12 @@ void BatchedNeighborIndex::ResetCursors() { legacy_positions_.clear(); }
 void BatchedNeighborIndex::ClearCursorCache() {
   for (CacheShard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mutex);
+    // Debit exactly what each dropped entry credited at publish; sessions
+    // mid-stream keep their payloads alive through their own shared_ptr.
+    for (const auto& [_, c] : shard.map) cache_bytes_.Sub(c->bytes);
     shard.map.clear();
+    shard.ring.clear();
+    shard.hand = 0;
   }
   legacy_positions_.clear();
 }
@@ -472,6 +571,9 @@ CursorCacheStats BatchedNeighborIndex::cursor_cache_stats() const {
   stats.hits = hits_.load(std::memory_order_relaxed);
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.duplicate_builds = duplicate_builds_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.bytes = cache_bytes_.used();
+  stats.capacity_bytes = cache_bytes_.capacity();
   for (const CacheShard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mutex);
     stats.cursors += shard.map.size();
@@ -480,14 +582,9 @@ CursorCacheStats BatchedNeighborIndex::cursor_cache_stats() const {
 }
 
 size_t BatchedNeighborIndex::MemoryUsageBytes() const {
-  size_t bytes = 0;
-  for (const CacheShard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    for (const auto& [_, c] : shard.map) {
-      bytes += sizeof(SharedCursor) + c->neighbors.capacity() * sizeof(Neighbor);
-    }
-  }
-  return bytes;
+  // The budget gauge is exact (credit at publish, debit at evict/clear),
+  // so no shard walk is needed.
+  return cache_bytes_.used();
 }
 
 }  // namespace koios::sim

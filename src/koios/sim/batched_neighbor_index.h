@@ -39,6 +39,21 @@
 // resets POSITIONS only — the shared cursor payloads persist across
 // queries (they are deterministic pure functions of (token, α), so
 // replaying against a warm cache is bit-identical to a cold one).
+//
+// MEMORY GOVERNANCE (the long-running-engine contract): the cache grows
+// with the distinct (token, α) traffic, which is unbounded over an
+// engine's lifetime, so it carries an optional byte budget
+// (SetCursorCacheCapacity) accounted through a util::ByteBudget — every
+// published payload adds its exact footprint, every evicted/cleared one
+// subtracts it. Over-budget shards evict with the CLOCK policy: each
+// cache HIT sets the entry's reference bit, the per-shard clock hand
+// clears bits on its way round and drops the first unreferenced entry, so
+// hot Zipf-head tokens survive and cold tail builds recycle. Eviction
+// drops only the CACHE's shared_ptr reference — a session (or the legacy
+// position table) holding the payload keeps it alive and keeps streaming
+// from it untouched; results therefore stay bit-identical under any
+// eviction schedule, bounded-cache probing just pays extra rebuilds
+// (counted in `evictions`/`misses`).
 #ifndef KOIOS_SIM_BATCHED_NEIGHBOR_INDEX_H_
 #define KOIOS_SIM_BATCHED_NEIGHBOR_INDEX_H_
 
@@ -51,6 +66,7 @@
 #include <vector>
 
 #include "koios/sim/similarity.h"
+#include "koios/util/memory_tracker.h"
 
 namespace koios::util {
 class ThreadPool;
@@ -70,8 +86,15 @@ struct CursorCacheStats {
   /// kept). Wasted work, bounded by the race window, never a correctness
   /// issue — builds are deterministic.
   uint64_t duplicate_builds = 0;
+  /// Payloads the byte budget's CLOCK policy dropped from the cache (the
+  /// payloads themselves survive as long as any session still holds them).
+  uint64_t evictions = 0;
   /// Currently cached cursors across all shards.
   uint64_t cursors = 0;
+  /// Exact bytes of the currently cached payloads (what the budget caps).
+  uint64_t bytes = 0;
+  /// The configured budget (0 = unbounded).
+  uint64_t capacity_bytes = 0;
 };
 
 class BatchedNeighborIndex : public SimilarityIndex {
@@ -117,6 +140,21 @@ class BatchedNeighborIndex : public SimilarityIndex {
   util::ThreadPool* thread_pool() const override { return pool_; }
 
   CursorCacheStats cursor_cache_stats() const;
+
+  /// Caps the shared cursor cache at `bytes` of payload (0 = unbounded,
+  /// the default). When a publish pushes the cache over, the CLOCK policy
+  /// evicts unreferenced entries (see the class comment) until the budget
+  /// holds again — synchronously, so the cache is back under the cap by
+  /// the time any PublishCursor returns (concurrent publishers can
+  /// transiently overshoot by at most their in-flight payloads). Safe to
+  /// call on a live index; a shrink evicts down to the new cap before
+  /// returning.
+  void SetCursorCacheCapacity(size_t bytes);
+
+  /// Evicts until the cache is within its capacity (no-op when unbounded
+  /// or already within). Called automatically after every publish;
+  /// exposed for capacity shrinks and tests.
+  void EvictToCapacity() const;
 
   /// Drops every cached cursor (memory pressure / tests). Sessions holding
   /// a cursor keep it alive until they release it; in-flight probes are
@@ -193,6 +231,13 @@ class BatchedNeighborIndex : public SimilarityIndex {
     // Largest survivor similarity, set at build time: bounds the whole
     // cursor before anything is consumed (the stop-threshold fast path).
     Score max_sim = 0.0;
+    // Exact payload footprint, fixed when the cursor is published (the
+    // neighbor array is shrunk to fit at build time, so capacity == size
+    // and the accounting matches the allocation).
+    size_t bytes = 0;
+    // CLOCK reference bit: set by every cache hit, cleared by the passing
+    // eviction hand; an entry is only evicted with the bit clear.
+    std::atomic<bool> referenced{false};
     std::atomic<size_t> ordered_prefix{0};
     std::mutex order_mutex;
   };
@@ -218,6 +263,12 @@ class BatchedNeighborIndex : public SimilarityIndex {
   struct CacheShard {
     mutable std::mutex mutex;
     std::unordered_map<CacheKey, CursorPtr, CacheKeyHash> map;
+    // CLOCK ring over this shard's keys in publish order. Evicted (and
+    // insert-raced) keys linger until the hand sweeps them out lazily, so
+    // publishes stay O(1); `hand` is the next ring slot the policy looks
+    // at. Both are guarded by `mutex`.
+    std::vector<CacheKey> ring;
+    size_t hand = 0;
   };
 
   /// In-place union of the ascending runs of `ids` delimited by `bounds`.
@@ -232,6 +283,12 @@ class BatchedNeighborIndex : public SimilarityIndex {
   static void EnsureOrdered(SharedCursor& cursor, size_t count);
 
   CacheShard& ShardFor(const CacheKey& key) const;
+
+  /// One CLOCK step over `shard`: sweeps dead ring slots, clears reference
+  /// bits, evicts the first unreferenced entry. Returns the bytes freed
+  /// (0 when the shard has nothing evictable this pass). Caller holds no
+  /// shard lock; the shard's own mutex is taken inside.
+  size_t ClockEvictOne(CacheShard& shard) const;
 
   /// Cache lookup; counts a hit when found. Null on miss (no counter —
   /// callers that go on to build count the miss).
@@ -278,6 +335,14 @@ class BatchedNeighborIndex : public SimilarityIndex {
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
   mutable std::atomic<uint64_t> duplicate_builds_{0};
+
+  // Byte budget of the cached payloads (exact: credited at publish,
+  // debited at evict/clear) and the CLOCK eviction state. evict_shard_
+  // round-robins the shard the next eviction step works on, so pressure
+  // spreads instead of draining one shard.
+  mutable util::ByteBudget cache_bytes_;
+  mutable std::atomic<uint64_t> evictions_{0};
+  mutable std::atomic<size_t> evict_shard_{0};
 
   // Consumption state of the legacy single-consumer interface.
   PositionMap legacy_positions_;

@@ -6,6 +6,7 @@
 #ifndef KOIOS_UTIL_MEMORY_TRACKER_H_
 #define KOIOS_UTIL_MEMORY_TRACKER_H_
 
+#include <atomic>
 #include <cstddef>
 #include <map>
 #include <string>
@@ -40,6 +41,41 @@ class MemoryTracker {
 
  private:
   std::map<std::string, size_t> bytes_;
+};
+
+/// LIVE byte accounting for long-running caches, as opposed to the
+/// snapshot-style MemoryTracker above: a lock-free gauge of bytes currently
+/// held plus an optional capacity. Writers Add/Sub as payloads are
+/// published and dropped; an eviction loop polls OverBy() and frees until
+/// it returns 0. All operations are thread-safe; the gauge is exact
+/// whenever every byte added is eventually subtracted exactly once (the
+/// cursor-cache contract: accounted at publish, de-accounted at evict or
+/// clear).
+class ByteBudget {
+ public:
+  /// `capacity` of 0 means unbounded (OverBy() is always 0).
+  explicit ByteBudget(size_t capacity = 0) : capacity_(capacity) {}
+
+  void set_capacity(size_t bytes) {
+    capacity_.store(bytes, std::memory_order_relaxed);
+  }
+  size_t capacity() const { return capacity_.load(std::memory_order_relaxed); }
+
+  void Add(size_t bytes) { used_.fetch_add(bytes, std::memory_order_relaxed); }
+  void Sub(size_t bytes) { used_.fetch_sub(bytes, std::memory_order_relaxed); }
+  size_t used() const { return used_.load(std::memory_order_relaxed); }
+
+  /// Bytes above capacity (0 when within budget or unbounded).
+  size_t OverBy() const {
+    const size_t cap = capacity();
+    if (cap == 0) return 0;
+    const size_t u = used();
+    return u > cap ? u - cap : 0;
+  }
+
+ private:
+  std::atomic<size_t> capacity_;
+  std::atomic<size_t> used_{0};
 };
 
 /// Heap footprint helpers for standard containers (approximate: payload

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
@@ -90,6 +91,107 @@ TEST(CursorCacheTest, LegacyResetCursorsKeepsPayloads) {
   EXPECT_EQ(w.index->cursor_cache_stats().cursors, 0u);
 }
 
+// ------------------------------------------- byte budget + CLOCK eviction --
+
+TEST(CursorCacheTest, EvictionRespectsByteBudget) {
+  auto w = testing::MakeRandomWorkload(40, 400, 5, 15, 9006);
+  auto session = w.index->NewSession();
+  // Warm a spread of tokens unbounded and record the footprint.
+  for (TokenId t = 0; t < 120; ++t) (void)session->NextNeighbor(t, 0.5);
+  const sim::CursorCacheStats unbounded = w.index->cursor_cache_stats();
+  ASSERT_GT(unbounded.bytes, 0u);
+  ASSERT_EQ(unbounded.evictions, 0u);
+  // The budget gauge is what the backend's MemoryUsageBytes reports for
+  // the cache (ExactKnnIndex adds its vocabulary on top).
+  EXPECT_GE(w.index->MemoryUsageBytes(), unbounded.bytes);
+
+  // Halving the budget must evict down to it immediately and keep the
+  // accounting exact (bytes == what a fresh shard walk would sum).
+  const size_t cap = unbounded.bytes / 2;
+  w.index->SetCursorCacheCapacity(cap);
+  const sim::CursorCacheStats bounded = w.index->cursor_cache_stats();
+  EXPECT_LE(bounded.bytes, cap);
+  EXPECT_GT(bounded.evictions, 0u);
+  EXPECT_LT(bounded.cursors, unbounded.cursors);
+  EXPECT_EQ(bounded.capacity_bytes, cap);
+
+  // The cap holds after EVERY publish from here on (single-threaded, so
+  // no transient in-flight overshoot can be observed).
+  for (TokenId t = 120; t < 240; ++t) {
+    (void)session->NextNeighbor(t, 0.5);
+    EXPECT_LE(w.index->cursor_cache_stats().bytes, cap) << "token " << t;
+  }
+}
+
+TEST(CursorCacheTest, EvictionNeverInvalidatesLiveSessions) {
+  auto w = testing::MakeRandomWorkload(40, 400, 5, 15, 9007);
+  const Score alpha = 0.45;
+
+  // Cold reference sequence from a private index; pick a stored token
+  // with a non-trivial neighborhood so the eviction lands mid-stream.
+  sim::ExactKnnIndex reference(w.corpus.vocabulary, w.sim.get());
+  TokenId probe = kInvalidToken;
+  std::vector<sim::Neighbor> want;
+  for (const TokenId t : w.corpus.vocabulary) {
+    reference.ResetCursors();
+    want = Drain(&reference, t, alpha);
+    if (want.size() > 4) {
+      probe = t;
+      break;
+    }
+  }
+  ASSERT_NE(probe, kInvalidToken) << "no token with > 4 neighbors at α";
+  reference.ClearCursorCache();
+
+  // Consume a prefix, then force the cache to drop EVERYTHING (capacity
+  // below any payload): the session's shared_ptr keeps the evicted
+  // payload alive and the stream continues bit-identically.
+  auto session = w.index->NewSession();
+  std::vector<sim::Neighbor> got;
+  for (size_t i = 0; i < 3; ++i) got.push_back(*session->NextNeighbor(probe, alpha));
+  w.index->SetCursorCacheCapacity(1);
+  EXPECT_EQ(w.index->cursor_cache_stats().cursors, 0u);
+  while (auto n = session->NextNeighbor(probe, alpha)) got.push_back(*n);
+
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].token, want[i].token);
+    EXPECT_DOUBLE_EQ(got[i].sim, want[i].sim);
+  }
+
+  // A fresh session rebuilds the evicted cursor deterministically.
+  w.index->SetCursorCacheCapacity(0);  // unbounded again
+  auto fresh = w.index->NewSession();
+  const auto rebuilt = Drain(fresh.get(), probe, alpha);
+  ASSERT_EQ(rebuilt.size(), want.size());
+  for (size_t i = 0; i < rebuilt.size(); ++i) {
+    EXPECT_EQ(rebuilt[i].token, want[i].token);
+    EXPECT_DOUBLE_EQ(rebuilt[i].sim, want[i].sim);
+  }
+}
+
+TEST(CursorCacheTest, ClockPrefersEvictingColdEntriesOverHot) {
+  auto w = testing::MakeRandomWorkload(40, 400, 5, 15, 9008);
+  auto session = w.index->NewSession();
+  // One hot token re-resolved constantly among many cold one-shot tokens.
+  const TokenId hot = 3;
+  const Score alpha = 0.5;
+  w.index->SetCursorCacheCapacity(16 * 1024);
+  for (TokenId cold = 10; cold < 300; ++cold) {
+    (void)session->NextNeighbor(cold, alpha);
+    session->ResetCursors();  // drop the position so re-probes re-resolve
+    (void)session->NextNeighbor(hot, alpha);
+    session->ResetCursors();
+  }
+  const sim::CursorCacheStats stats = w.index->cursor_cache_stats();
+  ASSERT_GT(stats.evictions, 0u) << "budget never binding — grow the loop";
+  // The hot token's hits dominate: every loop iteration after the first
+  // should find it cached (its reference bit shields it from the hand).
+  // Misses ≈ cold builds (+ the occasional unlucky hot rebuild).
+  EXPECT_GT(stats.hits, 250u);
+  EXPECT_LT(stats.misses, 330u);
+}
+
 // ----------------------------------------------- 8-thread hammer (TSan) --
 
 TEST(CursorCacheTest, EightThreadHammerMatchesColdIndex) {
@@ -157,6 +259,68 @@ TEST(CursorCacheTest, EightThreadHammerMatchesColdIndex) {
   EXPECT_GE(stats.hits + stats.misses,
             kThreads * kTokensPerThread);
   EXPECT_LE(stats.cursors, stats.misses);
+}
+
+TEST(CursorCacheTest, ClearAndEvictUnderLiveSessionsHammer) {
+  // ClearCursorCache / SetCursorCacheCapacity concurrent with sessions
+  // mid-stream (ISSUE 5 satellite): dropping shard entries while a session
+  // holds the payload must never corrupt a sequence — the session's
+  // shared_ptr pins the payload; only the CACHE's reference goes away.
+  // This is the regression test the ThreadSanitizer CI job runs for the
+  // eviction machinery.
+  constexpr size_t kThreads = 6;
+  constexpr size_t kTokensPerThread = 20;
+  auto w = testing::MakeRandomWorkload(60, 500, 5, 20, 9009);
+  const std::vector<TokenId>& vocab = w.corpus.vocabulary;
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (size_t ti = 0; ti < kThreads; ++ti) {
+    threads.emplace_back([&, ti] {
+      util::Rng rng(4200 + ti);
+      auto session = w.index->NewSession();
+      ExactKnnIndex reference(vocab, w.sim.get());
+      for (size_t i = 0; i < kTokensPerThread; ++i) {
+        const TokenId q = vocab[rng.NextBounded(vocab.size())];
+        // Interleave a partial probe with the full drain so some payloads
+        // are held across whatever clears/evictions land in between.
+        (void)session->NextNeighbor(q, 0.45);
+        const auto got = Drain(session.get(), q, 0.45);
+        auto want = Drain(&reference, q, 0.45);
+        // `got` misses the first neighbor (consumed by the partial probe).
+        if (!want.empty()) want.erase(want.begin());
+        if (got.size() != want.size()) {
+          ++mismatches;
+        } else {
+          for (size_t j = 0; j < got.size(); ++j) {
+            if (got[j].token != want[j].token || got[j].sim != want[j].sim) {
+              ++mismatches;
+              break;
+            }
+          }
+        }
+        session->ResetCursors();
+        reference.ResetCursors();
+      }
+    });
+  }
+  // Maintenance thread: clears and re-caps the live cache continuously.
+  std::thread maintenance([&] {
+    size_t round = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      w.index->ClearCursorCache();
+      w.index->SetCursorCacheCapacity((round % 2 == 0) ? 48 * 1024 : 0);
+      w.index->EvictToCapacity();
+      ++round;
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    w.index->SetCursorCacheCapacity(0);
+  });
+  for (auto& t : threads) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  maintenance.join();
+  EXPECT_EQ(mismatches.load(), 0u);
 }
 
 TEST(CursorCacheTest, BucketBackendSessionsAreConsistent) {

@@ -10,6 +10,8 @@
 #include <chrono>
 #include <cstdio>
 #include <future>
+#include <iterator>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -273,6 +275,223 @@ TEST(QueryEngineTest, SearchManyPrewarmsOnceAcrossTheBatch) {
             distinct.size() + after.duplicate_builds);
   // The queries themselves ran hot: their probes hit the prewarmed cache.
   EXPECT_GT(after.hits, before.hits);
+}
+
+/// Saves a workload as a repository file and loads it back as a snapshot.
+std::shared_ptr<const Snapshot> SnapshotOf(const testing::RandomWorkload& w,
+                                           size_t vocab_size,
+                                           const std::string& filename) {
+  // The dictionary must cover every embedding row id (the io layer frames
+  // one row header per interned token).
+  text::Dictionary dict;
+  for (size_t t = 0; t < vocab_size; ++t) {
+    dict.Intern("tok" + std::to_string(t));
+  }
+  const std::string path = ::testing::TempDir() + "/" + filename;
+  EXPECT_TRUE(
+      io::SaveRepository(dict, w.corpus.sets, &w.model->store(), path).ok());
+  auto snapshot = Snapshot::Load(path);
+  EXPECT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  std::remove(path.c_str());
+  return snapshot.value();
+}
+
+TEST(QueryEngineTest, SwapSnapshotFlipsBetweenQueriesWithoutDraining) {
+  // Hot swap (ISSUE 5): queries ADMITTED before the swap complete
+  // bit-identically against the old snapshot even when they EXECUTE after
+  // it; queries submitted after the swap see the new one; the old
+  // snapshot is released once its last query finished.
+  auto w1 = testing::MakeRandomWorkload(80, 400, 5, 18, 11008);
+  auto w2 = testing::MakeRandomWorkload(90, 450, 5, 18, 11009);
+  std::shared_ptr<const Snapshot> snap1 =
+      SnapshotOf(w1, 400, "koios_swap_1.bin");
+  std::shared_ptr<const Snapshot> snap2 =
+      SnapshotOf(w2, 450, "koios_swap_2.bin");
+
+  // Serial references over each snapshot's own serving structures.
+  KoiosSearcher ref1(&snap1->sets(), snap1->index());
+  KoiosSearcher ref2(&snap2->sets(), snap2->index());
+
+  SearchParams params;
+  params.k = 5;
+  params.alpha = 0.75;
+  const SetId old_sets[] = {3, 11, 40};
+  const SetId new_sets[] = {5, 17, 60};
+
+  {
+    EngineOptions options;
+    options.num_threads = 1;  // one worker: pre-swap submissions queue up
+    QueryEngine engine(snap1, options);
+    EXPECT_EQ(engine.snapshot(), snap1);
+
+    std::vector<std::vector<TokenId>> old_queries;
+    std::vector<std::future<QueryEngine::Result>> old_futures;
+    for (const SetId id : old_sets) {
+      const auto tokens = snap1->sets().Tokens(id);
+      old_queries.emplace_back(tokens.begin(), tokens.end());
+      old_futures.push_back(engine.Submit(old_queries.back(), params));
+    }
+    // Flip while the old queries are (at least partially) still queued.
+    engine.SwapSnapshot(snap2);
+    EXPECT_EQ(engine.snapshot(), snap2);
+
+    std::vector<std::vector<TokenId>> new_queries;
+    std::vector<std::future<QueryEngine::Result>> new_futures;
+    for (const SetId id : new_sets) {
+      const auto tokens = snap2->sets().Tokens(id);
+      new_queries.emplace_back(tokens.begin(), tokens.end());
+      new_futures.push_back(engine.Submit(new_queries.back(), params));
+    }
+
+    for (size_t i = 0; i < old_futures.size(); ++i) {
+      QueryEngine::Result r = old_futures[i].get();
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      const SearchResult want = ref1.Search(old_queries[i], params);
+      ExpectSameResult(r.value(), want, "pre-swap query");
+    }
+    for (size_t i = 0; i < new_futures.size(); ++i) {
+      QueryEngine::Result r = new_futures[i].get();
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      const SearchResult want = ref2.Search(new_queries[i], params);
+      ExpectSameResult(r.value(), want, "post-swap query");
+    }
+    const EngineCounters counters = engine.counters();
+    EXPECT_EQ(counters.completed, std::size(old_sets) + std::size(new_sets));
+  }
+  // Engine destroyed (all queries drained): nothing but this test holds
+  // the old snapshot anymore — the swap released it without a drain call.
+  EXPECT_EQ(snap1.use_count(), 1);
+  EXPECT_EQ(snap2.use_count(), 1);
+}
+
+TEST(QueryEngineTest, SwapSnapshotUnderConcurrentLoadStaysExact) {
+  // Clients hammer Submit while another thread swaps back and forth; every
+  // result must match one of the two snapshots' serial references for the
+  // query THAT CLIENT sent (queries are built per snapshot vocabulary, so
+  // cross-snapshot execution would be detectable immediately).
+  auto w1 = testing::MakeRandomWorkload(80, 400, 5, 18, 11010);
+  auto w2 = testing::MakeRandomWorkload(80, 400, 5, 18, 11011);
+  std::shared_ptr<const Snapshot> snap1 =
+      SnapshotOf(w1, 400, "koios_swapc_1.bin");
+  std::shared_ptr<const Snapshot> snap2 =
+      SnapshotOf(w2, 400, "koios_swapc_2.bin");
+  KoiosSearcher ref1(&snap1->sets(), snap1->index());
+  KoiosSearcher ref2(&snap2->sets(), snap2->index());
+
+  SearchParams params;
+  params.k = 5;
+  params.alpha = 0.7;
+  // Both corpora share one vocabulary size, so each query is valid token
+  // ids on either snapshot; a result is correct iff it matches the query's
+  // serial reference on ONE of the two (admission legally races the
+  // swap). All four references are precomputed — the legacy searcher
+  // interface is single-consumer and must not be hit from client threads.
+  const auto q1 = snap1->sets().Tokens(7);
+  const auto q2 = snap2->sets().Tokens(7);
+  const SearchResult want_q1_on1 = ref1.Search(q1, params);
+  const SearchResult want_q1_on2 = ref2.Search(q1, params);
+  const SearchResult want_q2_on1 = ref1.Search(q2, params);
+  const SearchResult want_q2_on2 = ref2.Search(q2, params);
+
+  EngineOptions options;
+  options.num_threads = 3;
+  QueryEngine engine(snap1, options);
+  std::atomic<size_t> mismatches{0};
+  std::atomic<bool> stop{false};
+  constexpr size_t kClients = 3;
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (size_t i = 0; i < 20; ++i) {
+        const bool first = i % 2 == 0;
+        QueryEngine::Result r =
+            engine.Submit(first ? std::vector<TokenId>(q1.begin(), q1.end())
+                                : std::vector<TokenId>(q2.begin(), q2.end()),
+                          params)
+                .get();
+        if (!r.ok()) {
+          ++mismatches;
+          continue;
+        }
+        const SearchResult& a = first ? want_q1_on1 : want_q2_on1;
+        const SearchResult& b = first ? want_q1_on2 : want_q2_on2;
+        const auto same = [](const SearchResult& got, const SearchResult& w) {
+          if (got.topk.size() != w.topk.size()) return false;
+          for (size_t j = 0; j < got.topk.size(); ++j) {
+            if (got.topk[j].set != w.topk[j].set ||
+                got.topk[j].score != w.topk[j].score) {
+              return false;
+            }
+          }
+          return true;
+        };
+        if (!same(r.value(), a) && !same(r.value(), b)) ++mismatches;
+      }
+    });
+  }
+  std::thread swapper([&] {
+    bool to_second = true;
+    while (!stop.load(std::memory_order_relaxed)) {
+      engine.SwapSnapshot(to_second ? snap2 : snap1);
+      to_second = !to_second;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (auto& t : clients) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  swapper.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+TEST(QueryEngineTest, SearchManyDeadlineCoversThePrewarm) {
+  // ISSUE 5 satellite: the batch ticket must exist BEFORE the prewarm so a
+  // stalled prewarm surfaces as clean DeadlineExceeded rejections instead
+  // of silently delaying every query with the deadline clock not started.
+  // A 1 ms deadline against a prewarm that costs tens of milliseconds is
+  // deterministic: under the OLD order every query would still run (each
+  // got a fresh 1 ms after the prewarm finished); under the new order the
+  // batch comes back rejected, and the prewarm itself was cut short at a
+  // poll boundary.
+  auto w = testing::MakeRandomWorkload(60, 8000, 30, 60, 11012);
+  EngineOptions options;
+  options.num_threads = 2;
+  options.default_deadline = std::chrono::milliseconds(1);
+  QueryEngine engine(&w.corpus.sets, w.index.get(), options);
+
+  std::vector<std::vector<TokenId>> queries;
+  std::vector<TokenId> distinct;
+  for (SetId id = 0; id < 20; ++id) {
+    const auto tokens = w.corpus.sets.Tokens(id);
+    queries.emplace_back(tokens.begin(), tokens.end());
+    distinct.insert(distinct.end(), tokens.begin(), tokens.end());
+  }
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  ASSERT_GT(distinct.size(), 400u);  // enough prewarm work to blow 1 ms
+
+  SearchParams params;
+  params.k = 5;
+  params.alpha = 0.75;
+  const std::vector<QueryEngine::Result> results =
+      engine.SearchMany(queries, params);
+  ASSERT_EQ(results.size(), queries.size());
+  size_t rejected = 0;
+  for (const auto& r : results) {
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), util::StatusCode::kDeadlineExceeded)
+          << r.status().ToString();
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(rejected, queries.size())
+      << "the batch deadline did not cover the prewarm";
+  EXPECT_EQ(engine.counters().deadline_exceeded, rejected);
+  // The prewarm was cut short at a deadline poll: far fewer cursor builds
+  // than the batch's distinct token count.
+  auto* cache_owner = dynamic_cast<sim::BatchedNeighborIndex*>(w.index.get());
+  ASSERT_NE(cache_owner, nullptr);
+  EXPECT_LT(cache_owner->cursor_cache_stats().misses, distinct.size());
 }
 
 TEST(QueryEngineTest, SnapshotRoundTripServesIdentically) {

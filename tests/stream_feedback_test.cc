@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "koios/core/edge_cache.h"
@@ -167,6 +169,87 @@ TEST(StreamFeedbackTest, PartitionedSearchSharesGlobalTheta) {
     EXPECT_EQ(threaded.topk[i].set, serial.topk[i].set);
     EXPECT_DOUBLE_EQ(threaded.topk[i].score, serial.topk[i].score);
   }
+}
+
+// -------------------------------------------------- producer pacing race --
+
+TEST(StreamFeedbackTest, PacedProducerWaitsForSlowConsumer) {
+  // The overlapped-mode production race (ROADMAP follow-up, fixed in this
+  // PR): a free-running deferred producer can drain the stream to α before
+  // a slow consumer has processed enough tuples to declare its stop
+  // similarity, forfeiting the feedback savings entirely. With pacing the
+  // producer must stay within its lead of the consumer's hand-off
+  // position, so even a deliberately slow consumer ends the stream with
+  // far fewer tuples produced than a full drain.
+  auto w = MakeRandomWorkload(120, 900, 8, 30, 8107);
+  // A wide query (several stored sets unioned) over a low α: a deep drain,
+  // so the paced/unpaced difference is unmistakable.
+  std::vector<TokenId> q;
+  for (const SetId id : {SetId{5}, SetId{9}, SetId{23}, SetId{31}}) {
+    const auto qs = w.corpus.sets.Tokens(id);
+    q.insert(q.end(), qs.begin(), qs.end());
+  }
+  std::sort(q.begin(), q.end());
+  q.erase(std::unique(q.begin(), q.end()), q.end());
+  const Score alpha = 0.3;  // deep α-tail: the drain is large
+
+  // Reference: the unpaced full drain of this stream.
+  size_t full_drain = 0;
+  {
+    sim::TokenStream stream(q, w.index.get(), alpha,
+                            [](TokenId) { return true; });
+    EdgeCache drain(&stream, EdgeCache::Deferred{});
+    drain.Materialize();
+    full_drain = drain.produced();
+  }
+
+  constexpr size_t kConsumeTarget = 128;
+  constexpr size_t kChunk = 32;
+  constexpr size_t kLead = 64;
+  // The bound pacing must enforce: the hand-off position when the stop was
+  // declared (target plus up to one pull chunk), plus the lead, plus one
+  // publish batch of producer overshoot.
+  constexpr size_t kPacedBound = kConsumeTarget + kChunk + kLead + 32;
+  ASSERT_GT(full_drain, 2 * kPacedBound)
+      << "corpus too small to distinguish a paced run from a drain";
+
+  SearchContext ctx;
+  ctx.BeginSearch(/*num_consumers=*/1);
+  sim::TokenStream stream(q, w.index.get(), alpha,
+                          [](TokenId) { return true; });
+  EdgeCache cache(
+      &stream, EdgeCache::Deferred{}, w.sim.get(),
+      [&ctx] { return ctx.stop_controller().ProducerStop(); }, nullptr,
+      /*expected_consumers=*/1, /*producer_lead=*/kLead);
+  ASSERT_TRUE(cache.PacingEnabled());
+
+  std::thread producer([&] { cache.Materialize(); });
+  {
+    // Deliberately slow consumer: the warm cursor cache lets the producer
+    // build tuples orders of magnitude faster than this loop consumes
+    // them, which is exactly the racy regime.
+    EdgeCache::ConsumerGuard consumer(&cache);
+    std::vector<sim::StreamTuple> chunk(kChunk);
+    size_t consumed = 0;
+    Score last_sim = 1.0;
+    while (consumed < kConsumeTarget) {
+      const size_t n =
+          cache.NextTuples(consumed, std::span<sim::StreamTuple>(chunk));
+      if (n == 0) break;
+      consumed += n;
+      consumer.Advance(consumed);
+      last_sim = chunk[n - 1].sim;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    ctx.stop_controller().PublishConsumerStop(last_sim);
+  }
+  producer.join();
+
+  EXPECT_FALSE(cache.ExhaustedToAlpha());
+  EXPECT_LE(cache.produced(), kPacedBound)
+      << "producer outran its lead over the slow consumer";
+  EXPECT_LT(cache.produced(), full_drain / 2)
+      << "slow consumer still lost the streaming savings";
 }
 
 // ------------------------------------------ matrix completion, directly --
