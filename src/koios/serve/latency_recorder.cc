@@ -6,13 +6,30 @@
 
 namespace koios::serve {
 
+namespace {
+constexpr double kEwmaAlpha = 0.2;
+}  // namespace
+
 void LatencyRecorder::Record(double seconds) {
+  ewma_seconds_ = samples_.empty()
+                      ? seconds
+                      : kEwmaAlpha * seconds + (1.0 - kEwmaAlpha) * ewma_seconds_;
   samples_.push_back(seconds);
   sorted_ = false;
 }
 
 void LatencyRecorder::Merge(const LatencyRecorder& other) {
   if (other.samples_.empty()) return;
+  // Count-weighted blend: a lossless sample-ordered replay is impossible
+  // (the EWMA is order-sensitive and the merged orders interleave), so the
+  // merged estimate weighs each side by how many samples shaped it.
+  if (samples_.empty()) {
+    ewma_seconds_ = other.ewma_seconds_;
+  } else {
+    const double n = static_cast<double>(samples_.size());
+    const double m = static_cast<double>(other.samples_.size());
+    ewma_seconds_ = (n * ewma_seconds_ + m * other.ewma_seconds_) / (n + m);
+  }
   samples_.insert(samples_.end(), other.samples_.begin(),
                   other.samples_.end());
   sorted_ = false;

@@ -30,6 +30,13 @@ class LatencyRecorder {
 
   size_t count() const { return samples_.size(); }
 
+  /// Exponentially weighted moving average of the service time (seconds;
+  /// alpha = 0.2, first sample seeds it directly). This is the overload
+  /// governor's estimate of "how long does one query take right now" — it
+  /// tracks load shifts (a slow regime moves it within a handful of
+  /// samples) where Mean() would average the whole history. 0 when empty.
+  double EwmaSeconds() const { return ewma_seconds_; }
+
   /// Nearest-rank percentile, `p` in [0, 100]; 0 when empty. p=0 is the
   /// minimum, p=100 the maximum.
   double Percentile(double p) const;
@@ -47,6 +54,7 @@ class LatencyRecorder {
   // Sorted lazily; mutable so read-only percentile queries stay const.
   mutable std::vector<double> samples_;
   mutable bool sorted_ = true;
+  double ewma_seconds_ = 0.0;
 };
 
 }  // namespace koios::serve

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <span>
 #include <utility>
 
 #include "koios/sim/batched_neighbor_index.h"
+#include "koios/util/fault_injector.h"
 #include "koios/util/timer.h"
 
 namespace koios::serve {
@@ -18,6 +20,12 @@ std::future<QueryEngine::Result> RejectedFuture(util::Status status) {
   std::promise<QueryEngine::Result> promise;
   promise.set_value(QueryEngine::Result(std::move(status)));
   return promise.get_future();
+}
+
+/// Retry hint in whole milliseconds; never 0 for a positive wait (a 0 hint
+/// reads as "no hint" on the Status).
+int64_t HintMs(double wait_seconds) {
+  return std::max<int64_t>(1, std::llround(wait_seconds * 1e3));
 }
 
 }  // namespace
@@ -68,8 +76,48 @@ void QueryEngine::SwapSnapshot(std::shared_ptr<const Snapshot> snapshot) {
   // expensive part runs; only the pointer flip itself is serialized.
   const Snapshot* raw = snapshot.get();
   StatePtr next = MakeState(std::move(snapshot), &raw->sets(), raw->index());
-  std::lock_guard<std::mutex> lock(state_mutex_);
-  state_ = std::move(next);
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    state_ = std::move(next);
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++counters_.swaps_completed;
+}
+
+util::Status QueryEngine::TrySwapFromRepository(const std::string& path,
+                                                const SnapshotOptions& options) {
+  auto record_failure = [this](util::Status status) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++counters_.swap_failures;
+    return status;
+  };
+  // Load first, flip last: until the very end of this function the engine
+  // is still serving the old state, so every failure below degrades to
+  // "the reload did not happen" rather than "serving stopped".
+  auto loaded = Snapshot::Load(path, options);
+  if (!loaded.ok()) return record_failure(loaded.status());
+  // Chaos seam: a fault between the (successful) load and the flip models
+  // a state build blowing up — the swap must fail closed.
+  if (KOIOS_FAULTPOINT("engine.swap.build")) {
+    return record_failure(util::Status::Internal(
+        "injected snapshot state build fault (engine.swap.build)"));
+  }
+  std::shared_ptr<const Snapshot> snapshot = std::move(loaded).value();
+  const Snapshot* raw = snapshot.get();
+  StatePtr next;
+  try {
+    next = MakeState(std::move(snapshot), &raw->sets(), raw->index());
+  } catch (const std::exception& e) {
+    return record_failure(util::Status::Internal(
+        std::string("snapshot state build failed: ") + e.what()));
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    state_ = std::move(next);
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++counters_.swaps_completed;
+  return util::Status::OK();
 }
 
 std::shared_ptr<const Snapshot> QueryEngine::snapshot() const {
@@ -95,6 +143,23 @@ QueryEngine::Ticket QueryEngine::MakeTicket(
 bool QueryEngine::TicketExpired(const Ticket& ticket) {
   return ticket.has_deadline &&
          std::chrono::steady_clock::now() >= ticket.deadline;
+}
+
+double QueryEngine::EstimatedQueueWaitSeconds(size_t admitted) const {
+  const size_t workers = pool_.num_threads();
+  if (admitted < workers) return 0.0;  // a worker is (about to be) free
+  double ewma = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ewma = latency_.EwmaSeconds();
+  }
+  if (ewma <= 0.0) return 0.0;  // nothing completed yet: no estimate
+  // `admitted - workers` queries are queued ahead of this one; the pool
+  // drains `workers` of them per EWMA period, and the query itself is the
+  // +1 (its own wait ends when it STARTS, but the caller's retry hint
+  // should cover a full drain-and-run).
+  return static_cast<double>(admitted - workers + 1) * ewma /
+         static_cast<double>(workers);
 }
 
 std::future<QueryEngine::Result> QueryEngine::Submit(
@@ -125,13 +190,43 @@ std::future<QueryEngine::Result> QueryEngine::Enqueue(
   if (enforce_queue_bound &&
       admitted >= pool_.num_threads() + options_.max_queue) {
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    // How long until the engine has drained enough to admit a retry: the
+    // wait a query at the BACK of the full queue would see.
+    const double wait = EstimatedQueueWaitSeconds(admitted);
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++counters_.rejected_queue_full;
     }
-    return RejectedFuture(util::Status::ResourceExhausted(
-        "query queue full (" + std::to_string(options_.max_queue) +
-        " waiting + " + std::to_string(pool_.num_threads()) + " running)"));
+    return RejectedFuture(
+        util::Status::ResourceExhausted(
+            "query queue full (" + std::to_string(options_.max_queue) +
+            " waiting + " + std::to_string(pool_.num_threads()) + " running)")
+            .WithRetryAfterMs(HintMs(wait)));
+  }
+  if (enforce_queue_bound && ticket.has_deadline) {
+    // Fail fast: if the estimated queue wait alone already eats the whole
+    // deadline budget, admitting the query only spends a slot to time out
+    // later — reject now, with the wait as the backoff hint. Conservative
+    // by construction: with no EWMA yet (cold engine) or free workers the
+    // estimate is 0 and nothing is ever rejected here.
+    const double wait = EstimatedQueueWaitSeconds(admitted);
+    if (wait > 0.0) {
+      const double budget =
+          std::chrono::duration<double>(ticket.deadline -
+                                        std::chrono::steady_clock::now())
+              .count();
+      if (wait > budget) {
+        in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++counters_.rejected_wait_exceeds_deadline;
+        }
+        return RejectedFuture(
+            util::Status::DeadlineExceeded(
+                "estimated queue wait exceeds the query deadline")
+                .WithRetryAfterMs(HintMs(wait)));
+      }
+    }
   }
   // The task pins `state`: its snapshot/searcher/index stay alive and
   // untouched until this query completes, no matter how many hot swaps
@@ -186,11 +281,18 @@ QueryEngine::Result QueryEngine::Execute(const ServingState& state,
     return result;
   } catch (const core::SearchAborted&) {
     // Clean rejection: the phases unwound through the poison-safe shutdown
-    // machinery; nothing partial escapes.
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++counters_.deadline_exceeded;
-    return Result(util::Status::DeadlineExceeded(
-        "query deadline elapsed; partial results discarded"));
+    // machinery; nothing partial escapes. The retry hint is one EWMA
+    // service period — "come back when a typical query would have fit".
+    double ewma = 0.0;
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++counters_.deadline_exceeded;
+      ewma = latency_.EwmaSeconds();
+    }
+    auto status = util::Status::DeadlineExceeded(
+        "query deadline elapsed; partial results discarded");
+    if (ewma > 0.0) return Result(std::move(status).WithRetryAfterMs(HintMs(ewma)));
+    return Result(std::move(status));
   }
 }
 

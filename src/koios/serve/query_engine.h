@@ -84,6 +84,13 @@ struct EngineCounters {
   uint64_t completed = 0;
   uint64_t rejected_queue_full = 0;
   uint64_t deadline_exceeded = 0;
+  /// Fail-fast admissions: the estimated queue wait already exceeded the
+  /// query's deadline budget, so it was rejected at the door instead of
+  /// burning a queue slot to time out later.
+  uint64_t rejected_wait_exceeds_deadline = 0;
+  /// TrySwapFromRepository outcomes (SwapSnapshot counts as a success).
+  uint64_t swaps_completed = 0;
+  uint64_t swap_failures = 0;
 };
 
 class QueryEngine {
@@ -109,7 +116,13 @@ class QueryEngine {
   /// Admits one query. The future resolves to the SearchResult, or to
   /// ResourceExhausted (rejected at the door, never ran) /
   /// DeadlineExceeded (expired waiting or mid-execution; any partial work
-  /// was discarded). Thread-safe.
+  /// was discarded). Rejections carry a retry_after_ms() hint derived from
+  /// the queue depth and the EWMA service time, so callers back off for
+  /// roughly the time the engine needs to drain rather than retrying
+  /// blind. A query whose ESTIMATED queue wait already exceeds its
+  /// deadline budget is failed fast with DeadlineExceeded at admission —
+  /// it would only have occupied a queue slot to time out later.
+  /// Thread-safe.
   std::future<Result> Submit(std::vector<TokenId> query,
                              const core::SearchParams& params);
   std::future<Result> Submit(std::vector<TokenId> query,
@@ -139,6 +152,16 @@ class QueryEngine {
   /// its last in-flight query finishes. Thread-safe; concurrent swappers
   /// serialize on the flip (last one wins).
   void SwapSnapshot(std::shared_ptr<const Snapshot> snapshot);
+
+  /// Failure-hardened reload: loads `path` (io::LoadRepository under
+  /// Snapshot::Load — every corruption class comes back as a clean error
+  /// Status) and hot-swaps to it ONLY if the whole load + state build
+  /// succeeded. On ANY failure the engine keeps serving its current
+  /// snapshot untouched — a corrupt or half-written repository file can
+  /// never take down a serving process, only fail its reload. Thread-safe,
+  /// same flip semantics as SwapSnapshot.
+  util::Status TrySwapFromRepository(const std::string& path,
+                                     const SnapshotOptions& options = {});
 
   /// The snapshot currently being served (null when the engine was
   /// constructed over borrowed parts and never swapped).
@@ -193,6 +216,11 @@ class QueryEngine {
 
   Ticket MakeTicket(std::chrono::milliseconds deadline) const;
   static bool TicketExpired(const Ticket& ticket);
+  /// Overload-governor estimate of how long a query admitted as number
+  /// `admitted` (pre-increment in_flight_ value) will wait before a worker
+  /// picks it up: (queued ahead of it + 1) × EWMA service time / workers.
+  /// 0 while a worker is free or before any query completed (no EWMA yet).
+  double EstimatedQueueWaitSeconds(size_t admitted) const;
   /// Worker-side execution against the query's admission-time state.
   /// Deadline aborts become DeadlineExceeded statuses; anything else a
   /// search throws (bad_alloc, a faulty similarity backend) propagates

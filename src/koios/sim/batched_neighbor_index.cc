@@ -6,6 +6,7 @@
 #include <future>
 #include <utility>
 
+#include "koios/util/fault_injector.h"
 #include "koios/util/thread_pool.h"
 
 namespace koios::sim {
@@ -171,6 +172,11 @@ BatchedNeighborIndex::CursorPtr BatchedNeighborIndex::FindCursor(
 
 BatchedNeighborIndex::CursorPtr BatchedNeighborIndex::PublishCursor(
     TokenId q, Score alpha, CursorPtr built) const {
+  // Chaos seam: dropping a publish is correctness-neutral by design — the
+  // builder keeps its private cursor (bit-identical results), only the
+  // cross-query cache entry is lost, exactly as if CLOCK evicted it
+  // immediately. Fault tests lean on this to hammer the publish path.
+  if (KOIOS_FAULTPOINT("cursor.publish")) return built;
   const CacheKey key{q, alpha};
   CacheShard& shard = ShardFor(key);
   CursorPtr winner;

@@ -1,0 +1,23 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity
+// checksum of the repository file format's section framing. Table-driven
+// software implementation: fast enough to checksum multi-MB snapshot
+// sections at load time (one table lookup per byte), zero dependencies,
+// and byte-order independent (the checksum is defined over the byte
+// stream, so files stay valid across any machine the format itself
+// supports).
+#ifndef KOIOS_UTIL_CRC32_H_
+#define KOIOS_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace koios::util {
+
+/// CRC-32 of `size` bytes at `data`. Incremental use: pass the previous
+/// return value as `seed` to continue a running checksum (the empty-input
+/// CRC with seed 0 is 0).
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace koios::util
+
+#endif  // KOIOS_UTIL_CRC32_H_

@@ -1,0 +1,123 @@
+#include "koios/util/fault_injector.h"
+
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+namespace koios::util {
+
+std::atomic<size_t> FaultInjector::armed_count_{0};
+
+namespace {
+
+/// SplitMix64 finalizer: a well-mixed pure function of (seed, hit, salt),
+/// which is what makes per-hit decisions deterministic and independent.
+uint64_t Mix(uint64_t seed, uint64_t hit, uint64_t salt) {
+  uint64_t z = seed + hit * 0x9E3779B97F4A7C15ull + salt;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Uniform double in [0, 1) from the mixed bits.
+double MixToUnit(uint64_t seed, uint64_t hit, uint64_t salt) {
+  return static_cast<double>(Mix(seed, hit, salt) >> 11) * 0x1.0p-53;
+}
+
+constexpr uint64_t kFailSalt = 0x6661696C00000000ull;     // "fail"
+constexpr uint64_t kLatencySalt = 0x736C6F7700000000ull;  // "slow"
+
+struct Fault {
+  FaultSpec spec;
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> fires{0};
+};
+
+}  // namespace
+
+struct FaultInjector::Registry {
+  mutable std::mutex mutex;
+  // shared_ptr payloads so Evaluate can drop the registry lock before
+  // sleeping or bumping counters — a Disarm racing a long latency
+  // injection must not block (or worse, free the entry under the sleeper).
+  std::unordered_map<std::string, std::shared_ptr<Fault>> map;
+};
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();  // never destroyed
+  return *instance;
+}
+
+FaultInjector::Registry& FaultInjector::registry() const {
+  static Registry* registry = new Registry();  // never destroyed
+  return *registry;
+}
+
+void FaultInjector::Arm(std::string_view name, const FaultSpec& spec) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto fault = std::make_shared<Fault>();
+  fault->spec = spec;
+  auto [it, inserted] = reg.map.insert_or_assign(std::string(name), fault);
+  (void)it;
+  if (inserted) armed_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(std::string_view name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  if (reg.map.erase(std::string(name)) > 0) {
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::DisarmAll() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  armed_count_.fetch_sub(reg.map.size(), std::memory_order_relaxed);
+  reg.map.clear();
+}
+
+bool FaultInjector::Evaluate(std::string_view name) {
+  std::shared_ptr<Fault> fault;
+  {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    auto it = reg.map.find(std::string(name));
+    if (it == reg.map.end()) return false;
+    fault = it->second;
+  }
+  const uint64_t hit = fault->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  const FaultSpec& spec = fault->spec;
+
+  if (spec.latency.count() > 0 &&
+      (spec.latency_probability >= 1.0 ||
+       MixToUnit(spec.seed, hit, kLatencySalt) < spec.latency_probability)) {
+    std::this_thread::sleep_for(spec.latency);
+  }
+
+  bool fires = spec.fail_on_hit != 0 && hit == spec.fail_on_hit;
+  if (!fires && spec.fail_probability > 0.0) {
+    fires = MixToUnit(spec.seed, hit, kFailSalt) < spec.fail_probability;
+  }
+  if (fires) fault->fires.fetch_add(1, std::memory_order_relaxed);
+  return fires;
+}
+
+FaultpointStats FaultInjector::Stats(std::string_view name) const {
+  std::shared_ptr<Fault> fault;
+  {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    auto it = reg.map.find(std::string(name));
+    if (it == reg.map.end()) return {};
+    fault = it->second;
+  }
+  FaultpointStats stats;
+  stats.hits = fault->hits.load(std::memory_order_relaxed);
+  stats.fires = fault->fires.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace koios::util

@@ -1,0 +1,118 @@
+// Failpoint registry for fault-injection testing — the in-process chaos
+// vocabulary of the engine. Production code marks its fault-prone seams
+// with KOIOS_FAULTPOINT("name"); tests and the chaos bench arm named
+// failpoints with deterministic seeded schedules (fail on the nth hit,
+// fail with probability p, inject latency) and assert that the system
+// degrades cleanly: clean Status returns, no partial results, no crash.
+//
+// Cost model: a DISARMED failpoint is one relaxed atomic load and a
+// predictable branch — the macro short-circuits on a global armed count
+// before any registry lookup, so sprinkling failpoints through hot paths
+// (serialization reads, thread-pool dispatch, cursor publish) costs
+// nothing measurable in production. Only while at least one failpoint is
+// armed does evaluation take the registry mutex.
+//
+// Determinism: the fail/latency decision for hit #n is a pure function of
+// (spec seed, n), so a schedule replays identically for a given arrival
+// order. Under concurrency the hit NUMBERING depends on thread
+// interleaving, but the decision for any given hit number does not — the
+// chaos harness pins total fault counts, not which thread absorbs them.
+#ifndef KOIOS_UTIL_FAULT_INJECTOR_H_
+#define KOIOS_UTIL_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace koios::util {
+
+/// Schedule of one armed failpoint. Any combination of the three triggers
+/// may be set; a hit FIRES (the callsite turns it into an error) when the
+/// fail-nth or fail-probability trigger matches, and SLEEPS `latency`
+/// when the latency trigger matches — a latency-only spec never fires, it
+/// just makes the marked path slow (stuck worker, slow disk).
+struct FaultSpec {
+  /// Fire exactly on the nth hit (1-based) of this failpoint; 0 = off.
+  uint64_t fail_on_hit = 0;
+  /// Fire each hit independently with this probability (seeded, so the
+  /// decision for hit #n is deterministic); 0 = off.
+  double fail_probability = 0.0;
+  /// Sleep injected into matching hits; zero = off.
+  std::chrono::milliseconds latency{0};
+  /// Fraction of hits that sleep `latency` (1 = every hit). Decided by the
+  /// same seeded hash as fail_probability, salted differently.
+  double latency_probability = 1.0;
+  /// Seed of the per-hit decisions.
+  uint64_t seed = 0;
+};
+
+/// Monotone counters of one failpoint (armed or not, counting starts at
+/// arm time).
+struct FaultpointStats {
+  uint64_t hits = 0;   // Evaluate calls while armed
+  uint64_t fires = 0;  // hits that returned "fail"
+};
+
+/// Process-global failpoint registry. Thread-safe throughout.
+class FaultInjector {
+ public:
+  static FaultInjector& Instance();
+
+  /// True when ANY failpoint is armed — the macro's fast-path gate.
+  static bool AnyArmed() {
+    return armed_count_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Arms (or re-arms, resetting counters) the named failpoint.
+  void Arm(std::string_view name, const FaultSpec& spec);
+  /// Disarms one failpoint; evaluation becomes a no-op again.
+  void Disarm(std::string_view name);
+  /// Disarms everything (test teardown).
+  void DisarmAll();
+
+  /// Evaluates one hit: applies the latency trigger (sleeping outside the
+  /// registry lock), then returns whether the fault fires. Unarmed names
+  /// return false. Prefer the KOIOS_FAULTPOINT macro, which skips this
+  /// call entirely while nothing is armed.
+  bool Evaluate(std::string_view name);
+
+  /// Counters of the named failpoint (zeros when never armed).
+  FaultpointStats Stats(std::string_view name) const;
+
+ private:
+  FaultInjector() = default;
+  struct Registry;  // hides the map + mutex from this header
+  Registry& registry() const;
+
+  static std::atomic<size_t> armed_count_;
+};
+
+/// RAII arm/disarm for tests: arms in the constructor, disarms (that one
+/// failpoint) in the destructor, so an ASSERT-exit cannot leak an armed
+/// fault into the next test.
+class ScopedFault {
+ public:
+  ScopedFault(std::string name, const FaultSpec& spec) : name_(std::move(name)) {
+    FaultInjector::Instance().Arm(name_, spec);
+  }
+  ~ScopedFault() { FaultInjector::Instance().Disarm(name_); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace koios::util
+
+/// The failpoint marker. Evaluates to true when the armed schedule says
+/// this hit FAILS (the callsite returns its error); latency-only schedules
+/// sleep inside the evaluation and yield false. Disarmed (the production
+/// state): one relaxed atomic load + branch, no registry access.
+#define KOIOS_FAULTPOINT(name)                   \
+  (::koios::util::FaultInjector::AnyArmed() &&   \
+   ::koios::util::FaultInjector::Instance().Evaluate(name))
+
+#endif  // KOIOS_UTIL_FAULT_INJECTOR_H_

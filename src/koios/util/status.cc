@@ -33,6 +33,11 @@ std::string Status::ToString() const {
     out += ": ";
     out += message_;
   }
+  if (has_retry_after()) {
+    out += " (retry after ";
+    out += std::to_string(retry_after_ms_);
+    out += " ms)";
+  }
   return out;
 }
 

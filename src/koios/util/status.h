@@ -5,6 +5,7 @@
 #define KOIOS_UTIL_STATUS_H_
 
 #include <cassert>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
@@ -59,12 +60,28 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
-  /// Human-readable rendering, e.g. "InvalidArgument: k must be positive".
+  /// Structured backpressure payload: how long the caller should back off
+  /// before retrying, attached by admission control to kResourceExhausted
+  /// and fail-fast kDeadlineExceeded rejections. A protocol layer
+  /// translates this into its retry/shed signal (e.g. an HTTP Retry-After
+  /// header) without parsing the message text. Chainable:
+  ///   return Status::ResourceExhausted("queue full").WithRetryAfterMs(12);
+  Status&& WithRetryAfterMs(int64_t ms) && {
+    retry_after_ms_ = ms > 0 ? ms : 0;
+    return std::move(*this);
+  }
+  bool has_retry_after() const { return retry_after_ms_ > 0; }
+  /// Milliseconds to back off before retrying; 0 when no hint is attached.
+  int64_t retry_after_ms() const { return retry_after_ms_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: k must be positive"
+  /// or "ResourceExhausted: queue full (retry after 12 ms)".
   std::string ToString() const;
 
  private:
   StatusCode code_;
   std::string message_;
+  int64_t retry_after_ms_ = 0;  // 0 = no hint
 };
 
 /// A value-or-status. Accessing the value of a non-OK result aborts in

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "koios/util/fault_injector.h"
+
 namespace koios::util {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -34,6 +36,12 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    // Chaos seam: a latency schedule here simulates a stuck/slow worker —
+    // the task still runs to completion, it just dispatches late, which is
+    // exactly how a descheduled or page-faulting worker looks to the
+    // admission control and deadline machinery above. Dispatch cannot
+    // "fail" (there is no error channel), so the fire bit is ignored.
+    (void)KOIOS_FAULTPOINT("threadpool.dispatch");
     task();
     {
       std::unique_lock<std::mutex> lock(mutex_);

@@ -1,0 +1,374 @@
+// Chaos tests (ISSUE 6): with failpoints armed across the io, thread-pool,
+// cursor-cache, and snapshot-swap seams, the system must degrade
+// GRACEFULLY — successful queries stay bit-identical to the serial
+// reference, failures surface as clean Statuses (never crashes, never
+// partial results), a failed save or reload leaves the previous artifact
+// serving, and the overload governor rejects with actionable retry hints.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "koios/core/searcher.h"
+#include "koios/io/serialization.h"
+#include "koios/serve/query_engine.h"
+#include "koios/serve/snapshot.h"
+#include "koios/util/fault_injector.h"
+#include "test_util.h"
+
+namespace koios {
+namespace {
+
+using core::KoiosSearcher;
+using core::SearchParams;
+using core::SearchResult;
+using serve::EngineCounters;
+using serve::EngineOptions;
+using serve::QueryEngine;
+using serve::Snapshot;
+using util::FaultInjector;
+using util::FaultSpec;
+using util::ScopedFault;
+
+// ----------------------------------------------------------- the injector --
+
+TEST(FaultInjectorTest, DisarmedEvaluatesToNoop) {
+  EXPECT_FALSE(FaultInjector::AnyArmed());
+  EXPECT_FALSE(FaultInjector::Instance().Evaluate("never.armed"));
+  const auto stats = FaultInjector::Instance().Stats("never.armed");
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.fires, 0u);
+}
+
+TEST(FaultInjectorTest, FailNthFiresExactlyOnThatHit) {
+  FaultSpec spec;
+  spec.fail_on_hit = 3;
+  ScopedFault fault("test.nth", spec);
+  EXPECT_TRUE(FaultInjector::AnyArmed());
+  for (int hit = 1; hit <= 10; ++hit) {
+    const bool fired = KOIOS_FAULTPOINT("test.nth");
+    EXPECT_EQ(fired, hit == 3) << "hit " << hit;
+  }
+  const auto stats = FaultInjector::Instance().Stats("test.nth");
+  EXPECT_EQ(stats.hits, 10u);
+  EXPECT_EQ(stats.fires, 1u);
+}
+
+TEST(FaultInjectorTest, ProbabilityScheduleIsSeedDeterministic) {
+  auto decisions = [](uint64_t seed) {
+    FaultSpec spec;
+    spec.fail_probability = 0.5;
+    spec.seed = seed;
+    ScopedFault fault("test.prob", spec);
+    std::vector<bool> out;
+    for (int i = 0; i < 200; ++i) out.push_back(KOIOS_FAULTPOINT("test.prob"));
+    return out;
+  };
+  const auto a = decisions(42);
+  const auto b = decisions(42);
+  EXPECT_EQ(a, b);  // same seed: the schedule replays identically
+  const auto c = decisions(43);
+  EXPECT_NE(a, c);
+  size_t fires = 0;
+  for (const bool d : a) fires += d;
+  EXPECT_GT(fires, 50u);  // p=0.5 over 200 hits: nowhere near 0 or 200
+  EXPECT_LT(fires, 150u);
+}
+
+TEST(FaultInjectorTest, LatencyScheduleSleepsWithoutFiring) {
+  FaultSpec spec;
+  spec.latency = std::chrono::milliseconds(30);
+  ScopedFault fault("test.latency", spec);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(KOIOS_FAULTPOINT("test.latency"));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(25));
+  EXPECT_EQ(FaultInjector::Instance().Stats("test.latency").fires, 0u);
+}
+
+TEST(FaultInjectorTest, ScopedFaultDisarmsOnScopeExit) {
+  {
+    FaultSpec spec;
+    spec.fail_on_hit = 1;
+    ScopedFault fault("test.scoped", spec);
+    EXPECT_TRUE(FaultInjector::AnyArmed());
+  }
+  EXPECT_FALSE(FaultInjector::AnyArmed());
+  EXPECT_FALSE(FaultInjector::Instance().Evaluate("test.scoped"));
+}
+
+// --------------------------------------------------------------- io seams --
+
+/// Writes a small complete repository file; returns its path.
+std::string SaveTinyRepository(const std::string& filename) {
+  text::Dictionary dict;
+  for (TokenId t = 0; t < 10; ++t) dict.Intern("tok" + std::to_string(t));
+  index::SetCollection sets;
+  sets.AddSet(std::vector<TokenId>{0, 3, 9});
+  sets.AddSet(std::vector<TokenId>{1, 2});
+  embedding::EmbeddingStore store(2);
+  for (TokenId t = 0; t < 10; ++t) {
+    store.Add(t, std::vector<float>{static_cast<float>(t) + 1.0f, 1.0f});
+  }
+  const std::string path = ::testing::TempDir() + "/" + filename;
+  EXPECT_TRUE(io::SaveRepository(dict, sets, &store, path).ok());
+  return path;
+}
+
+TEST(IoFaultTest, ReadFailureAtEverySiteReturnsCleanStatus) {
+  // Sweep a one-shot read fault over EVERY ReadPod site of a full load:
+  // each position must yield an error Status (clean unwind, no crash, no
+  // partial repository), and once n exceeds the number of reads the load
+  // succeeds again — proving the sweep covered every site.
+  const std::string path = SaveTinyRepository("koios_fault_read.bin");
+  size_t failures = 0;
+  uint64_t first_success = 0;
+  for (uint64_t n = 1; n <= 100; ++n) {
+    FaultSpec spec;
+    spec.fail_on_hit = n;
+    ScopedFault fault("io.read", spec);
+    auto repo = io::LoadRepository(path);
+    if (repo.ok()) {
+      if (first_success == 0) first_success = n;
+      EXPECT_TRUE(repo.value().has_embeddings);
+    } else {
+      EXPECT_EQ(first_success, 0u)
+          << "load failed at n=" << n << " after succeeding earlier";
+      ++failures;
+    }
+  }
+  EXPECT_GT(failures, 10u);        // the format has many read sites
+  EXPECT_GT(first_success, 0u);    // and the sweep went past the last one
+  EXPECT_TRUE(io::LoadRepository(path).ok());  // disarmed: unaffected
+  std::remove(path.c_str());
+}
+
+TEST(IoFaultTest, FailedSaveLeavesPreviousFileIntact) {
+  const std::string path = SaveTinyRepository("koios_fault_save.bin");
+  auto before = io::LoadRepository(path);
+  ASSERT_TRUE(before.ok());
+
+  // A save that dies mid-write must fail with a Status, leave the
+  // PREVIOUS repository loadable, and clean up its temp file.
+  text::Dictionary dict;
+  dict.Intern("other");
+  index::SetCollection sets;
+  sets.AddSet(std::vector<TokenId>{0});
+  {
+    FaultSpec spec;
+    spec.fail_on_hit = 1;
+    ScopedFault fault("io.save.write", spec);
+    auto status = io::SaveRepository(dict, sets, nullptr, path);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("io.save.write"), std::string::npos);
+  }
+  std::ifstream tmp(path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(static_cast<bool>(tmp)) << "temp file left behind";
+  auto after = io::LoadRepository(path);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after.value().dict.size(), before.value().dict.size());
+  EXPECT_EQ(after.value().sets.size(), before.value().sets.size());
+
+  // Disarmed, the same save succeeds and replaces the file atomically.
+  ASSERT_TRUE(io::SaveRepository(dict, sets, nullptr, path).ok());
+  auto replaced = io::LoadRepository(path);
+  ASSERT_TRUE(replaced.ok());
+  EXPECT_EQ(replaced.value().dict.size(), 1u);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------ serve seams --
+
+TEST(ServeFaultTest, QueriesStayExactUnderCursorAndDispatchChaos) {
+  auto w = testing::MakeRandomWorkload(100, 400, 5, 20, 66001);
+  SearchParams params;
+  params.k = 5;
+  params.alpha = 0.75;
+  params.num_threads = 1;
+  std::vector<std::vector<TokenId>> queries;
+  for (SetId id = 0; id < 16; ++id) {
+    const auto tokens = w.corpus.sets.Tokens(id * 5);
+    queries.emplace_back(tokens.begin(), tokens.end());
+  }
+  // Chaos window FIRST, on a cold cursor cache (so publishes actually
+  // happen): a third of worker dispatches run late, and EVERY cursor
+  // publish is dropped (the cache never retains anything — the documented
+  // worst case, equivalent to immediate eviction). Results must not move
+  // by a bit versus the serial reference computed afterwards — cursor
+  // builds are deterministic, so cache state cannot change results.
+  std::vector<QueryEngine::Result> results;
+  uint64_t publish_drops = 0;
+  {
+    FaultSpec slow;
+    slow.latency = std::chrono::milliseconds(2);
+    slow.latency_probability = 0.34;
+    slow.seed = 7;
+    ScopedFault dispatch_fault("threadpool.dispatch", slow);
+    FaultSpec drop;
+    drop.fail_probability = 1.0;
+    ScopedFault publish_fault("cursor.publish", drop);
+
+    EngineOptions options;
+    options.num_threads = 4;
+    QueryEngine engine(&w.corpus.sets, w.index.get(), options);
+    std::vector<std::future<QueryEngine::Result>> futures;
+    for (const auto& q : queries) futures.push_back(engine.Submit(q, params));
+    for (auto& f : futures) results.push_back(f.get());
+    publish_drops = FaultInjector::Instance().Stats("cursor.publish").fires;
+  }
+  EXPECT_GT(publish_drops, 0u);
+
+  KoiosSearcher serial(&w.corpus.sets, w.index.get());
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+    const SearchResult want = serial.Search(queries[i], params);
+    ASSERT_EQ(results[i].value().topk.size(), want.topk.size());
+    for (size_t j = 0; j < want.topk.size(); ++j) {
+      EXPECT_EQ(results[i].value().topk[j].set, want.topk[j].set);
+      EXPECT_DOUBLE_EQ(results[i].value().topk[j].score, want.topk[j].score);
+    }
+  }
+}
+
+TEST(ServeFaultTest, QueueFullRejectionCarriesRetryHint) {
+  auto w = testing::MakeRandomWorkload(60, 300, 5, 15, 66002);
+  SearchParams params;
+  params.k = 3;
+  params.alpha = 0.8;
+  EngineOptions options;
+  options.num_threads = 1;
+  options.max_queue = 0;  // one running query saturates the engine
+  QueryEngine engine(&w.corpus.sets, w.index.get(), options);
+
+  // Hold the only worker: its dispatch sleeps long enough for the second
+  // Submit to deterministically find the engine saturated.
+  FaultSpec slow;
+  slow.latency = std::chrono::milliseconds(150);
+  ScopedFault dispatch_fault("threadpool.dispatch", slow);
+
+  const auto tokens = w.corpus.sets.Tokens(0);
+  const std::vector<TokenId> query(tokens.begin(), tokens.end());
+  auto running = engine.Submit(query, params);
+  auto rejected = engine.Submit(query, params);
+  QueryEngine::Result r = rejected.get();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kResourceExhausted);
+  EXPECT_TRUE(r.status().has_retry_after());
+  EXPECT_GE(r.status().retry_after_ms(), 1);
+  ASSERT_TRUE(running.get().ok());
+  EXPECT_EQ(engine.counters().rejected_queue_full, 1u);
+}
+
+TEST(ServeFaultTest, AdmissionFailsFastWhenWaitExceedsDeadline) {
+  auto w = testing::MakeRandomWorkload(60, 300, 5, 15, 66003);
+  SearchParams params;
+  params.k = 3;
+  params.alpha = 0.8;
+  EngineOptions options;
+  options.num_threads = 1;
+  QueryEngine engine(&w.corpus.sets, w.index.get(), options);
+
+  const auto tokens = w.corpus.sets.Tokens(1);
+  const std::vector<TokenId> query(tokens.begin(), tokens.end());
+  {
+    // Build a LARGE deterministic EWMA: the first query's cursor builds
+    // (cold cache) each publish through a 25 ms latency fault, so its
+    // recorded service time — the EWMA seed — is at least 25 ms.
+    FaultSpec slow_publish;
+    slow_publish.latency = std::chrono::milliseconds(25);
+    ScopedFault publish_fault("cursor.publish", slow_publish);
+    ASSERT_TRUE(engine.Submit(query, params).get().ok());
+  }
+
+  // Occupy the single worker so the probe has to queue...
+  FaultSpec slow;
+  slow.latency = std::chrono::milliseconds(200);
+  ScopedFault dispatch_fault("threadpool.dispatch", slow);
+  auto filler = engine.Submit(query, params);
+  // ...and submit a probe whose 1 ms budget is far below the >=25 ms
+  // estimated wait: the governor must reject it AT ADMISSION.
+  auto probe = engine.Submit(query, params, std::chrono::milliseconds(1));
+  QueryEngine::Result r = probe.get();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(r.status().has_retry_after());
+  EXPECT_GE(r.status().retry_after_ms(), 1);
+  ASSERT_TRUE(filler.get().ok());
+  const EngineCounters counters = engine.counters();
+  EXPECT_EQ(counters.rejected_wait_exceeds_deadline, 1u);
+  EXPECT_EQ(counters.completed, 2u);  // the probe never ran
+}
+
+TEST(ServeFaultTest, TrySwapKeepsServingOnEveryFailurePath) {
+  const std::string good_path = SaveTinyRepository("koios_fault_swap_good.bin");
+  auto snapshot = Snapshot::Load(good_path);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  std::shared_ptr<const Snapshot> snap1 = snapshot.value();
+
+  EngineOptions options;
+  options.num_threads = 2;
+  QueryEngine engine(snap1, options);
+  SearchParams params;
+  params.k = 2;
+  params.alpha = 0.7;
+  const auto tokens = snap1->sets().Tokens(0);
+  const std::vector<TokenId> query(tokens.begin(), tokens.end());
+  const SearchResult want = engine.Submit(query, params).get().value();
+
+  // 1. Missing file.
+  auto missing = engine.TrySwapFromRepository("/nonexistent/koios.bin");
+  EXPECT_EQ(missing.code(), util::StatusCode::kNotFound);
+  EXPECT_EQ(engine.snapshot(), snap1);
+
+  // 2. Corrupt file (a truncated copy of a valid repository).
+  const std::string corrupt_path =
+      ::testing::TempDir() + "/koios_fault_swap_corrupt.bin";
+  {
+    std::ifstream in(good_path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream out(corrupt_path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  auto corrupt = engine.TrySwapFromRepository(corrupt_path);
+  EXPECT_FALSE(corrupt.ok());
+  EXPECT_EQ(engine.snapshot(), snap1);
+
+  // 3. State build blows up after a SUCCESSFUL load.
+  {
+    FaultSpec spec;
+    spec.fail_on_hit = 1;
+    ScopedFault fault("engine.swap.build", spec);
+    auto build = engine.TrySwapFromRepository(good_path);
+    EXPECT_EQ(build.code(), util::StatusCode::kInternal);
+    EXPECT_EQ(engine.snapshot(), snap1);
+  }
+
+  // Through all three failures the engine kept answering, identically.
+  QueryEngine::Result still = engine.Submit(query, params).get();
+  ASSERT_TRUE(still.ok());
+  ASSERT_EQ(still.value().topk.size(), want.topk.size());
+  for (size_t i = 0; i < want.topk.size(); ++i) {
+    EXPECT_EQ(still.value().topk[i].set, want.topk[i].set);
+  }
+
+  // 4. A valid swap goes through and is counted.
+  auto ok = engine.TrySwapFromRepository(good_path);
+  ASSERT_TRUE(ok.ok()) << ok.ToString();
+  EXPECT_NE(engine.snapshot(), snap1);
+  const EngineCounters counters = engine.counters();
+  EXPECT_EQ(counters.swap_failures, 3u);
+  EXPECT_EQ(counters.swaps_completed, 1u);
+
+  std::remove(good_path.c_str());
+  std::remove(corrupt_path.c_str());
+}
+
+}  // namespace
+}  // namespace koios

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <sstream>
 
 #include "koios/core/searcher.h"
@@ -225,6 +227,213 @@ TEST(SerializationTest, RepositoryWithoutEmbeddings) {
   auto repo = LoadRepository(path);
   ASSERT_TRUE(repo.ok());
   EXPECT_FALSE(repo.value().has_embeddings);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------- corruption robustness --
+//
+// The v3 container is designed so that EVERY byte-level corruption — any
+// truncation, any single bit flip — surfaces as a clean error Status. The
+// tests below enforce that exhaustively on a small repository file rather
+// than spot-checking a few hand-picked offsets: the file is a few hundred
+// bytes, so the full sweep is cheap and leaves no unexamined position.
+
+std::string FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(static_cast<bool>(out)) << path;
+}
+
+/// Round-trips `bytes` through a file and LoadRepository.
+util::StatusOr<LoadedRepository> LoadFromBytes(const std::string& bytes) {
+  const std::string path = ::testing::TempDir() + "/koios_mutated_repo.bin";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  auto repo = LoadRepository(path);
+  std::remove(path.c_str());
+  return repo;
+}
+
+/// A small but complete repository (dictionary + sets + quantized
+/// embeddings) saved to bytes via the real writer.
+std::string TinyRepositoryBytes(bool with_embeddings, uint64_t seed = 11,
+                                size_t vocab = 8) {
+  text::Dictionary dict;
+  for (TokenId t = 0; t < vocab; ++t) dict.Intern("t" + std::to_string(t));
+  index::SetCollection sets;
+  sets.AddSet(std::vector<TokenId>{0, 2, static_cast<TokenId>(vocab - 1)});
+  sets.AddSet(std::vector<TokenId>{1, 3});
+  embedding::EmbeddingStore store(3);
+  for (TokenId t = 0; t < vocab; ++t) {
+    const float x = static_cast<float>((seed + t) % 7) + 0.5f;
+    store.Add(t, std::vector<float>{x, 1.0f / x, static_cast<float>(t)});
+  }
+  store.Finalize();
+  const std::string path = ::testing::TempDir() + "/koios_tiny_repo.bin";
+  EXPECT_TRUE(
+      SaveRepository(dict, sets, with_embeddings ? &store : nullptr, path)
+          .ok());
+  std::string bytes = FileBytes(path);
+  std::remove(path.c_str());
+  return bytes;
+}
+
+TEST(CorruptionMatrixTest, EveryTruncationReturnsError) {
+  const std::string bytes = TinyRepositoryBytes(/*with_embeddings=*/true);
+  ASSERT_GT(bytes.size(), 9u);
+  // Every strict prefix — which includes every section boundary — must be
+  // rejected; only the full file loads.
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto repo = LoadFromBytes(bytes.substr(0, len));
+    EXPECT_FALSE(repo.ok()) << "truncation to " << len << " bytes loaded";
+  }
+  EXPECT_TRUE(LoadFromBytes(bytes).ok());
+}
+
+TEST(CorruptionMatrixTest, EverySingleBitFlipReturnsError) {
+  for (const bool with_embeddings : {true, false}) {
+    const std::string bytes = TinyRepositoryBytes(with_embeddings);
+    for (size_t i = 0; i < bytes.size(); ++i) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::string mutated = bytes;
+        mutated[i] = static_cast<char>(mutated[i] ^ (1 << bit));
+        auto repo = LoadFromBytes(mutated);
+        EXPECT_FALSE(repo.ok())
+            << "bit " << bit << " of byte " << i << " flipped (embeddings="
+            << with_embeddings << ") but the file still loaded";
+      }
+    }
+  }
+}
+
+TEST(CorruptionMatrixTest, WrongMagicAndVersionsRejected) {
+  std::string bytes = TinyRepositoryBytes(/*with_embeddings=*/true);
+  std::string wrong_magic = bytes;
+  wrong_magic[0] = 'X';
+  EXPECT_FALSE(LoadFromBytes(wrong_magic).ok());
+  // v2 was never written; v4 does not exist yet. Both must be rejected
+  // outright (version byte is at offset 4, little-endian u32).
+  for (const char version : {2, 4}) {
+    std::string wrong_version = bytes;
+    wrong_version[4] = version;
+    auto repo = LoadFromBytes(wrong_version);
+    ASSERT_FALSE(repo.ok());
+    EXPECT_NE(repo.status().message().find("version"), std::string::npos);
+  }
+}
+
+TEST(CorruptionMatrixTest, TrailingBytesRejected) {
+  std::string bytes = TinyRepositoryBytes(/*with_embeddings=*/true);
+  bytes.push_back('\0');
+  EXPECT_FALSE(LoadFromBytes(bytes).ok());
+}
+
+TEST(CorruptionMatrixTest, MixedGenerationSpliceRejected) {
+  // Two individually valid repositories from different "generations": A
+  // has a 2-token dictionary, B's sets reference token ids up to 11. A
+  // file spliced from A's dictionary frame and B's sets frame has
+  // perfectly valid checksums on both sections — only the cross-artifact
+  // validation can catch it.
+  const std::string a = TinyRepositoryBytes(false, /*seed=*/1, /*vocab=*/2);
+  const std::string b = TinyRepositoryBytes(false, /*seed=*/2, /*vocab=*/12);
+  constexpr size_t kHeader = 9;   // magic u32 + version u32 + has_embeddings u8
+  constexpr size_t kFrame = 12;   // length u64 + crc u32
+  auto frame_end = [&](const std::string& bytes, size_t start) {
+    uint64_t length = 0;
+    std::memcpy(&length, bytes.data() + start, sizeof(length));
+    return start + kFrame + static_cast<size_t>(length);
+  };
+  const size_t a_dict_end = frame_end(a, kHeader);
+  const size_t b_dict_end = frame_end(b, kHeader);
+  std::string spliced = a.substr(0, a_dict_end) + b.substr(b_dict_end);
+  auto repo = LoadFromBytes(spliced);
+  ASSERT_FALSE(repo.ok());
+  EXPECT_NE(repo.status().message().find("beyond the dictionary"),
+            std::string::npos);
+}
+
+TEST(CorruptionMatrixTest, EmbeddingRowBeyondBoundRejected) {
+  embedding::EmbeddingStore store(2);
+  store.Add(5, std::vector<float>{1.0f, 0.0f});
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveEmbeddingStore(store, 10, buffer).ok());
+  // Unbounded load accepts it; a repository whose dictionary has only 3
+  // tokens must not.
+  auto unbounded = LoadEmbeddingStore(buffer);
+  EXPECT_TRUE(unbounded.ok());
+  buffer.clear();
+  buffer.seekg(0);
+  auto bounded = LoadEmbeddingStore(buffer, /*token_id_bound=*/3);
+  ASSERT_FALSE(bounded.ok());
+  EXPECT_NE(bounded.status().message().find("outside the dictionary"),
+            std::string::npos);
+}
+
+TEST(CorruptionMatrixTest, DuplicateEmbeddingRowRejected) {
+  // The writer cannot produce a duplicate row, so craft the stream by
+  // saving one row and repeating its bytes with the row count bumped.
+  embedding::EmbeddingStore store(2);
+  store.Add(1, std::vector<float>{0.5f, 0.5f});
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveEmbeddingStore(store, 4, buffer).ok());
+  std::string bytes = buffer.str();
+  // Layout: magic u32, version u32, dim u64, rows u64, quantized u8, rows.
+  const size_t row_start = 4 + 4 + 8 + 8 + 1;
+  const std::string row = bytes.substr(row_start);
+  uint64_t rows = 2;
+  bytes.replace(4 + 4 + 8, sizeof(rows),
+                reinterpret_cast<const char*>(&rows), sizeof(rows));
+  bytes += row;
+  std::istringstream doubled(bytes);
+  auto loaded = LoadEmbeddingStore(doubled);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(CorruptionMatrixTest, LegacyV1StillLoads) {
+  // Mixed-version fleet: files written by the unframed v1 writer keep
+  // loading (without checksum protection), including the quantized flag
+  // inside the embedding section.
+  auto w = testing::MakeRandomWorkload(20, 50, 3, 8, 4242);
+  text::Dictionary dict;
+  for (TokenId t = 0; t < 50; ++t) dict.Intern("tok" + std::to_string(t));
+  const std::string v1_path = ::testing::TempDir() + "/koios_repo_v1.bin";
+  ASSERT_TRUE(
+      SaveRepositoryLegacyV1(dict, w.corpus.sets, &w.model->store(), v1_path)
+          .ok());
+  auto repo = LoadRepository(v1_path);
+  ASSERT_TRUE(repo.ok()) << repo.status().ToString();
+  EXPECT_TRUE(repo.value().has_embeddings);
+  EXPECT_EQ(repo.value().sets.size(), w.corpus.sets.size());
+  EXPECT_EQ(repo.value().dict.size(), 50u);
+  // Truncating a legacy file must still fail cleanly (bounded allocation,
+  // no checksums needed for that guarantee).
+  const std::string bytes = FileBytes(v1_path);
+  std::remove(v1_path.c_str());
+  for (size_t len = 0; len < bytes.size(); len += 97) {
+    EXPECT_FALSE(LoadFromBytes(bytes.substr(0, len)).ok())
+        << "v1 truncation to " << len << " bytes loaded";
+  }
+}
+
+TEST(CorruptionMatrixTest, SaveLeavesNoTempFileBehind) {
+  text::Dictionary dict;
+  dict.Intern("a");
+  index::SetCollection sets;
+  sets.AddSet(std::vector<TokenId>{0});
+  const std::string path = ::testing::TempDir() + "/koios_atomic_repo.bin";
+  ASSERT_TRUE(SaveRepository(dict, sets, nullptr, path).ok());
+  std::ifstream tmp(path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(static_cast<bool>(tmp)) << "temp file left behind";
   std::remove(path.c_str());
 }
 

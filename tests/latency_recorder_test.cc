@@ -55,6 +55,32 @@ TEST(LatencyRecorderTest, MergeIsLossless) {
   EXPECT_EQ(a.count(), 100u);
 }
 
+TEST(LatencyRecorderTest, EwmaSeedsAndTracks) {
+  LatencyRecorder r;
+  EXPECT_DOUBLE_EQ(r.EwmaSeconds(), 0.0);
+  r.Record(0.010);  // first sample seeds the EWMA directly
+  EXPECT_DOUBLE_EQ(r.EwmaSeconds(), 0.010);
+  r.Record(0.020);  // alpha = 0.2: 0.2*0.020 + 0.8*0.010
+  EXPECT_DOUBLE_EQ(r.EwmaSeconds(), 0.012);
+  // A regime shift dominates within a handful of samples, unlike Mean().
+  for (int i = 0; i < 30; ++i) r.Record(0.100);
+  EXPECT_GT(r.EwmaSeconds(), 0.09);
+  EXPECT_LT(r.Mean(), 0.1);
+}
+
+TEST(LatencyRecorderTest, MergeBlendsEwmaByCount) {
+  LatencyRecorder a, b;
+  a.Record(0.010);
+  b.Record(0.030);
+  b.Record(0.030);
+  a.Merge(b);  // (1*0.010 + 2*0.030) / 3
+  EXPECT_NEAR(a.EwmaSeconds(), 0.070 / 3.0, 1e-12);
+  // Merging into an empty recorder adopts the other side's EWMA.
+  LatencyRecorder c;
+  c.Merge(a);
+  EXPECT_DOUBLE_EQ(c.EwmaSeconds(), a.EwmaSeconds());
+}
+
 TEST(LatencyRecorderTest, SummaryMentionsTail) {
   LatencyRecorder r;
   r.Record(0.001);

@@ -31,6 +31,29 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
   EXPECT_EQ(s.ToString(), "InvalidArgument: k must be positive");
 }
 
+TEST(StatusTest, RetryAfterPayload) {
+  Status s = Status::ResourceExhausted("queue full").WithRetryAfterMs(12);
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.has_retry_after());
+  EXPECT_EQ(s.retry_after_ms(), 12);
+  EXPECT_EQ(s.ToString(), "ResourceExhausted: queue full (retry after 12 ms)");
+}
+
+TEST(StatusTest, NoRetryAfterByDefault) {
+  Status s = Status::ResourceExhausted("queue full");
+  EXPECT_FALSE(s.has_retry_after());
+  EXPECT_EQ(s.retry_after_ms(), 0);
+  EXPECT_EQ(s.ToString(), "ResourceExhausted: queue full");
+}
+
+TEST(StatusTest, NonPositiveRetryAfterMeansNoHint) {
+  Status zero = Status::DeadlineExceeded("late").WithRetryAfterMs(0);
+  EXPECT_FALSE(zero.has_retry_after());
+  Status negative = Status::DeadlineExceeded("late").WithRetryAfterMs(-5);
+  EXPECT_FALSE(negative.has_retry_after());
+  EXPECT_EQ(negative.ToString(), "DeadlineExceeded: late");
+}
+
 TEST(StatusTest, StatusOrHoldsValue) {
   StatusOr<int> ok(42);
   ASSERT_TRUE(ok.ok());
