@@ -1,0 +1,346 @@
+// Scale suite for the repository formats (v3 stream vs v4 mmap): build,
+// save, load, and serve a WDC-shaped corpus at increasing set counts and
+// record per-size build time, container sizes, load times, RSS deltas,
+// and serving QPS / tail latency into one JSON report.
+//
+// Two HARD gates:
+//  * exactness (exit 2) — for every probe query, the top-k served from
+//    the v4 mmap snapshot must be bit-identical (set, score, exact flag)
+//    to the v3 stream-loaded snapshot's. The v4 writer canonicalizes row
+//    order and the loaders never renormalize, so zero drift is the
+//    contract, not a tolerance.
+//  * zero requantization (exit 2) — the v4 snapshot's store must come
+//    back quantized with finalize_runs() == 0: the int8 tier is read
+//    from the file, never rebuilt. (v3 pays a full re-quantization pass
+//    on every load — the latent cost this format removes.)
+//
+// One TIMING gate (exit 3, the suite's acceptance bar): at the LARGEST
+// size in the sweep, the v4 mmap load must be >= 50x faster than the v3
+// stream deserialize. Lazy v4 validation is O(header + metadata
+// sections); v3 parses (and CRCs) every byte, so the gap widens with
+// corpus size — 50x is the floor at a million-set shape, not the typical
+// ratio. Exit-3 convention matches the other benches' timing bars
+// (tolerated on starved CI runners, fatal nowhere else).
+//
+// Usage: bench_scale_suite [--sets N[,N...]] [--queries N] [--json out.json]
+//   default sweep: 10000,100000,1000000 (the last tier is the paper-scale
+//   WDC point; CI runs --sets 100000 to stay inside its time budget).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "koios/core/searcher.h"
+#include "koios/data/corpus.h"
+#include "koios/data/query_benchmark.h"
+#include "koios/embedding/synthetic_model.h"
+#include "koios/io/repository_v4.h"
+#include "koios/io/serialization.h"
+#include "koios/serve/query_engine.h"
+#include "koios/serve/snapshot.h"
+#include "koios/text/dictionary.h"
+#include "koios/util/rng.h"
+#include "koios/util/timer.h"
+
+namespace koios {
+namespace {
+
+constexpr double kRequiredLoadSpeedup = 50.0;
+
+/// VmRSS of this process in kilobytes (0 if /proc is unavailable).
+size_t RssKb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  size_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      std::sscanf(line + 6, "%zu", &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+size_t FileSizeBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return 0;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  return size < 0 ? 0 : static_cast<size_t>(size);
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double idx = p * static_cast<double>(v.size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+bool SameTopK(const core::SearchResult& got, const core::SearchResult& want) {
+  if (got.topk.size() != want.topk.size()) return false;
+  for (size_t i = 0; i < got.topk.size(); ++i) {
+    if (got.topk[i].set != want.topk[i].set ||
+        got.topk[i].score != want.topk[i].score ||
+        got.topk[i].exact != want.topk[i].exact) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct SizeReport {
+  size_t num_sets = 0;
+  size_t total_tokens = 0;
+  size_t vocab = 0;
+  double build_sec = 0.0;
+  size_t v3_bytes = 0, v4_bytes = 0;
+  double v3_save_sec = 0.0, v4_save_sec = 0.0;
+  double v3_load_sec = 0.0, v4_load_sec = 0.0;
+  double load_speedup = 0.0;
+  size_t v3_load_rss_kb = 0, v4_load_rss_kb = 0;
+  double qps = 0.0, p50_ms = 0.0, p99_ms = 0.0;
+  bool exact = true;
+  bool zero_requant = true;
+};
+
+int Run(const std::vector<size_t>& sizes, size_t num_queries,
+        const std::string& json_path) {
+  std::vector<SizeReport> reports;
+  bool all_exact = true;
+  bool all_zero_requant = true;
+
+  for (const size_t num_sets : sizes) {
+    SizeReport r;
+    r.num_sets = num_sets;
+
+    // ---- build: WDC-shaped corpus + synthetic embeddings + dictionary --
+    util::WallTimer build_timer;
+    data::CorpusSpec spec = data::WdcSpec(1.0);
+    spec.num_sets = num_sets;
+    // Vocabulary grows sublinearly with the corpus (WDC: 1M sets over
+    // 328k distinct elements); cap set sizes so one core stays tractable.
+    spec.vocab_size = std::max<size_t>(2000, num_sets / 4);
+    spec.max_set_size = 200;
+    spec.seed = 20260808;
+    data::Corpus corpus = data::GenerateCorpus(spec);
+
+    embedding::SyntheticModelSpec model_spec;
+    model_spec.vocab_size = spec.vocab_size;
+    model_spec.dim = 32;
+    model_spec.avg_cluster_size = 16.0;
+    model_spec.noise_sigma = 0.38;
+    model_spec.coverage = 0.9;
+    model_spec.seed = spec.seed + 1;
+    embedding::SyntheticEmbeddingModel model(model_spec);
+    model.mutable_store().Finalize();  // v4 stores the tier; v3 re-builds it
+
+    text::Dictionary dict;
+    for (size_t t = 0; t < spec.vocab_size; ++t) {
+      dict.Intern("token_" + std::to_string(t));
+    }
+    r.build_sec = build_timer.ElapsedSeconds();
+    r.total_tokens = corpus.sets.TotalTokens();
+    r.vocab = spec.vocab_size;
+
+    const std::string v3_path = "/tmp/koios_scale_v3.repo";
+    const std::string v4_path = "/tmp/koios_scale_v4.repo";
+
+    // ---- save ----------------------------------------------------------
+    {
+      util::WallTimer t;
+      auto status =
+          io::SaveRepository(dict, corpus.sets, &model.store(), v3_path);
+      if (!status.ok()) {
+        std::fprintf(stderr, "v3 save failed: %s\n",
+                     status.ToString().c_str());
+        return 2;
+      }
+      r.v3_save_sec = t.ElapsedSeconds();
+    }
+    {
+      util::WallTimer t;
+      auto status =
+          io::SaveRepositoryV4(dict, corpus.sets, &model.store(), v4_path);
+      if (!status.ok()) {
+        std::fprintf(stderr, "v4 save failed: %s\n",
+                     status.ToString().c_str());
+        return 2;
+      }
+      r.v4_save_sec = t.ElapsedSeconds();
+    }
+    r.v3_bytes = FileSizeBytes(v3_path);
+    r.v4_bytes = FileSizeBytes(v4_path);
+
+    // ---- load (the headline comparison) --------------------------------
+    // v3: full stream deserialize, CRC + parse of every byte, plus the
+    // re-quantization pass. Measured through the same Snapshot::Load
+    // entry point the serving layer uses.
+    std::shared_ptr<const serve::Snapshot> v3_snap;
+    {
+      const size_t rss_before = RssKb();
+      util::WallTimer t;
+      auto loaded = serve::Snapshot::Load(v3_path);
+      r.v3_load_sec = t.ElapsedSeconds();
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "v3 load failed: %s\n",
+                     loaded.status().ToString().c_str());
+        return 2;
+      }
+      v3_snap = std::move(loaded).value();
+      r.v3_load_rss_kb = RssKb() - std::min(RssKb(), rss_before);
+    }
+    // v4: mmap + structural validation + metadata CRCs; the arenas stay
+    // file-backed and page in on demand.
+    std::shared_ptr<const serve::Snapshot> v4_snap;
+    {
+      const size_t rss_before = RssKb();
+      util::WallTimer t;
+      auto loaded = serve::Snapshot::Load(v4_path);
+      r.v4_load_sec = t.ElapsedSeconds();
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "v4 load failed: %s\n",
+                     loaded.status().ToString().c_str());
+        return 2;
+      }
+      v4_snap = std::move(loaded).value();
+      r.v4_load_rss_kb = RssKb() - std::min(RssKb(), rss_before);
+    }
+    r.load_speedup = r.v4_load_sec > 0 ? r.v3_load_sec / r.v4_load_sec : 0.0;
+
+    // ---- zero-requantization gate --------------------------------------
+    r.zero_requant = v4_snap->store().quantized() &&
+                     v4_snap->store().finalize_runs() == 0 &&
+                     v4_snap->mmap_backed();
+    all_zero_requant = all_zero_requant && r.zero_requant;
+
+    // ---- probe queries: exactness gate + serving measurement -----------
+    util::Rng rng(424244);
+    const auto sampled = data::SampleQueriesUniform(corpus, num_queries, &rng);
+    core::SearchParams params;
+    params.k = 10;
+    params.alpha = 0.8;
+
+    core::KoiosSearcher v3_searcher(&v3_snap->sets(), v3_snap->index());
+    core::KoiosSearcher v4_searcher(&v4_snap->sets(), v4_snap->index());
+    std::vector<double> latencies_ms;
+    util::WallTimer serve_timer;
+    for (const auto& q : sampled) {
+      util::WallTimer qt;
+      core::SearchResult v4_result = v4_searcher.Search(q.tokens, params);
+      latencies_ms.push_back(qt.ElapsedSeconds() * 1e3);
+      core::SearchResult v3_result = v3_searcher.Search(q.tokens, params);
+      if (!SameTopK(v4_result, v3_result)) {
+        std::fprintf(stderr,
+                     "EXACTNESS VIOLATION at %zu sets: v4 top-k diverges "
+                     "from v3\n",
+                     num_sets);
+        r.exact = false;
+      }
+    }
+    const double serve_sec = serve_timer.ElapsedSeconds();
+    all_exact = all_exact && r.exact;
+    r.qps = serve_sec > 0 ? static_cast<double>(2 * sampled.size()) / serve_sec
+                          : 0.0;
+    r.p50_ms = Percentile(latencies_ms, 0.50);
+    r.p99_ms = Percentile(latencies_ms, 0.99);
+
+    std::printf(
+        "[%8zu sets] build %.1fs | file v3 %.1fMB v4 %.1fMB | load v3 "
+        "%.3fs v4 %.5fs (%.0fx) | rss v3 +%zuMB v4 +%zuMB | p50 %.1fms "
+        "p99 %.1fms | %s %s\n",
+        num_sets, r.build_sec, r.v3_bytes / 1e6, r.v4_bytes / 1e6,
+        r.v3_load_sec, r.v4_load_sec, r.load_speedup, r.v3_load_rss_kb / 1024,
+        r.v4_load_rss_kb / 1024, r.p50_ms, r.p99_ms,
+        r.exact ? "exact" : "DIVERGED",
+        r.zero_requant ? "zero-requant" : "REQUANTIZED");
+    reports.push_back(r);
+
+    std::remove(v3_path.c_str());
+    std::remove(v4_path.c_str());
+  }
+
+  // ---- JSON report -----------------------------------------------------
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 2;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"scale_suite\",\n  \"sizes\": [\n");
+    for (size_t i = 0; i < reports.size(); ++i) {
+      const SizeReport& r = reports[i];
+      std::fprintf(
+          f,
+          "    {\"num_sets\": %zu, \"total_tokens\": %zu, \"vocab\": %zu,\n"
+          "     \"build_sec\": %.3f,\n"
+          "     \"v3_bytes\": %zu, \"v4_bytes\": %zu,\n"
+          "     \"v3_save_sec\": %.4f, \"v4_save_sec\": %.4f,\n"
+          "     \"v3_load_sec\": %.5f, \"v4_load_sec\": %.6f,\n"
+          "     \"load_speedup\": %.1f,\n"
+          "     \"v3_load_rss_kb\": %zu, \"v4_load_rss_kb\": %zu,\n"
+          "     \"qps\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f,\n"
+          "     \"exact\": %s, \"zero_requant\": %s}%s\n",
+          r.num_sets, r.total_tokens, r.vocab, r.build_sec, r.v3_bytes,
+          r.v4_bytes, r.v3_save_sec, r.v4_save_sec, r.v3_load_sec,
+          r.v4_load_sec, r.load_speedup, r.v3_load_rss_kb, r.v4_load_rss_kb,
+          r.qps, r.p50_ms, r.p99_ms, r.exact ? "true" : "false",
+          r.zero_requant ? "true" : "false",
+          i + 1 < reports.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"required_load_speedup\": %.0f\n}\n",
+                 kRequiredLoadSpeedup);
+    std::fclose(f);
+    std::printf("json written to %s\n", json_path.c_str());
+  }
+
+  if (!all_exact || !all_zero_requant) return 2;
+  const SizeReport& largest = reports.back();
+  if (largest.load_speedup < kRequiredLoadSpeedup) {
+    std::fprintf(stderr,
+                 "TIMING GATE: v4 load %.0fx faster than v3 at %zu sets "
+                 "(need >= %.0fx)\n",
+                 largest.load_speedup, largest.num_sets,
+                 kRequiredLoadSpeedup);
+    return 3;
+  }
+  std::printf("PASS: v4 load %.0fx faster than v3 at %zu sets (>= %.0fx)\n",
+              largest.load_speedup, largest.num_sets, kRequiredLoadSpeedup);
+  return 0;
+}
+
+}  // namespace
+}  // namespace koios
+
+int main(int argc, char** argv) {
+  std::vector<size_t> sizes = {10000, 100000, 1000000};
+  size_t num_queries = 12;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
+      num_queries = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--sets") == 0 && i + 1 < argc) {
+      sizes.clear();
+      for (const char* p = argv[++i]; *p != '\0';) {
+        sizes.push_back(static_cast<size_t>(std::atoll(p)));
+        while (*p != '\0' && *p != ',') ++p;
+        if (*p == ',') ++p;
+      }
+    }
+  }
+  if (sizes.empty()) {
+    std::fprintf(stderr, "no sizes given\n");
+    return 1;
+  }
+  return koios::Run(sizes, num_queries, json_path);
+}

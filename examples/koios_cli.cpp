@@ -148,7 +148,7 @@ int main(int argc, char** argv) {
   auto print_entry = [&](const core::ResultEntry& entry) {
     std::printf("  [SO %.3f]%s ", entry.score, entry.exact ? "" : " (lb)");
     for (TokenId t : sets.Tokens(entry.set)) {
-      std::printf(" %s", dict.TokenOf(t).c_str());
+      { const std::string_view tok = dict.TokenOf(t); std::printf(" %.*s", static_cast<int>(tok.size()), tok.data()); }
     }
     std::printf("\n");
   };

@@ -63,7 +63,7 @@ int main() {
   for (const auto& entry : result.topk) {
     std::printf("  set %u  semantic overlap %.3f  {", entry.set, entry.score);
     for (TokenId t : repository.Tokens(entry.set)) {
-      std::printf(" %s", dict.TokenOf(t).c_str());
+      { const std::string_view tok = dict.TokenOf(t); std::printf(" %.*s", static_cast<int>(tok.size()), tok.data()); }
     }
     std::printf(" }\n");
   }

@@ -34,7 +34,7 @@ int main() {
   std::vector<TokenId> query(corpus.sets.Tokens(record).begin(),
                              corpus.sets.Tokens(record).end());
   std::printf("query record %u:\n ", record);
-  for (TokenId t : query) std::printf(" %s", corpus.dict.TokenOf(t).c_str());
+  for (TokenId t : query) { const std::string_view tok = corpus.dict.TokenOf(t); std::printf(" %.*s", static_cast<int>(tok.size()), tok.data()); }
   std::printf("\n\n");
 
   core::SearchParams params;
@@ -50,7 +50,7 @@ int main() {
                 entry.set == record ? "  <- the record itself" : "");
     std::printf("   ");
     for (TokenId t : corpus.sets.Tokens(entry.set)) {
-      std::printf(" %s", corpus.dict.TokenOf(t).c_str());
+      { const std::string_view tok = corpus.dict.TokenOf(t); std::printf(" %.*s", static_cast<int>(tok.size()), tok.data()); }
     }
     std::printf("\n");
   }

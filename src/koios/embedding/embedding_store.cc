@@ -167,14 +167,78 @@ inline void PrefetchRow(const float* row, size_t dim) {
 
 }  // namespace
 
-void EmbeddingStore::Add(TokenId token, std::span<const float> vector) {
-  assert(vector.size() == dim_);
-  if (token >= row_of_.size()) row_of_.resize(token + 1, kNoRow);
-  assert(row_of_[token] == kNoRow && "token added twice");
+util::StatusOr<EmbeddingStore> EmbeddingStore::FromBorrowed(
+    size_t dim, size_t rows, std::span<const uint32_t> row_of,
+    std::span<const float> data, std::span<const int8_t> qcodes,
+    std::span<const float> qscales, std::span<const float> qoffsets,
+    std::span<const int32_t> qsums) {
+  if (dim == 0) {
+    return util::Status::InvalidArgument("embedding dimension is zero");
+  }
+  if (data.size() != rows * dim) {
+    return util::Status::InvalidArgument(
+        "embedding data arena does not match rows x dim");
+  }
+  // The token→row table must reference every row exactly once: a corrupt
+  // (but checksum-valid) table would otherwise alias rows or read past
+  // the matrix.
+  std::vector<bool> seen(rows, false);
+  size_t covered = 0;
+  for (const uint32_t r : row_of) {
+    if (r == kNoRow) continue;
+    if (r >= rows || seen[r]) {
+      return util::Status::InvalidArgument(
+          "embedding row table is not a bijection onto the rows");
+    }
+    seen[r] = true;
+    ++covered;
+  }
+  if (covered != rows) {
+    return util::Status::InvalidArgument(
+        "embedding row table leaves rows unreferenced");
+  }
+  const bool has_quantized = !qcodes.empty();
+  if (has_quantized &&
+      (qcodes.size() != rows * dim || qscales.size() != rows ||
+       qoffsets.size() != rows || qsums.size() != rows)) {
+    return util::Status::InvalidArgument(
+        "quantized tier arenas do not match rows x dim");
+  }
+  EmbeddingStore store(dim);
+  store.borrowed_ = true;
+  store.rows_ = rows;
+  store.b_row_of_ = row_of;
+  store.b_data_ = data;
+  if (has_quantized) {
+    store.quantized_ = true;
+    store.quantized_borrowed_ = true;
+    store.b_qdata_ = qcodes;
+    store.b_qscale_ = qscales;
+    store.b_qoffset_ = qoffsets;
+    store.b_qsum_ = qsums;
+  }
+  return store;
+}
 
+void EmbeddingStore::Add(TokenId token, std::span<const float> vector) {
   double norm_sq = 0.0;
   for (float v : vector) norm_sq += static_cast<double>(v) * v;
   const double inv = norm_sq > 0.0 ? 1.0 / std::sqrt(norm_sq) : 0.0;
+  AddImpl(token, vector, inv);
+}
+
+void EmbeddingStore::AddNormalized(TokenId token,
+                                   std::span<const float> vector) {
+  // inv == 1.0 exactly: fl(v * 1.0) == v, so the stored bytes are kept.
+  AddImpl(token, vector, 1.0);
+}
+
+void EmbeddingStore::AddImpl(TokenId token, std::span<const float> vector,
+                             double inv) {
+  assert(!borrowed_ && "Add on a borrowed (immutable) embedding store");
+  assert(vector.size() == dim_);
+  if (token >= row_of_.size()) row_of_.resize(token + 1, kNoRow);
+  assert(row_of_[token] == kNoRow && "token added twice");
 
   row_of_[token] = static_cast<uint32_t>(rows_);
   // Grow geometrically: an exact-size reserve on every insertion forces a
@@ -188,21 +252,31 @@ void EmbeddingStore::Add(TokenId token, std::span<const float> vector) {
   // Finalize() rather than serving a partially quantized matrix.
   if (quantized_) {
     quantized_ = false;
+    quantized_borrowed_ = false;
     qdata_.clear();
     qscale_.clear();
     qoffset_.clear();
     qsum_.clear();
+    b_qdata_ = {};
+    b_qscale_ = {};
+    b_qoffset_ = {};
+    b_qsum_ = {};
   }
 }
 
 void EmbeddingStore::Finalize() {
   if (quantized_) return;
+  // On a borrowed store without a stored tier, the codes are built as
+  // OWNED arrays over the borrowed rows (the mapping is read-only).
+  quantized_borrowed_ = false;
+  ++finalize_runs_;
+  const float* data = DataPtr();
   qdata_.resize(rows_ * dim_);
   qscale_.resize(rows_);
   qoffset_.resize(rows_);
   qsum_.resize(rows_);
   for (size_t r = 0; r < rows_; ++r) {
-    const float* row = &data_[r * dim_];
+    const float* row = data + r * dim_;
     float lo = row[0], hi = row[0];
     for (size_t d = 1; d < dim_; ++d) {
       lo = std::min(lo, row[d]);
@@ -232,7 +306,7 @@ void EmbeddingStore::Finalize() {
 
 std::span<const float> EmbeddingStore::VectorOf(TokenId token) const {
   assert(Has(token));
-  return {&data_[static_cast<size_t>(row_of_[token]) * dim_], dim_};
+  return {DataPtr() + static_cast<size_t>(RowOfPtr()[token]) * dim_, dim_};
 }
 
 double EmbeddingStore::Dot(std::span<const float> a, std::span<const float> b) {
@@ -242,8 +316,10 @@ double EmbeddingStore::Dot(std::span<const float> a, std::span<const float> b) {
 
 double EmbeddingStore::Cosine(TokenId a, TokenId b) const {
   if (!Has(a) || !Has(b)) return 0.0;
-  const float* pa = &data_[static_cast<size_t>(row_of_[a]) * dim_];
-  const float* pb = &data_[static_cast<size_t>(row_of_[b]) * dim_];
+  const float* data = DataPtr();
+  const uint32_t* row_of = RowOfPtr();
+  const float* pa = data + static_cast<size_t>(row_of[a]) * dim_;
+  const float* pb = data + static_cast<size_t>(row_of[b]) * dim_;
   double dot = 0.0;
   for (size_t i = 0; i < dim_; ++i) dot += static_cast<double>(pa[i]) * pb[i];
   return dot;
@@ -258,7 +334,9 @@ void EmbeddingStore::CosineBatchImpl(TokenId q,
     std::fill(out.begin(), out.end(), Out{0});
     return;
   }
-  const float* __restrict pq = &data_[static_cast<size_t>(row_of_[q]) * dim_];
+  const float* __restrict data = DataPtr();
+  const float* __restrict pq =
+      data + static_cast<size_t>(RowOfPtr()[q]) * dim_;
   const size_t n = targets.size();
   // Several rows of prefetch distance: one dot product (~a few hundred ns
   // at embedding dims) is not always enough to cover an L3 miss, so rows
@@ -267,21 +345,21 @@ void EmbeddingStore::CosineBatchImpl(TokenId q,
   for (size_t i = 0; i < std::min<size_t>(kPrefetchAhead, n); ++i) {
     const uint32_t ahead = RowIndexOf(targets[i]);
     if (ahead != kNoRow) {
-      PrefetchRow(&data_[static_cast<size_t>(ahead) * dim_], dim_);
+      PrefetchRow(data + static_cast<size_t>(ahead) * dim_, dim_);
     }
   }
   for (size_t i = 0; i < n; ++i) {
     if (i + kPrefetchAhead < n) {
       const uint32_t ahead = RowIndexOf(targets[i + kPrefetchAhead]);
       if (ahead != kNoRow) {
-        PrefetchRow(&data_[static_cast<size_t>(ahead) * dim_], dim_);
+        PrefetchRow(data + static_cast<size_t>(ahead) * dim_, dim_);
       }
     }
     const uint32_t row = RowIndexOf(targets[i]);
     out[i] = row == kNoRow
                  ? Out{0}
                  : static_cast<Out>(DotKernel(
-                       pq, &data_[static_cast<size_t>(row) * dim_], dim_));
+                       pq, data + static_cast<size_t>(row) * dim_, dim_));
   }
 }
 
@@ -298,11 +376,15 @@ void EmbeddingStore::CosineBatch(TokenId q, std::span<const TokenId> targets,
 double EmbeddingStore::CosineQuantized(TokenId a, TokenId b) const {
   assert(quantized_);
   if (!Has(a) || !Has(b)) return 0.0;
-  const size_t ra = row_of_[a], rb = row_of_[b];
-  const int32_t dot =
-      DotKernelI8(&qdata_[ra * dim_], &qdata_[rb * dim_], dim_);
-  return FusedDequantDot(dot, qscale_[ra], qoffset_[ra], qsum_[ra],
-                         qscale_[rb], qoffset_[rb], qsum_[rb], dim_);
+  const uint32_t* row_of = RowOfPtr();
+  const int8_t* qdata = QDataPtr();
+  const float* qscale = QScalePtr();
+  const float* qoffset = QOffsetPtr();
+  const int32_t* qsum = QSumPtr();
+  const size_t ra = row_of[a], rb = row_of[b];
+  const int32_t dot = DotKernelI8(qdata + ra * dim_, qdata + rb * dim_, dim_);
+  return FusedDequantDot(dot, qscale[ra], qoffset[ra], qsum[ra], qscale[rb],
+                         qoffset[rb], qsum[rb], dim_);
 }
 
 void EmbeddingStore::CosineBatchInt8(TokenId q,
@@ -313,10 +395,14 @@ void EmbeddingStore::CosineBatchInt8(TokenId q,
     std::fill(out.begin(), out.end(), 0.0);
     return;
   }
-  const size_t rq = row_of_[q];
-  const int8_t* __restrict pq = &qdata_[rq * dim_];
-  const double sq = qscale_[rq], oq = qoffset_[rq];
-  const int32_t sumq = qsum_[rq];
+  const int8_t* __restrict qdata = QDataPtr();
+  const float* qscale = QScalePtr();
+  const float* qoffset = QOffsetPtr();
+  const int32_t* qsum = QSumPtr();
+  const size_t rq = RowOfPtr()[q];
+  const int8_t* __restrict pq = qdata + rq * dim_;
+  const double sq = qscale[rq], oq = qoffset[rq];
+  const int32_t sumq = qsum[rq];
   const size_t n = targets.size();
   uint32_t row = n > 0 ? RowIndexOf(targets[0]) : kNoRow;
   for (size_t i = 0; i < n; ++i) {
@@ -324,7 +410,7 @@ void EmbeddingStore::CosineBatchInt8(TokenId q,
 #if defined(__GNUC__) || defined(__clang__)
     if (next != kNoRow) {
       // int8 rows span dim_/64 cache lines; pull them all.
-      const int8_t* p = &qdata_[static_cast<size_t>(next) * dim_];
+      const int8_t* p = qdata + static_cast<size_t>(next) * dim_;
       for (size_t off = 0; off < dim_; off += 64) {
         __builtin_prefetch(p + off, /*rw=*/0, /*locality=*/1);
       }
@@ -334,9 +420,9 @@ void EmbeddingStore::CosineBatchInt8(TokenId q,
       out[i] = 0.0;
     } else {
       const int32_t dot =
-          DotKernelI8(pq, &qdata_[static_cast<size_t>(row) * dim_], dim_);
-      out[i] = FusedDequantDot(dot, sq, oq, sumq, qscale_[row], qoffset_[row],
-                               qsum_[row], dim_);
+          DotKernelI8(pq, qdata + static_cast<size_t>(row) * dim_, dim_);
+      out[i] = FusedDequantDot(dot, sq, oq, sumq, qscale[row], qoffset[row],
+                               qsum[row], dim_);
     }
     row = next;
   }
@@ -368,6 +454,7 @@ void EmbeddingStore::CosineMultiBatch(std::span<const TokenId> queries,
   };
   std::vector<QRef> covered_q;
   covered_q.reserve(nq);
+  const float* __restrict data = DataPtr();
   for (size_t qi = 0; qi < nq; ++qi) {
     const uint32_t row = RowIndexOf(queries[qi]);
     double* dst = out.data() + qi * nt;
@@ -375,7 +462,7 @@ void EmbeddingStore::CosineMultiBatch(std::span<const TokenId> queries,
       std::fill(dst, dst + nt, 0.0);
       continue;
     }
-    const float* src = &data_[static_cast<size_t>(row) * dim_];
+    const float* src = data + static_cast<size_t>(row) * dim_;
     double* q = qbuf.data() + covered_q.size() * dim_;
     for (size_t d = 0; d < dim_; ++d) q[d] = static_cast<double>(src[d]);
     covered_q.push_back({q, dst});
@@ -389,7 +476,7 @@ void EmbeddingStore::CosineMultiBatch(std::span<const TokenId> queries,
       for (const QRef& qr : covered_q) qr.out_row[ti] = 0.0;
       continue;
     }
-    const float* t = &data_[static_cast<size_t>(row) * dim_];
+    const float* t = data + static_cast<size_t>(row) * dim_;
     size_t b = 0;
     double dots[4];
     for (; b + 4 <= covered_q.size(); b += 4) {
@@ -439,8 +526,9 @@ void EmbeddingStore::CosineAllRowsImpl(TokenId q, std::span<Out> out) const {
     std::fill(out.begin(), out.end(), Out{0});
     return;
   }
-  const float* __restrict pq = &data_[static_cast<size_t>(row_of_[q]) * dim_];
-  const float* __restrict rows = data_.data();
+  const float* __restrict rows = DataPtr();
+  const float* __restrict pq =
+      rows + static_cast<size_t>(RowOfPtr()[q]) * dim_;
   for (size_t r = 0; r < rows_; ++r) {
     out[r] = static_cast<Out>(DotKernel(pq, rows + r * dim_, dim_));
   }

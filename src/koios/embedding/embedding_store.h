@@ -7,6 +7,19 @@
 // optional int8 affine-quantized tier (built by Finalize()) whose fused
 // dequant-dot kernels trade a small bounded score error for 4× smaller
 // row reads — selected per call through the Precision enum.
+//
+// Two storage MODES behind one interface (the borrowed/owned contract the
+// v4 mmap repository format relies on, see docs/ARCHITECTURE.md):
+//  * owned (default) — Add()/Finalize() build heap arrays.
+//  * borrowed — FromBorrowed() wraps external arenas (typically inside an
+//    io::MmapRepositoryView mapping) without copying a row: the float
+//    matrix, the token→row table, and optionally the FINALIZED int8 tier
+//    (codes/scales/offsets/sums stored in the file, so a borrowed load
+//    performs ZERO quantization work — finalize_runs() stays 0). Borrowed
+//    stores are immutable through Add() (asserted); Finalize() on a
+//    borrowed store without a stored tier builds an owned tier over the
+//    borrowed rows. The arenas must outlive the store — serve::Snapshot
+//    pins the mapping.
 #ifndef KOIOS_EMBEDDING_EMBEDDING_STORE_H_
 #define KOIOS_EMBEDDING_EMBEDDING_STORE_H_
 
@@ -15,6 +28,7 @@
 #include <span>
 #include <vector>
 
+#include "koios/util/status.h"
 #include "koios/util/types.h"
 
 namespace koios::embedding {
@@ -38,12 +52,33 @@ class EmbeddingStore {
  public:
   explicit EmbeddingStore(size_t dim) : dim_(dim) {}
 
+  /// Wraps external arenas without copying. `row_of` maps TokenId → row
+  /// index (kNoRow for OOV) and must reference each row in [0, rows)
+  /// exactly once; `data` is the rows×dim float matrix (rows already
+  /// L2-normalized by the writer). The quantized spans either are all
+  /// empty (no stored tier) or carry the finalized tier verbatim
+  /// (rows×dim codes, per-row scale/offset/code-sum) — the store comes
+  /// back quantized() WITHOUT re-running Finalize(). All spans must
+  /// outlive the store (and any copy of it).
+  static util::StatusOr<EmbeddingStore> FromBorrowed(
+      size_t dim, size_t rows, std::span<const uint32_t> row_of,
+      std::span<const float> data, std::span<const int8_t> qcodes,
+      std::span<const float> qscales, std::span<const float> qoffsets,
+      std::span<const int32_t> qsums);
+
   /// Registers `vector` (size dim) for `token`; the vector is L2-normalized
-  /// on insertion. Tokens must be added at most once.
+  /// on insertion. Tokens must be added at most once. Owned mode only.
   void Add(TokenId token, std::span<const float> vector);
 
+  /// Add() without the normalization: the caller vouches that `vector` is
+  /// already L2-normalized. The loaders use this so a stored row survives
+  /// a round trip bit-for-bit (renormalizing an already-normalized row
+  /// can flip last-bit mantissas, which would break the bit-identity the
+  /// v3/v4 load paths guarantee each other).
+  void AddNormalized(TokenId token, std::span<const float> vector);
+
   bool Has(TokenId token) const {
-    return token < row_of_.size() && row_of_[token] != kNoRow;
+    return token < RowOfSize() && RowOfPtr()[token] != kNoRow;
   }
 
   /// Normalized vector of `token`; asserts coverage.
@@ -62,8 +97,17 @@ class EmbeddingStore {
   /// tier (quantized() turns false) until Finalize() runs again.
   void Finalize();
 
-  /// True once Finalize() has quantized every current row.
+  /// True once Finalize() has quantized every current row (or a borrowed
+  /// store carries the finalized tier from its file).
   bool quantized() const { return quantized_; }
+
+  /// True when the float rows are a borrowed arena (immutable mode).
+  bool borrowed() const { return borrowed_; }
+
+  /// Number of times Finalize() actually quantized the rows (idempotent
+  /// calls don't count). A v4 borrowed load must keep this at ZERO — the
+  /// tier ships finalized in the file; the regression test pins it.
+  size_t finalize_runs() const { return finalize_runs_; }
 
   /// Cosine similarity in [-1, 1] (dot product of normalized rows).
   /// Returns 0 if either token is OOV.
@@ -126,7 +170,7 @@ class EmbeddingStore {
   /// Row index of `token` in the dense matrix, or kNoRow if OOV. Lets
   /// batch callers translate CosineAllRows output back to tokens.
   uint32_t RowIndexOf(TokenId token) const {
-    return token < row_of_.size() ? row_of_[token] : kNoRow;
+    return token < RowOfSize() ? RowOfPtr()[token] : kNoRow;
   }
 
   static constexpr uint32_t kNoRow = 0xFFFFFFFFu;
@@ -135,12 +179,37 @@ class EmbeddingStore {
   /// Number of covered (non-OOV) tokens.
   size_t covered() const { return rows_; }
 
+  // ---- raw storage views (repository writers, regression tests) --------
+  /// The rows×dim normalized float matrix in row order.
+  std::span<const float> RowData() const { return {DataPtr(), rows_ * dim_}; }
+  /// The TokenId → row-index table (size = highest added token + 1 in
+  /// owned mode; the file's token bound in borrowed mode).
+  std::span<const uint32_t> RowTable() const {
+    return {RowOfPtr(), RowOfSize()};
+  }
+  /// The int8 tier arrays (empty spans until quantized()).
+  std::span<const int8_t> QuantizedCodes() const {
+    return {QDataPtr(), quantized_ ? rows_ * dim_ : 0};
+  }
+  std::span<const float> QuantizedScales() const {
+    return {QScalePtr(), quantized_ ? rows_ : 0};
+  }
+  std::span<const float> QuantizedOffsets() const {
+    return {QOffsetPtr(), quantized_ ? rows_ : 0};
+  }
+  std::span<const int32_t> QuantizedSums() const {
+    return {QSumPtr(), quantized_ ? rows_ : 0};
+  }
+
+  /// Heap footprint (owned arrays only — borrowed arenas are file-backed
+  /// pages accounted by the mapping that owns them).
   size_t MemoryUsageBytes() const {
     return data_.capacity() * sizeof(float) +
            row_of_.capacity() * sizeof(uint32_t) + QuantizedMemoryUsageBytes();
   }
 
-  /// Footprint of the int8 tier alone (0 until Finalize()).
+  /// Footprint of the int8 tier alone (0 until Finalize(); 0 when the
+  /// tier is borrowed from a mapping).
   size_t QuantizedMemoryUsageBytes() const {
     return qdata_.capacity() * sizeof(int8_t) +
            qscale_.capacity() * sizeof(float) +
@@ -156,19 +225,57 @@ class EmbeddingStore {
   void CosineAllRowsImpl(TokenId q, std::span<Out> out) const;
   void CosineBatchInt8(TokenId q, std::span<const TokenId> targets,
                        std::span<double> out) const;
+  void AddImpl(TokenId token, std::span<const float> vector, double inv);
+
+  // Mode-dispatching storage accessors: every read path goes through
+  // these, so the kernels are identical over owned heap arrays and
+  // borrowed mmap arenas.
+  const float* DataPtr() const {
+    return borrowed_ ? b_data_.data() : data_.data();
+  }
+  const uint32_t* RowOfPtr() const {
+    return borrowed_ ? b_row_of_.data() : row_of_.data();
+  }
+  size_t RowOfSize() const {
+    return borrowed_ ? b_row_of_.size() : row_of_.size();
+  }
+  const int8_t* QDataPtr() const {
+    return quantized_borrowed_ ? b_qdata_.data() : qdata_.data();
+  }
+  const float* QScalePtr() const {
+    return quantized_borrowed_ ? b_qscale_.data() : qscale_.data();
+  }
+  const float* QOffsetPtr() const {
+    return quantized_borrowed_ ? b_qoffset_.data() : qoffset_.data();
+  }
+  const int32_t* QSumPtr() const {
+    return quantized_borrowed_ ? b_qsum_.data() : qsum_.data();
+  }
 
   size_t dim_;
   size_t rows_ = 0;
+  // Owned mode.
   std::vector<float> data_;       // rows_ x dim_
   std::vector<uint32_t> row_of_;  // TokenId -> row index or kNoRow
+  // Borrowed mode: views into external arenas.
+  std::span<const float> b_data_;
+  std::span<const uint32_t> b_row_of_;
+  bool borrowed_ = false;
 
   // int8 tier (valid only while quantized_): per-row affine codes + the
-  // constants the fused dequant-dot formula needs.
+  // constants the fused dequant-dot formula needs. Either owned (built by
+  // Finalize()) or borrowed verbatim from a v4 file.
   bool quantized_ = false;
+  bool quantized_borrowed_ = false;
+  size_t finalize_runs_ = 0;
   std::vector<int8_t> qdata_;    // rows_ x dim_ codes
   std::vector<float> qscale_;    // per-row scale
   std::vector<float> qoffset_;   // per-row offset
   std::vector<int32_t> qsum_;    // per-row sum of codes
+  std::span<const int8_t> b_qdata_;
+  std::span<const float> b_qscale_;
+  std::span<const float> b_qoffset_;
+  std::span<const int32_t> b_qsum_;
 };
 
 }  // namespace koios::embedding

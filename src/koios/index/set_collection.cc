@@ -1,19 +1,44 @@
 #include "koios/index/set_collection.h"
 
 #include <algorithm>
+#include <cassert>
 #include <unordered_set>
 
 namespace koios::index {
 
+util::StatusOr<SetCollection> SetCollection::FromBorrowed(
+    std::span<const uint64_t> offsets, std::span<const TokenId> tokens,
+    size_t token_id_bound) {
+  if (offsets.empty()) {
+    return util::Status::InvalidArgument("set offset table is empty");
+  }
+  if (offsets.front() != 0 || offsets.back() != tokens.size()) {
+    return util::Status::InvalidArgument(
+        "set offsets do not span the token arena");
+  }
+  for (size_t i = 0; i + 1 < offsets.size(); ++i) {
+    if (offsets[i] > offsets[i + 1]) {
+      return util::Status::InvalidArgument("set offsets are not monotone");
+    }
+  }
+  SetCollection sets;
+  sets.borrowed_ = true;
+  sets.b_offsets_ = offsets;
+  sets.b_tokens_ = tokens;
+  sets.token_id_bound_ = token_id_bound;
+  return sets;
+}
+
 SetId SetCollection::AddSet(std::span<const TokenId> tokens) {
+  assert(!borrowed_ && "AddSet on a borrowed (immutable) set collection");
   const SetId id = static_cast<SetId>(size());
-  tokens_.insert(tokens_.end(), tokens.begin(), tokens.end());
-  auto begin = tokens_.begin() + static_cast<ptrdiff_t>(offsets_.back());
-  std::sort(begin, tokens_.end());
-  tokens_.erase(std::unique(begin, tokens_.end()), tokens_.end());
-  offsets_.push_back(tokens_.size());
-  if (offsets_[id + 1] > offsets_[id]) {
-    token_id_bound_ = std::max<size_t>(token_id_bound_, tokens_.back() + 1);
+  tokens_own_.insert(tokens_own_.end(), tokens.begin(), tokens.end());
+  auto begin = tokens_own_.begin() + static_cast<ptrdiff_t>(offsets_own_.back());
+  std::sort(begin, tokens_own_.end());
+  tokens_own_.erase(std::unique(begin, tokens_own_.end()), tokens_own_.end());
+  offsets_own_.push_back(tokens_own_.size());
+  if (offsets_own_[id + 1] > offsets_own_[id]) {
+    token_id_bound_ = std::max<size_t>(token_id_bound_, tokens_own_.back() + 1);
   }
   return id;
 }
@@ -44,11 +69,12 @@ size_t SetCollection::MaxSetSize() const {
 
 double SetCollection::AvgSetSize() const {
   if (size() == 0) return 0.0;
-  return static_cast<double>(tokens_.size()) / static_cast<double>(size());
+  return static_cast<double>(TotalTokens()) / static_cast<double>(size());
 }
 
 size_t SetCollection::DistinctTokens() const {
-  std::unordered_set<TokenId> distinct(tokens_.begin(), tokens_.end());
+  const TokenId* tokens = TokensPtr();
+  std::unordered_set<TokenId> distinct(tokens, tokens + TotalTokens());
   return distinct.size();
 }
 

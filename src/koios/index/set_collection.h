@@ -1,11 +1,21 @@
 // The repository L: a collection of sets of TokenIds in CSR-like storage.
+//
+// Two storage modes behind one interface (the borrowed/owned contract the
+// v4 mmap repository format relies on, see docs/ARCHITECTURE.md):
+//  * owned (default) — AddSet() appends into heap vectors.
+//  * borrowed — FromBorrowed() wraps external CSR arenas (typically inside
+//    an io::MmapRepositoryView mapping) without copying the postings.
+//    Borrowed collections are immutable (AddSet asserts); the arenas must
+//    outlive the collection — serve::Snapshot pins the mapping.
 #ifndef KOIOS_INDEX_SET_COLLECTION_H_
 #define KOIOS_INDEX_SET_COLLECTION_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
+#include "koios/util/status.h"
 #include "koios/util/types.h"
 
 namespace koios::index {
@@ -14,28 +24,57 @@ namespace koios::index {
 /// deduplicated so that vanilla overlap is a linear merge.
 class SetCollection {
  public:
+  SetCollection() = default;
+
+  /// Wraps external CSR arenas without copying: `offsets` holds size()+1
+  /// monotone positions (in token elements) into `tokens`, ending exactly
+  /// at tokens.size(). `token_id_bound` is the dense vocabulary bound the
+  /// stored ids fall under (the v4 header records it; the repository
+  /// loader cross-checks it against the dictionary). Per-set ordering /
+  /// dedup invariants are trusted from the writer (checksummed in the
+  /// file); eager verification lives in MmapRepositoryView::VerifySections.
+  static util::StatusOr<SetCollection> FromBorrowed(
+      std::span<const uint64_t> offsets, std::span<const TokenId> tokens,
+      size_t token_id_bound);
+
   /// Adds a set (tokens are copied, sorted, deduplicated). Returns its id.
+  /// Owned mode only: borrowed collections are immutable.
   SetId AddSet(std::span<const TokenId> tokens);
 
-  size_t size() const { return offsets_.size() - 1; }
+  size_t size() const { return NumOffsets() - 1; }
 
   size_t SetSize(SetId id) const {
-    return offsets_[id + 1] - offsets_[id];
+    const uint64_t* o = OffsetsPtr();
+    return static_cast<size_t>(o[id + 1] - o[id]);
   }
 
   /// Sorted distinct tokens of set `id`.
   std::span<const TokenId> Tokens(SetId id) const {
-    return {tokens_.data() + offsets_[id], SetSize(id)};
+    return {TokensPtr() + OffsetsPtr()[id], SetSize(id)};
   }
 
   /// |A ∩ tokens(id)| for a *sorted* token vector A.
   size_t VanillaOverlap(std::span<const TokenId> sorted_query, SetId id) const;
 
   /// Total number of stored token occurrences (Σ |C|, the paper's D+).
-  size_t TotalTokens() const { return tokens_.size(); }
+  size_t TotalTokens() const {
+    return static_cast<size_t>(OffsetsPtr()[size()]);
+  }
 
   /// Largest token id stored + 1 (the dense vocabulary bound).
   size_t TokenIdBound() const { return token_id_bound_; }
+
+  /// True when the CSR storage is a borrowed arena (immutable mode).
+  bool borrowed() const { return borrowed_; }
+
+  /// The raw CSR arenas (offsets in token elements; size()+1 entries).
+  /// Exposed for the repository writers.
+  std::span<const uint64_t> RawOffsets() const {
+    return {OffsetsPtr(), NumOffsets()};
+  }
+  std::span<const TokenId> RawTokens() const {
+    return {TokensPtr(), TotalTokens()};
+  }
 
   /// Statistics for Table I style reporting.
   size_t MaxSetSize() const;
@@ -44,12 +83,28 @@ class SetCollection {
   size_t DistinctTokens() const;
 
   size_t MemoryUsageBytes() const {
-    return tokens_.capacity() * sizeof(TokenId) + offsets_.capacity() * sizeof(size_t);
+    return tokens_own_.capacity() * sizeof(TokenId) +
+           offsets_own_.capacity() * sizeof(uint64_t);
   }
 
  private:
-  std::vector<TokenId> tokens_;
-  std::vector<size_t> offsets_ = {0};
+  const uint64_t* OffsetsPtr() const {
+    return borrowed_ ? b_offsets_.data() : offsets_own_.data();
+  }
+  const TokenId* TokensPtr() const {
+    return borrowed_ ? b_tokens_.data() : tokens_own_.data();
+  }
+  size_t NumOffsets() const {
+    return borrowed_ ? b_offsets_.size() : offsets_own_.size();
+  }
+
+  // Owned mode.
+  std::vector<TokenId> tokens_own_;
+  std::vector<uint64_t> offsets_own_ = {0};
+  // Borrowed mode: views into external arenas.
+  std::span<const uint64_t> b_offsets_;
+  std::span<const TokenId> b_tokens_;
+  bool borrowed_ = false;
   size_t token_id_bound_ = 0;
 };
 

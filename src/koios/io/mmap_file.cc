@@ -1,0 +1,59 @@
+#include "koios/io/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "koios/util/fault_injector.h"
+
+namespace koios::io {
+
+util::StatusOr<MmapFile> MmapFile::Open(const std::string& path) {
+  if (KOIOS_FAULTPOINT("io.mmap")) {
+    return util::Status::Internal("injected fault: io.mmap on " + path);
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return util::Status::NotFound("cannot open " + path + ": " +
+                                  std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return util::Status::Internal("fstat failed on " + path + ": " +
+                                  std::strerror(err));
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return util::Status::InvalidArgument(path + " is not a regular file");
+  }
+  MmapFile file;
+  file.size_ = static_cast<size_t>(st.st_size);
+  if (file.size_ > 0) {
+    void* addr = ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      return util::Status::Internal("mmap failed on " + path + ": " +
+                                    std::strerror(err));
+    }
+    file.data_ = addr;
+  }
+  ::close(fd);
+  return file;
+}
+
+void MmapFile::Reset() {
+  if (data_ != nullptr) {
+    ::munmap(data_, size_);
+    data_ = nullptr;
+  }
+  size_ = 0;
+}
+
+}  // namespace koios::io

@@ -1,0 +1,67 @@
+// RAII read-only memory mapping of a repository file.
+//
+// The v4 zero-copy load path maps the whole file once and hands out
+// borrowed spans; this wrapper owns the fd + mapping lifetime and nothing
+// else. Establishment is marked with the "io.mmap" failpoint so the
+// chaos tests can force map failures without a real I/O error.
+//
+// SIGBUS policy: a file that shrinks underneath an established mapping
+// would fault on access. MmapRepositoryView defends against the common
+// case — a truncated file — by validating the exact file size (as seen at
+// open) against the section table before any section is touched, so a
+// short file is rejected with a clean Status instead of being mapped and
+// dereferenced past EOF. Concurrent in-place truncation by another
+// process is outside the failure model (the repository writer publishes
+// via atomic rename, never in-place).
+#ifndef KOIOS_IO_MMAP_FILE_H_
+#define KOIOS_IO_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "koios/util/status.h"
+
+namespace koios::io {
+
+/// A read-only, private, whole-file memory mapping. Movable, not copyable.
+/// An empty file maps to a valid object with size() == 0 and data() ==
+/// nullptr (mmap of length 0 is undefined, so it is never attempted).
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile() { Reset(); }
+
+  MmapFile(MmapFile&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  MmapFile& operator=(MmapFile&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Maps `path` read-only. The fd is closed before returning (the
+  /// mapping keeps the file alive). Fails with NotFound for a missing
+  /// file and Internal for map errors; hits the "io.mmap" failpoint.
+  static util::StatusOr<MmapFile> Open(const std::string& path);
+
+  const uint8_t* data() const { return static_cast<const uint8_t*>(data_); }
+  size_t size() const { return size_; }
+
+ private:
+  void Reset();
+
+  void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace koios::io
+
+#endif  // KOIOS_IO_MMAP_FILE_H_

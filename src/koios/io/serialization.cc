@@ -9,6 +9,7 @@
 #include <sstream>
 #include <vector>
 
+#include "koios/io/repository_v4.h"
 #include "koios/util/crc32.h"
 #include "koios/util/fault_injector.h"
 
@@ -152,7 +153,7 @@ util::Status SaveDictionary(const text::Dictionary& dict, std::ostream& out) {
   if (!status.ok()) return status;
   WritePod<uint64_t>(out, dict.size());
   for (TokenId t = 0; t < dict.size(); ++t) {
-    const std::string& token = dict.TokenOf(t);
+    const std::string_view token = dict.TokenOf(t);
     WritePod<uint32_t>(out, static_cast<uint32_t>(token.size()));
     out.write(token.data(), static_cast<std::streamsize>(token.size()));
   }
@@ -305,7 +306,9 @@ util::StatusOr<embedding::EmbeddingStore> LoadEmbeddingStore(
     in.read(reinterpret_cast<char*>(vec.data()),
             static_cast<std::streamsize>(dim * sizeof(float)));
     if (!in) return util::Status::InvalidArgument("truncated embedding row");
-    store.Add(token, vec);
+    // Rows are stored normalized; inserting them verbatim keeps a loaded
+    // store bit-identical to the one that was saved.
+    store.AddNormalized(token, vec);
   }
   if (quantized != 0) store.Finalize();
   return store;
@@ -422,7 +425,56 @@ util::Status SaveRepositoryLegacyV1(const text::Dictionary& dict,
   return util::Status::OK();
 }
 
+namespace {
+
+/// Materializes a v4 mmap repository into OWNED structures: the
+/// compatibility path for callers that need the artifacts to outlive any
+/// mapping (the zero-copy path is serve::Snapshot over MmapRepositoryView).
+/// Eager verification: this path already pays O(corpus) to copy, so the
+/// bulk-arena CRCs and content scans are not worth skipping.
+util::StatusOr<LoadedRepository> MaterializeV4(const std::string& path) {
+  auto view_or = MmapRepositoryView::Open(path, MmapOptions{.verify = true});
+  if (!view_or.ok()) return view_or.status();
+  const auto view = std::move(view_or).value();
+  auto dict = view->BorrowDictionary();
+  if (!dict.ok()) return dict.status();
+  auto sets = view->BorrowSets();
+  if (!sets.ok()) return sets.status();
+
+  LoadedRepository repo;
+  for (TokenId t = 0; t < dict.value().size(); ++t) {
+    repo.dict.Intern(dict.value().TokenOf(t));
+  }
+  for (SetId s = 0; s < sets.value().size(); ++s) {
+    repo.sets.AddSet(sets.value().Tokens(s));
+  }
+  if (view->has_embeddings()) {
+    auto store = view->BorrowEmbeddings();
+    if (!store.ok()) return store.status();
+    const auto& borrowed = store.value();
+    repo.store = embedding::EmbeddingStore(borrowed.dim());
+    const auto table = borrowed.RowTable();
+    for (TokenId t = 0; t < table.size(); ++t) {
+      if (table[t] == embedding::EmbeddingStore::kNoRow) continue;
+      if (t >= repo.dict.size()) {
+        return util::Status::InvalidArgument(
+            "embedding row token id outside the dictionary");
+      }
+      repo.store.AddNormalized(t, borrowed.VectorOf(t));
+    }
+    if (borrowed.quantized()) repo.store.Finalize();
+    repo.has_embeddings = true;
+  }
+  return repo;
+}
+
+}  // namespace
+
 util::StatusOr<LoadedRepository> LoadRepository(const std::string& path) {
+  {
+    auto version = PeekRepositoryVersion(path);
+    if (version.ok() && version.value() == 4) return MaterializeV4(path);
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) return util::Status::NotFound("cannot open " + path);
   uint32_t version = 0;

@@ -94,7 +94,14 @@ util::Status QueryEngine::TrySwapFromRepository(const std::string& path,
   // Load first, flip last: until the very end of this function the engine
   // is still serving the old state, so every failure below degrades to
   // "the reload did not happen" rather than "serving stopped".
-  auto loaded = Snapshot::Load(path, options);
+  //
+  // Eager mmap verification regardless of what the caller passed: a lazy
+  // v4 load defers bulk-arena checksums to first touch, which for a LIVE
+  // swap would mean corruption surfacing mid-query on the new snapshot.
+  // A swap must adopt only a fully verified file or keep the old one.
+  SnapshotOptions verified_options = options;
+  verified_options.mmap_verify = true;
+  auto loaded = Snapshot::Load(path, verified_options);
   if (!loaded.ok()) return record_failure(loaded.status());
   // Chaos seam: a fault between the (successful) load and the flip models
   // a state build blowing up — the swap must fail closed.

@@ -158,8 +158,11 @@ class QueryEngine {
   /// Status) and hot-swaps to it ONLY if the whole load + state build
   /// succeeded. On ANY failure the engine keeps serving its current
   /// snapshot untouched — a corrupt or half-written repository file can
-  /// never take down a serving process, only fail its reload. Thread-safe,
-  /// same flip semantics as SwapSnapshot.
+  /// never take down a serving process, only fail its reload. v4 mmap
+  /// files are always verified EAGERLY here (options.mmap_verify is
+  /// forced on), so a corrupt bulk arena fails the swap instead of
+  /// surfacing mid-query later. Thread-safe, same flip semantics as
+  /// SwapSnapshot.
   util::Status TrySwapFromRepository(const std::string& path,
                                      const SnapshotOptions& options = {});
 

@@ -12,6 +12,8 @@ namespace {
 
 /// Distinct tokens across all sets (ascending). One dense presence pass —
 /// cheaper than building an InvertedIndex just to ask for its vocabulary.
+/// The v4 load path skips this O(corpus) scan entirely: the file carries
+/// the vocabulary as its own section.
 std::vector<TokenId> DistinctTokens(const index::SetCollection& sets) {
   std::vector<bool> present(sets.TokenIdBound(), false);
   for (SetId id = 0; id < sets.size(); ++id) {
@@ -26,16 +28,49 @@ std::vector<TokenId> DistinctTokens(const index::SetCollection& sets) {
 
 }  // namespace
 
-void Snapshot::BuildServingStructures(const SnapshotOptions& options) {
+void Snapshot::BuildServingStructures(const SnapshotOptions& options,
+                                      std::vector<TokenId> vocabulary) {
   if (options.quantize_embeddings) store_.Finalize();
   similarity_ = std::make_unique<sim::CosineEmbeddingSimilarity>(
       &store_, options.precision);
-  index_ = std::make_unique<sim::ExactKnnIndex>(DistinctTokens(sets_),
+  index_ = std::make_unique<sim::ExactKnnIndex>(std::move(vocabulary),
                                                 similarity_.get());
 }
 
 util::StatusOr<std::shared_ptr<const Snapshot>> Snapshot::Load(
     const std::string& path, const SnapshotOptions& options) {
+  const auto version = io::PeekRepositoryVersion(path);
+  if (version.ok() && version.value() == 4) {
+    // Zero-copy path: the snapshot serves straight out of the mapping;
+    // dict/sets/store are borrowed views and the view_ member keeps the
+    // mapping alive for as long as any query can touch them.
+    auto view_or = io::MmapRepositoryView::Open(
+        path, io::MmapOptions{.verify = options.mmap_verify});
+    if (!view_or.ok()) return view_or.status();
+    auto view = std::move(view_or).value();
+    if (!view->has_embeddings()) {
+      return util::Status::FailedPrecondition(
+          "snapshot requires a repository with an embedding store: " + path);
+    }
+    auto dict = view->BorrowDictionary();
+    if (!dict.ok()) return dict.status();
+    auto sets = view->BorrowSets();
+    if (!sets.ok()) return sets.status();
+    auto store = view->BorrowEmbeddings();
+    if (!store.ok()) return store.status();
+    auto vocab = view->Vocabulary();
+    if (!vocab.ok()) return vocab.status();
+    std::shared_ptr<Snapshot> snapshot(new Snapshot());
+    snapshot->view_ = std::move(view);
+    snapshot->dict_ = std::move(dict).value();
+    snapshot->sets_ = std::move(sets).value();
+    snapshot->store_ = std::move(store).value();
+    snapshot->BuildServingStructures(
+        options,
+        std::vector<TokenId>(vocab.value().begin(), vocab.value().end()));
+    return std::shared_ptr<const Snapshot>(std::move(snapshot));
+  }
+
   auto repo = io::LoadRepository(path);
   if (!repo.ok()) return repo.status();
   if (!repo.value().has_embeddings) {
@@ -48,7 +83,7 @@ util::StatusOr<std::shared_ptr<const Snapshot>> Snapshot::Load(
   snapshot->dict_ = std::move(repo.value().dict);
   snapshot->sets_ = std::move(repo.value().sets);
   snapshot->store_ = std::move(repo.value().store);
-  snapshot->BuildServingStructures(options);
+  snapshot->BuildServingStructures(options, DistinctTokens(snapshot->sets_));
   return std::shared_ptr<const Snapshot>(std::move(snapshot));
 }
 
@@ -60,7 +95,7 @@ std::shared_ptr<const Snapshot> Snapshot::Build(text::Dictionary dict,
   snapshot->dict_ = std::move(dict);
   snapshot->sets_ = std::move(sets);
   snapshot->store_ = std::move(store);
-  snapshot->BuildServingStructures(options);
+  snapshot->BuildServingStructures(options, DistinctTokens(snapshot->sets_));
   return snapshot;
 }
 

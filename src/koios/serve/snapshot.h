@@ -17,9 +17,11 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "koios/embedding/embedding_store.h"
 #include "koios/index/set_collection.h"
+#include "koios/io/repository_v4.h"
 #include "koios/sim/cosine_similarity.h"
 #include "koios/sim/similarity.h"
 #include "koios/text/dictionary.h"
@@ -32,11 +34,19 @@ struct SnapshotOptions {
   /// (EmbeddingStore::Finalize) so approximate/throughput consumers can
   /// select Precision::kInt8. A loaded repository that was saved with a
   /// finalized store re-finalizes automatically regardless (the io layer
-  /// persists the flag); this forces the tier for older files.
+  /// persists the flag, and a v4 file stores the tier itself); this
+  /// forces the tier for older files.
   bool quantize_embeddings = false;
   /// Precision the snapshot's cosine similarity reads (kInt8 requires the
   /// quantized tier; exact search should keep the default).
   embedding::Precision precision = embedding::Precision::kFloat64;
+  /// v4 files only: eagerly CRC-check every section (bulk arenas
+  /// included) and content-scan the token arenas before serving from the
+  /// mapping. Costs an O(file) pass at load; the lazy default validates
+  /// structure + metadata sections only. TrySwapFromRepository always
+  /// verifies eagerly regardless — a live swap must not adopt a snapshot
+  /// whose corruption would only surface mid-query.
+  bool mmap_verify = false;
 };
 
 class Snapshot {
@@ -64,12 +74,21 @@ class Snapshot {
   /// through their own index->NewSession().
   sim::SimilarityIndex* index() const { return index_.get(); }
 
+  /// True when the snapshot serves straight out of a v4 file mapping
+  /// (dict/sets/store are in borrowed mode; the mapping is pinned here).
+  bool mmap_backed() const { return view_ != nullptr; }
+
   size_t MemoryUsageBytes() const;
 
  private:
   Snapshot() = default;
-  void BuildServingStructures(const SnapshotOptions& options);
+  void BuildServingStructures(const SnapshotOptions& options,
+                              std::vector<TokenId> vocabulary);
 
+  // Pins the v4 mapping the borrowed artifacts below point into;
+  // declared first so it is destroyed last (members destruct in reverse
+  // declaration order). Null for built / stream-loaded snapshots.
+  std::shared_ptr<const io::MmapRepositoryView> view_;
   text::Dictionary dict_;
   index::SetCollection sets_;
   embedding::EmbeddingStore store_{0};

@@ -1,32 +1,64 @@
 #include "koios/util/crc32.h"
 
 #include <array>
+#include <cstring>
 
 namespace koios::util {
 
 namespace {
 
-// 256-entry lookup table for the reflected polynomial, built once.
-std::array<uint32_t, 256> BuildTable() {
-  std::array<uint32_t, 256> table{};
+// Slicing-by-8: eight 256-entry tables so the hot loop folds 8 input
+// bytes per iteration instead of one. Same polynomial, same checksum as
+// the classic byte-at-a-time loop — only the throughput changes (the v4
+// mmap load path checksums multi-MB metadata sections on open, and the
+// eager verify mode checksums whole bulk arenas).
+std::array<std::array<uint32_t, 256>, 8> BuildTables() {
+  std::array<std::array<uint32_t, 256>, 8> tables{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t crc = i;
     for (int bit = 0; bit < 8; ++bit) {
       crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
     }
-    table[i] = crc;
+    tables[0][i] = crc;
   }
-  return table;
+  for (size_t k = 1; k < 8; ++k) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      const uint32_t prev = tables[k - 1][i];
+      tables[k][i] = (prev >> 8) ^ tables[0][prev & 0xFFu];
+    }
+  }
+  return tables;
 }
 
 }  // namespace
 
 uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
-  static const std::array<uint32_t, 256> kTable = BuildTable();
+  static const std::array<std::array<uint32_t, 256>, 8> kTables =
+      BuildTables();
   const auto* bytes = static_cast<const unsigned char*>(data);
   uint32_t crc = ~seed;
+  // 8 bytes per step; memcpy keeps the loads alignment-agnostic and the
+  // fold below is byte-order explicit, so the checksum stays identical
+  // on any host.
+  while (size >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, bytes, 4);
+    std::memcpy(&hi, bytes + 4, 4);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    lo = __builtin_bswap32(lo);
+    hi = __builtin_bswap32(hi);
+#endif
+    lo ^= crc;
+    crc = kTables[7][lo & 0xFFu] ^ kTables[6][(lo >> 8) & 0xFFu] ^
+          kTables[5][(lo >> 16) & 0xFFu] ^ kTables[4][lo >> 24] ^
+          kTables[3][hi & 0xFFu] ^ kTables[2][(hi >> 8) & 0xFFu] ^
+          kTables[1][(hi >> 16) & 0xFFu] ^ kTables[0][hi >> 24];
+    bytes += 8;
+    size -= 8;
+  }
   for (size_t i = 0; i < size; ++i) {
-    crc = (crc >> 8) ^ kTable[(crc ^ bytes[i]) & 0xFFu];
+    crc = (crc >> 8) ^ kTables[0][(crc ^ bytes[i]) & 0xFFu];
   }
   return ~crc;
 }

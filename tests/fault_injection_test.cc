@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <future>
 #include <memory>
@@ -16,6 +17,7 @@
 #include <vector>
 
 #include "koios/core/searcher.h"
+#include "koios/io/repository_v4.h"
 #include "koios/io/serialization.h"
 #include "koios/serve/query_engine.h"
 #include "koios/serve/snapshot.h"
@@ -180,6 +182,75 @@ TEST(IoFaultTest, FailedSaveLeavesPreviousFileIntact) {
   auto replaced = io::LoadRepository(path);
   ASSERT_TRUE(replaced.ok());
   EXPECT_EQ(replaced.value().dict.size(), 1u);
+  std::remove(path.c_str());
+}
+
+/// Saves the SaveTinyRepository corpus in v4 form; returns its path.
+std::string SaveTinyRepositoryV4(const std::string& filename) {
+  text::Dictionary dict;
+  for (TokenId t = 0; t < 10; ++t) dict.Intern("tok" + std::to_string(t));
+  index::SetCollection sets;
+  sets.AddSet(std::vector<TokenId>{0, 3, 9});
+  sets.AddSet(std::vector<TokenId>{1, 2});
+  embedding::EmbeddingStore store(2);
+  for (TokenId t = 0; t < 10; ++t) {
+    store.Add(t, std::vector<float>{static_cast<float>(t) + 1.0f, 1.0f});
+  }
+  store.Finalize();
+  const std::string path = ::testing::TempDir() + "/" + filename;
+  EXPECT_TRUE(io::SaveRepositoryV4(dict, sets, &store, path).ok());
+  return path;
+}
+
+TEST(IoFaultTest, MmapEstablishmentFailureReturnsCleanStatus) {
+  // "io.mmap" models open/fstat/mmap failure (fd exhaustion, EPERM). Both
+  // the raw view and the full snapshot path must surface it as a Status.
+  const std::string path = SaveTinyRepositoryV4("koios_fault_mmap.bin");
+  {
+    FaultSpec spec;
+    spec.fail_on_hit = 1;
+    ScopedFault fault("io.mmap", spec);
+    auto view = io::MmapRepositoryView::Open(path);
+    ASSERT_FALSE(view.ok());
+    EXPECT_NE(view.status().message().find("io.mmap"), std::string::npos);
+  }
+  {
+    FaultSpec spec;
+    spec.fail_on_hit = 1;
+    ScopedFault fault("io.mmap", spec);
+    // Snapshot::Load peeks the version first (one mmap-free read), then
+    // maps; the injected failure must come back through the serve path too.
+    EXPECT_FALSE(Snapshot::Load(path).ok());
+  }
+  EXPECT_TRUE(io::MmapRepositoryView::Open(path).ok());  // disarmed
+  std::remove(path.c_str());
+}
+
+TEST(IoFaultTest, V4ValidationFailureAtEverySiteReturnsCleanStatus) {
+  // Sweep a one-shot fault over every "io.v4.validate" site of a fully
+  // EAGER load (structural pass + one CRC check per section): each must
+  // unwind to a clean error, and past the last site loads succeed again.
+  const std::string path = SaveTinyRepositoryV4("koios_fault_v4val.bin");
+  size_t failures = 0;
+  uint64_t first_success = 0;
+  for (uint64_t n = 1; n <= 30; ++n) {
+    FaultSpec spec;
+    spec.fail_on_hit = n;
+    ScopedFault fault("io.v4.validate", spec);
+    auto view =
+        io::MmapRepositoryView::Open(path, io::MmapOptions{.verify = true});
+    if (view.ok()) {
+      if (first_success == 0) first_success = n;
+    } else {
+      EXPECT_EQ(first_success, 0u)
+          << "validate failed at n=" << n << " after succeeding earlier";
+      EXPECT_NE(view.status().message().find("io.v4.validate"),
+                std::string::npos);
+      ++failures;
+    }
+  }
+  EXPECT_GT(failures, 5u);       // structural pass + per-section CRCs
+  EXPECT_GT(first_success, 0u);  // sweep covered every site
   std::remove(path.c_str());
 }
 
@@ -367,6 +438,80 @@ TEST(ServeFaultTest, TrySwapKeepsServingOnEveryFailurePath) {
   EXPECT_EQ(counters.swaps_completed, 1u);
 
   std::remove(good_path.c_str());
+  std::remove(corrupt_path.c_str());
+}
+
+TEST(ServeFaultTest, TrySwapOnCorruptV4KeepsServingOldSnapshot) {
+  // The nastiest corruption class: a bit flip inside a v4 BULK arena,
+  // which lazy validation deliberately skips. TrySwapFromRepository
+  // forces eager verification, so the swap must fail cleanly and the old
+  // snapshot must keep serving — corruption never goes live.
+  const std::string v3_path = SaveTinyRepository("koios_fault_v4swap_old.bin");
+  const std::string v4_path =
+      SaveTinyRepositoryV4("koios_fault_v4swap_new.bin");
+
+  auto snapshot = Snapshot::Load(v3_path);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  std::shared_ptr<const Snapshot> snap1 = snapshot.value();
+  EngineOptions options;
+  options.num_threads = 2;
+  QueryEngine engine(snap1, options);
+  SearchParams params;
+  params.k = 2;
+  params.alpha = 0.7;
+  const auto tokens = snap1->sets().Tokens(0);
+  const std::vector<TokenId> query(tokens.begin(), tokens.end());
+  const SearchResult want = engine.Submit(query, params).get().value();
+
+  // Flip one bit in the middle of the set-token arena.
+  const std::string corrupt_path =
+      ::testing::TempDir() + "/koios_fault_v4swap_corrupt.bin";
+  {
+    std::ifstream in(v4_path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    io::V4Header header;
+    std::memcpy(&header, bytes.data(), sizeof(header));
+    std::vector<io::SectionEntry> table(header.section_count);
+    std::memcpy(table.data(), bytes.data() + sizeof(header),
+                table.size() * sizeof(io::SectionEntry));
+    bool flipped = false;
+    for (const io::SectionEntry& e : table) {
+      if (e.kind == io::kSetTokens) {
+        bytes[e.offset + e.length / 2] ^= 0x10;
+        flipped = true;
+      }
+    }
+    ASSERT_TRUE(flipped);
+    // Sanity: LAZY open would have adopted this silently...
+    std::ofstream out(corrupt_path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  {
+    auto lazy = io::MmapRepositoryView::Open(corrupt_path);
+    ASSERT_TRUE(lazy.ok());
+    EXPECT_TRUE(lazy.value()->BorrowDictionary().ok());
+  }
+  // ...but the live swap path must reject it.
+  auto corrupt = engine.TrySwapFromRepository(corrupt_path);
+  EXPECT_FALSE(corrupt.ok());
+  EXPECT_EQ(engine.snapshot(), snap1);
+
+  // The engine still answers, identically, then swaps to the GOOD v4.
+  QueryEngine::Result still = engine.Submit(query, params).get();
+  ASSERT_TRUE(still.ok());
+  ASSERT_EQ(still.value().topk.size(), want.topk.size());
+  for (size_t i = 0; i < want.topk.size(); ++i) {
+    EXPECT_EQ(still.value().topk[i].set, want.topk[i].set);
+    EXPECT_EQ(still.value().topk[i].score, want.topk[i].score);
+  }
+  auto ok = engine.TrySwapFromRepository(v4_path);
+  ASSERT_TRUE(ok.ok()) << ok.ToString();
+  EXPECT_NE(engine.snapshot(), snap1);
+  EXPECT_TRUE(engine.snapshot()->mmap_backed());
+
+  std::remove(v3_path.c_str());
+  std::remove(v4_path.c_str());
   std::remove(corrupt_path.c_str());
 }
 

@@ -320,15 +320,21 @@ TEST(CorruptionMatrixTest, WrongMagicAndVersionsRejected) {
   std::string wrong_magic = bytes;
   wrong_magic[0] = 'X';
   EXPECT_FALSE(LoadFromBytes(wrong_magic).ok());
-  // v2 was never written; v4 does not exist yet. Both must be rejected
+  // v2 was never written; v5 does not exist. Both must be rejected
   // outright (version byte is at offset 4, little-endian u32).
-  for (const char version : {2, 4}) {
+  for (const char version : {2, 5}) {
     std::string wrong_version = bytes;
     wrong_version[4] = version;
     auto repo = LoadFromBytes(wrong_version);
     ASSERT_FALSE(repo.ok());
     EXPECT_NE(repo.status().message().find("version"), std::string::npos);
   }
+  // A v3 body whose version byte claims 4 routes to the v4 mmap loader
+  // and must fail ITS structural validation (a v3 stream is not a v4
+  // arena layout) — rejected, never misparsed.
+  std::string fake_v4 = bytes;
+  fake_v4[4] = 4;
+  EXPECT_FALSE(LoadFromBytes(fake_v4).ok());
 }
 
 TEST(CorruptionMatrixTest, TrailingBytesRejected) {
