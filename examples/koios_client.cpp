@@ -1,0 +1,175 @@
+// koios_client — the bundled CLI client for koios_serverd, built on
+// net::BlockingClient (deadline-bounded IO, retry-after honoring backoff).
+// The serverd smoke script and bench_serverd_chaos drive the same library;
+// this binary is the by-hand entry point:
+//
+//   ./koios_client --port 7070 --ping
+//   ./koios_client --port 7070 --query "3 17 294" --k 5
+//   ./koios_client --port 7070 --stdin < queries.txt     # one batch
+//   ./koios_client --port 7070 --http /metrics
+//
+// Exit status: 0 success, 1 usage, 2 connect failure, 3 request failed
+// (the response's status line is printed to stderr).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "koios/net/client.h"
+
+namespace {
+
+std::vector<koios::TokenId> ParseTokens(const std::string& text) {
+  std::vector<koios::TokenId> tokens;
+  std::istringstream in(text);
+  unsigned long t = 0;
+  while (in >> t) tokens.push_back(static_cast<koios::TokenId>(t));
+  return tokens;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --port N [--host ADDR] <mode> [options]\n"
+               "modes:\n"
+               "  --ping                 binary-protocol liveness check\n"
+               "  --query \"T T T...\"     one search (space-separated token "
+               "ids)\n"
+               "  --stdin                batch: one token-id line per query, "
+               "sent\n"
+               "                         as a single kSearchMany\n"
+               "  --http PATH            GET PATH (e.g. /readyz, /metrics); "
+               "prints\n"
+               "                         the body, exits 0 iff HTTP 200\n"
+               "options: --k N (10)  --alpha X (0.8)  --deadline-ms N (0)\n"
+               "         --retries N (3, honoring server retry_after_ms)\n"
+               "         --timeout-ms N (30000 io budget)\n",
+               argv0);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace koios;
+
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::string query_text;
+  std::string http_path;
+  bool ping = false;
+  bool from_stdin = false;
+  uint32_t k = 10;
+  double alpha = 0.8;
+  uint32_t deadline_ms = 0;
+  int retries = 3;
+  net::ClientOptions client_options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--query" && i + 1 < argc) {
+      query_text = argv[++i];
+    } else if (arg == "--http" && i + 1 < argc) {
+      http_path = argv[++i];
+    } else if (arg == "--ping") {
+      ping = true;
+    } else if (arg == "--stdin") {
+      from_stdin = true;
+    } else if (arg == "--k" && i + 1 < argc) {
+      k = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--alpha" && i + 1 < argc) {
+      alpha = std::atof(argv[++i]);
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      deadline_ms = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--retries" && i + 1 < argc) {
+      retries = std::atoi(argv[++i]);
+    } else if (arg == "--timeout-ms" && i + 1 < argc) {
+      client_options.io_timeout =
+          std::chrono::milliseconds(std::atoll(argv[++i]));
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+  if (port == 0) return Usage(argv[0]);
+
+  if (!http_path.empty()) {
+    int status_code = 0;
+    auto body = net::HttpGet(host, port, http_path, &status_code,
+                             client_options.io_timeout);
+    if (!body.ok()) {
+      std::fprintf(stderr, "error: %s\n", body.status().ToString().c_str());
+      return 2;
+    }
+    std::fputs(body.value().c_str(), stdout);
+    return status_code == 200 ? 0 : 3;
+  }
+
+  auto client = net::BlockingClient::Connect(host, port, client_options);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
+    return 2;
+  }
+
+  if (ping) {
+    if (util::Status s = client.value().Ping(); !s.ok()) {
+      std::fprintf(stderr, "ping: %s\n", s.ToString().c_str());
+      return 3;
+    }
+    std::printf("pong\n");
+    return 0;
+  }
+
+  if (from_stdin) {
+    std::vector<std::vector<TokenId>> queries;
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      std::vector<TokenId> tokens = ParseTokens(line);
+      if (!tokens.empty()) queries.push_back(std::move(tokens));
+    }
+    if (queries.empty()) {
+      std::fprintf(stderr, "no queries on stdin\n");
+      return 1;
+    }
+    bool any_failed = false;
+    util::Status status = client.value().SearchMany(
+        queries, k, alpha, deadline_ms, [&](const net::ResponseFrame& frame) {
+          if (frame.code != net::WireCode::kOk) {
+            std::fprintf(stderr, "query %u: %s\n", frame.query_index,
+                         net::ResponseToStatus(frame).ToString().c_str());
+            any_failed = true;
+            return;
+          }
+          for (const core::ResultEntry& e : frame.results) {
+            std::printf("%u\t%u\t%.6f\t%s\n", frame.query_index, e.set,
+                        e.score, e.exact ? "exact" : "lower-bound");
+          }
+        });
+    if (!status.ok()) {
+      std::fprintf(stderr, "batch: %s\n", status.ToString().c_str());
+      return 3;
+    }
+    return any_failed ? 3 : 0;
+  }
+
+  const std::vector<TokenId> tokens = ParseTokens(query_text);
+  if (tokens.empty()) return Usage(argv[0]);
+  auto results =
+      client.value().SearchWithBackoff(tokens, k, alpha, deadline_ms, retries);
+  if (!results.ok()) {
+    std::fprintf(stderr, "search: %s\n", results.status().ToString().c_str());
+    return 3;
+  }
+  for (const core::ResultEntry& e : results.value()) {
+    std::printf("%u\t%.6f\t%s\n", e.set, e.score,
+                e.exact ? "exact" : "lower-bound");
+  }
+  return 0;
+}

@@ -1,0 +1,184 @@
+#include "koios/net/client.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace koios::net {
+
+util::StatusOr<BlockingClient> BlockingClient::Connect(
+    const std::string& host, uint16_t port, const ClientOptions& options) {
+  util::StatusOr<Socket> sock = ConnectTcp(host, port, options.connect_timeout);
+  if (!sock.ok()) return sock.status();
+  return BlockingClient(std::move(sock).value(), options);
+}
+
+util::Status BlockingClient::ReadFrame(
+    ResponseFrame* out, std::chrono::steady_clock::time_point deadline) {
+  for (;;) {
+    size_t consumed = 0;
+    std::string error;
+    const ParseStatus ps =
+        ParseResponseFrame(readbuf_.data(), readbuf_.size(),
+                           options_.max_response_bytes, &consumed, out, &error);
+    if (ps == ParseStatus::kOk) {
+      readbuf_.erase(0, consumed);
+      return util::Status::OK();
+    }
+    if (ps == ParseStatus::kError) {
+      return util::Status::Internal("malformed response: " + error);
+    }
+    // Need more bytes: read the header if we don't have it, then exactly
+    // the advertised body (ReadExact handles partial reads + EINTR under
+    // the deadline).
+    if (readbuf_.size() < kFrameHeaderBytes) {
+      const size_t old = readbuf_.size();
+      readbuf_.resize(kFrameHeaderBytes);
+      if (util::Status s = ReadExact(sock_.fd(), readbuf_.data() + old,
+                                     kFrameHeaderBytes - old, deadline);
+          !s.ok()) {
+        readbuf_.resize(old);
+        return s;
+      }
+    }
+    uint32_t body_len = 0;
+    std::memcpy(&body_len, readbuf_.data() + 2, sizeof(body_len));
+    if (body_len > options_.max_response_bytes) {
+      return util::Status::Internal("response frame of " +
+                                    std::to_string(body_len) +
+                                    " bytes exceeds the client limit");
+    }
+    const size_t want = kFrameHeaderBytes + body_len;
+    if (readbuf_.size() < want) {
+      const size_t old = readbuf_.size();
+      readbuf_.resize(want);
+      if (util::Status s = ReadExact(sock_.fd(), readbuf_.data() + old,
+                                     want - old, deadline);
+          !s.ok()) {
+        readbuf_.resize(old);
+        return s;
+      }
+    }
+  }
+}
+
+util::Status BlockingClient::Ping() {
+  const auto deadline = std::chrono::steady_clock::now() + options_.io_timeout;
+  std::string wire;
+  AppendRequestFrame(RequestFrame{}, &wire);  // default op is kPing
+  if (util::Status s = WriteAll(sock_.fd(), wire.data(), wire.size(), deadline);
+      !s.ok()) {
+    return s;
+  }
+  ResponseFrame frame;
+  if (util::Status s = ReadFrame(&frame, deadline); !s.ok()) return s;
+  return ResponseToStatus(frame);
+}
+
+util::StatusOr<std::vector<core::ResultEntry>> BlockingClient::Search(
+    const std::vector<TokenId>& tokens, uint32_t k, double alpha,
+    uint32_t deadline_ms) {
+  const auto deadline = std::chrono::steady_clock::now() + options_.io_timeout;
+  RequestFrame req;
+  req.op = Op::kSearch;
+  req.k = k;
+  req.alpha = alpha;
+  req.deadline_ms = deadline_ms;
+  req.queries.push_back(tokens);
+  std::string wire;
+  AppendRequestFrame(req, &wire);
+  if (util::Status s = WriteAll(sock_.fd(), wire.data(), wire.size(), deadline);
+      !s.ok()) {
+    return s;
+  }
+  ResponseFrame frame;
+  if (util::Status s = ReadFrame(&frame, deadline); !s.ok()) return s;
+  if (frame.code != WireCode::kOk) return ResponseToStatus(frame);
+  return std::move(frame.results);
+}
+
+util::StatusOr<std::vector<core::ResultEntry>>
+BlockingClient::SearchWithBackoff(const std::vector<TokenId>& tokens,
+                                  uint32_t k, double alpha,
+                                  uint32_t deadline_ms, int max_retries) {
+  util::Status last = util::Status::Internal("never attempted");
+  for (int attempt = 0; attempt <= max_retries; ++attempt) {
+    util::StatusOr<std::vector<core::ResultEntry>> result =
+        Search(tokens, k, alpha, deadline_ms);
+    if (result.ok()) return result;
+    last = result.status();
+    // Backpressure contract: only answers that CARRY a hint are retried,
+    // and the client sleeps exactly what the server asked — this is what
+    // keeps a retrying fleet from hammering an overloaded daemon.
+    if (!last.has_retry_after()) return last;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(last.retry_after_ms()));
+  }
+  return last;
+}
+
+util::Status BlockingClient::SearchMany(
+    const std::vector<std::vector<TokenId>>& queries, uint32_t k, double alpha,
+    uint32_t deadline_ms,
+    const std::function<void(const ResponseFrame&)>& on_frame) {
+  const auto deadline = std::chrono::steady_clock::now() + options_.io_timeout;
+  RequestFrame req;
+  req.op = Op::kSearchMany;
+  req.k = k;
+  req.alpha = alpha;
+  req.deadline_ms = deadline_ms;
+  req.queries = queries;
+  std::string wire;
+  AppendRequestFrame(req, &wire);
+  if (util::Status s = WriteAll(sock_.fd(), wire.data(), wire.size(), deadline);
+      !s.ok()) {
+    return s;
+  }
+  for (size_t received = 0; received < queries.size(); ++received) {
+    ResponseFrame frame;
+    if (util::Status s = ReadFrame(&frame, deadline); !s.ok()) return s;
+    if (frame.query_index >= queries.size()) {
+      return util::Status::Internal("response for out-of-range query index " +
+                                    std::to_string(frame.query_index));
+    }
+    on_frame(frame);
+  }
+  return util::Status::OK();
+}
+
+util::StatusOr<std::string> HttpGet(const std::string& host, uint16_t port,
+                                    const std::string& path, int* status_code,
+                                    std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  util::StatusOr<Socket> sock =
+      ConnectTcp(host, port, std::chrono::duration_cast<std::chrono::milliseconds>(timeout));
+  if (!sock.ok()) return sock.status();
+  const std::string request =
+      "GET " + path + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  if (util::Status s = WriteAll(sock.value().fd(), request.data(),
+                                request.size(), deadline);
+      !s.ok()) {
+    return s;
+  }
+  std::string response;
+  if (util::Status s = ReadUntilClose(sock.value().fd(), &response, 32 << 20,
+                                      deadline);
+      !s.ok()) {
+    return s;
+  }
+  // "HTTP/1.0 200 OK\r\n..." — the status is field 2 of line 1.
+  const size_t sp = response.find(' ');
+  if (sp == std::string::npos) {
+    return util::Status::Internal("malformed HTTP response");
+  }
+  if (status_code != nullptr) {
+    *status_code = std::atoi(response.c_str() + sp + 1);
+  }
+  const size_t body = response.find("\r\n\r\n");
+  if (body == std::string::npos) {
+    return util::Status::Internal("HTTP response without header terminator");
+  }
+  return response.substr(body + 4);
+}
+
+}  // namespace koios::net

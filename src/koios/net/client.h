@@ -1,0 +1,90 @@
+// BlockingClient — the small client library the issue's satellite calls
+// for: a deadline-bounded blocking client over the binary protocol, with a
+// retry-after-honoring backoff helper. Reused by examples/koios_client,
+// the serverd smoke script and bench_serverd_chaos, so every harness
+// exercises the same partial-write/EINTR-correct IO paths (socket.cc's
+// WriteAll/ReadExact) instead of hand-rolling sockets three times.
+#ifndef KOIOS_NET_CLIENT_H_
+#define KOIOS_NET_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "koios/net/protocol.h"
+#include "koios/net/socket.h"
+#include "koios/util/status.h"
+
+namespace koios::net {
+
+struct ClientOptions {
+  std::chrono::milliseconds connect_timeout{2'000};
+  /// Per-operation IO budget (whole request + all its response frames).
+  std::chrono::milliseconds io_timeout{30'000};
+  size_t max_response_bytes = 16 << 20;
+};
+
+class BlockingClient {
+ public:
+  static util::StatusOr<BlockingClient> Connect(
+      const std::string& host, uint16_t port, const ClientOptions& options = {});
+
+  BlockingClient(BlockingClient&&) = default;
+  BlockingClient& operator=(BlockingClient&&) = default;
+
+  /// Round-trips a kPing (liveness of the binary path).
+  util::Status Ping();
+
+  /// One query; blocks for its single response frame. An error frame comes
+  /// back as the engine's Status, retry hint reattached — so callers can
+  /// branch on has_retry_after() exactly like in-process Submit callers.
+  util::StatusOr<std::vector<core::ResultEntry>> Search(
+      const std::vector<TokenId>& tokens, uint32_t k, double alpha,
+      uint32_t deadline_ms);
+
+  /// Search + bounded retry loop that HONORS the server's backpressure: on
+  /// a response carrying retry_after_ms, sleeps that long and retries (up
+  /// to max_retries). Statuses without a hint are returned immediately —
+  /// only explicit shed/backoff answers are retried.
+  util::StatusOr<std::vector<core::ResultEntry>> SearchWithBackoff(
+      const std::vector<TokenId>& tokens, uint32_t k, double alpha,
+      uint32_t deadline_ms, int max_retries);
+
+  /// Batch: sends one kSearchMany and invokes `on_frame` for each of the
+  /// batch's response frames AS THEY ARRIVE (completion order — this is
+  /// how a client observes the server streaming results as the engine
+  /// finalizes them). Returns after all queries.size() frames.
+  util::Status SearchMany(
+      const std::vector<std::vector<TokenId>>& queries, uint32_t k,
+      double alpha, uint32_t deadline_ms,
+      const std::function<void(const ResponseFrame&)>& on_frame);
+
+  int fd() const { return sock_.fd(); }
+
+ private:
+  explicit BlockingClient(Socket sock, const ClientOptions& options)
+      : sock_(std::move(sock)), options_(options) {}
+
+  /// Reads exactly one response frame before `deadline`.
+  util::Status ReadFrame(ResponseFrame* out,
+                         std::chrono::steady_clock::time_point deadline);
+
+  Socket sock_;
+  ClientOptions options_;
+  std::string readbuf_;  // bytes past the last parsed frame
+};
+
+/// One-shot HTTP GET against the daemon's text endpoints (/healthz,
+/// /readyz, /metrics). Returns the response BODY; `status_code` (optional)
+/// receives the HTTP status.
+util::StatusOr<std::string> HttpGet(const std::string& host, uint16_t port,
+                                    const std::string& path,
+                                    int* status_code = nullptr,
+                                    std::chrono::milliseconds timeout =
+                                        std::chrono::milliseconds(5'000));
+
+}  // namespace koios::net
+
+#endif  // KOIOS_NET_CLIENT_H_

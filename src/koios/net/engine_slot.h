@@ -1,0 +1,37 @@
+// Shared mutable cell holding "the engine currently being served", the
+// handoff point between the repository watcher (writer: installs the
+// engine after the first successful snapshot load) and the server (reader:
+// resolves it per request). A null slot is exactly the daemon's NOT-READY
+// state — /readyz stays false and queries get kUnavailable until the
+// watcher's first load lands, which is the fail-closed startup the issue
+// specifies (a daemon pointed at a corrupt repository comes up, reports
+// unready, and serves health checks; it does not crash-loop).
+#ifndef KOIOS_NET_ENGINE_SLOT_H_
+#define KOIOS_NET_ENGINE_SLOT_H_
+
+#include <memory>
+#include <mutex>
+
+#include "koios/serve/query_engine.h"
+
+namespace koios::net {
+
+class EngineSlot {
+ public:
+  std::shared_ptr<serve::QueryEngine> Get() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return engine_;
+  }
+  void Set(std::shared_ptr<serve::QueryEngine> engine) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    engine_ = std::move(engine);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<serve::QueryEngine> engine_;
+};
+
+}  // namespace koios::net
+
+#endif  // KOIOS_NET_ENGINE_SLOT_H_

@@ -1,0 +1,154 @@
+// Wire protocol of koios_serverd. One listener speaks three dialects,
+// discriminated by the FIRST byte of a connection's first request:
+//
+//  * 0x01 — the binary framing below (length-prefixed, streamable).
+//  * '{'  — line-delimited JSON: one request object per line, one response
+//           object per line, connection stays open for more lines.
+//  * 'G'/'H' — a minimal HTTP/1.0 GET/HEAD subset for /healthz, /readyz
+//           and /metrics (curl-able; Connection: close).
+//
+// Binary framing (all integers little-endian-as-host — the repository
+// format makes the same x86-64/aarch64 assumption):
+//
+//   request  := [u8 0x01][u8 op][u32 body_len][body]
+//   response := [u8 0x01][u8 wire_code][u32 body_len][body]
+//
+//   op kPing       body: empty                    -> one kOk response, empty
+//   op kSearch     body: u32 k, f64 alpha, u32 deadline_ms,
+//                        u32 ntokens, ntokens x u32
+//   op kSearchMany body: u32 k, f64 alpha, u32 deadline_ms, u32 nqueries,
+//                        nqueries x (u32 ntokens, ntokens x u32)
+//
+// A search request yields EXACTLY ONE response frame PER QUERY (so a
+// kSearchMany with n queries yields n frames), in COMPLETION order — the
+// server streams each result as the engine finalizes it, it does not
+// buffer the batch. Every response body begins with the query's 0-based
+// index within its request so the client can reassemble order.
+//
+//   kOk body     := u32 query_index, u32 nresults,
+//                   nresults x (u32 set, f64 score, u8 exact)
+//   error body   := u32 query_index, u32 retry_after_ms, u32 msg_len, msg
+//
+// retry_after_ms is nonzero exactly when the engine attached a backoff
+// hint (queue-full / fail-fast shed / drain) — the protocol-level shape of
+// engine backpressure the issue calls for.
+#ifndef KOIOS_NET_PROTOCOL_H_
+#define KOIOS_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "koios/core/search_types.h"
+#include "koios/util/status.h"
+#include "koios/util/types.h"
+
+namespace koios::net {
+
+inline constexpr uint8_t kFrameMagic = 0x01;
+inline constexpr size_t kFrameHeaderBytes = 6;  // magic + op/code + u32 len
+
+enum class Op : uint8_t {
+  kPing = 1,
+  kSearch = 2,
+  kSearchMany = 3,
+};
+
+/// Status codes as they cross the wire. Kept separate from
+/// util::StatusCode so the enum values are a frozen protocol contract
+/// (reordering the C++ enum must not change the wire).
+enum class WireCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kResourceExhausted = 3,
+  kDeadlineExceeded = 4,
+  kUnavailable = 5,
+  kCancelled = 6,
+  kInternal = 7,
+};
+
+WireCode ToWireCode(util::StatusCode code);
+util::StatusCode FromWireCode(WireCode code);
+
+/// A parsed binary request.
+struct RequestFrame {
+  Op op = Op::kPing;
+  uint32_t k = 10;
+  double alpha = 0.8;
+  uint32_t deadline_ms = 0;  // 0 = server default
+  std::vector<std::vector<TokenId>> queries;  // kSearch: exactly one
+};
+
+enum class ParseStatus {
+  kNeedMore,  // buffer holds a prefix of a valid frame; read more bytes
+  kOk,        // one frame decoded; *consumed bytes were used
+  kError,     // protocol violation; connection must be closed (after
+              // flushing *error, when the caller can still write)
+};
+
+/// Incremental binary-frame parser over the connection's read buffer.
+/// `max_frame_bytes` bounds body_len (the max-request-size defense): an
+/// oversized header is rejected WITHOUT waiting for (or buffering) the
+/// body. On kOk, `*consumed` is the total frame size to drop from the
+/// buffer. On kError, `*error` explains the violation.
+ParseStatus ParseRequestFrame(const char* data, size_t size,
+                              size_t max_frame_bytes, size_t* consumed,
+                              RequestFrame* out, std::string* error);
+
+/// Encoders (appending to `out`, which is the connection's write buffer).
+void AppendRequestFrame(const RequestFrame& frame, std::string* out);
+void AppendOkResponse(uint32_t query_index,
+                      const std::vector<core::ResultEntry>& topk,
+                      std::string* out);
+void AppendErrorResponse(uint32_t query_index, const util::Status& status,
+                         std::string* out);
+void AppendPingResponse(std::string* out);
+
+/// A decoded response frame (client side).
+struct ResponseFrame {
+  WireCode code = WireCode::kInternal;
+  uint32_t query_index = 0;
+  // kOk:
+  std::vector<core::ResultEntry> results;
+  // errors:
+  uint32_t retry_after_ms = 0;
+  std::string message;
+};
+
+/// Incremental response parser, mirror of ParseRequestFrame.
+ParseStatus ParseResponseFrame(const char* data, size_t size,
+                               size_t max_frame_bytes, size_t* consumed,
+                               ResponseFrame* out, std::string* error);
+
+/// Turns an error ResponseFrame back into the Status the engine produced
+/// (retry hint reattached). kOk frames map to OK.
+util::Status ResponseToStatus(const ResponseFrame& frame);
+
+// ------------------------------------------------------------ JSON mode --
+// One request per line: {"tokens":[1,2,3],"k":10,"alpha":0.8,
+// "deadline_ms":500} — only "tokens" is required. Strictly parsed (no
+// trailing garbage); unknown keys rejected, so a typo'd "aplha" fails loud
+// instead of silently using the default.
+
+struct JsonRequest {
+  std::vector<TokenId> tokens;
+  uint32_t k = 10;
+  double alpha = 0.8;
+  uint32_t deadline_ms = 0;
+};
+
+util::Status ParseJsonRequestLine(const std::string& line, JsonRequest* out);
+
+/// One response per line (no trailing newline; the caller appends it):
+///   {"status":"ok","results":[{"set":4,"score":0.91,"exact":true},...]}
+///   {"status":"resource_exhausted","retry_after_ms":12,"message":"..."}
+std::string JsonOkResponse(const std::vector<core::ResultEntry>& topk);
+std::string JsonErrorResponse(const util::Status& status);
+
+/// Wire name of a status code ("ok", "resource_exhausted", ...).
+std::string WireCodeName(WireCode code);
+
+}  // namespace koios::net
+
+#endif  // KOIOS_NET_PROTOCOL_H_

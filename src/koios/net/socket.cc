@@ -1,0 +1,314 @@
+#include "koios/net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "koios/util/fault_injector.h"
+
+namespace koios::net {
+
+namespace {
+
+util::Status ErrnoStatus(const std::string& what, int err) {
+  return util::Status::Internal(what + ": " + std::strerror(err));
+}
+
+// Remaining budget until `deadline` as a poll() timeout; <= 0 means expired.
+int PollBudgetMs(std::chrono::steady_clock::time_point deadline) {
+  const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - std::chrono::steady_clock::now());
+  if (remaining.count() <= 0) return 0;
+  // Cap to keep the wait interruptible and avoid int overflow on far-future
+  // deadlines.
+  return static_cast<int>(std::min<int64_t>(remaining.count(), 60'000));
+}
+
+// poll() for one event with EINTR retry, honoring the absolute deadline.
+// Returns +1 ready, 0 deadline expired, -1 errno failure.
+int PollOne(int fd, short events, std::chrono::steady_clock::time_point deadline) {
+  for (;;) {
+    const int budget = PollBudgetMs(deadline);
+    if (budget <= 0) return 0;
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, budget);
+    if (rc > 0) return 1;
+    if (rc == 0) continue;  // timed out this slice; recheck the deadline
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+}  // namespace
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    // EINTR on close is not retried: POSIX leaves the fd state unspecified
+    // and retrying can close a recycled descriptor.
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+util::Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)", errno);
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(F_SETFL, O_NONBLOCK)", errno);
+  }
+  return util::Status::OK();
+}
+
+util::StatusOr<Socket> ListenTcp(const std::string& address, uint16_t port,
+                                 int backlog, uint16_t* bound_port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return ErrnoStatus("socket", errno);
+
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string bind_to = address.empty() ? "127.0.0.1" : address;
+  if (::inet_pton(AF_INET, bind_to.c_str(), &addr.sin_addr) != 1) {
+    return util::Status::InvalidArgument("not an IPv4 address: " + bind_to);
+  }
+  if (::bind(sock.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    return ErrnoStatus("bind " + bind_to + ":" + std::to_string(port), errno);
+  }
+  if (::listen(sock.fd(), backlog) < 0) return ErrnoStatus("listen", errno);
+
+  if (bound_port != nullptr) {
+    struct sockaddr_in actual;
+    socklen_t len = sizeof(actual);
+    if (::getsockname(sock.fd(), reinterpret_cast<struct sockaddr*>(&actual),
+                      &len) < 0) {
+      return ErrnoStatus("getsockname", errno);
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  if (util::Status s = SetNonBlocking(sock.fd()); !s.ok()) return s;
+  return sock;
+}
+
+util::StatusOr<Socket> ConnectTcp(const std::string& address, uint16_t port,
+                                  std::chrono::milliseconds timeout) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return ErrnoStatus("socket", errno);
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string host = address.empty() ? "127.0.0.1" : address;
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return util::Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+
+  // Nonblocking connect so we can bound it, then flip back to blocking for
+  // the deadline-driven client helpers.
+  if (util::Status s = SetNonBlocking(sock.fd()); !s.ok()) return s;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  int rc;
+  do {
+    rc = ::connect(sock.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    if (errno != EINPROGRESS) return ErrnoStatus("connect", errno);
+    const int ready = PollOne(sock.fd(), POLLOUT, deadline);
+    if (ready == 0) {
+      return util::Status::DeadlineExceeded(
+          "connect to " + host + ":" + std::to_string(port) + " timed out");
+    }
+    if (ready < 0) return ErrnoStatus("poll(connect)", errno);
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+      return ErrnoStatus("getsockopt(SO_ERROR)", errno);
+    }
+    if (err != 0) return ErrnoStatus("connect", err);
+  }
+
+  const int flags = ::fcntl(sock.fd(), F_GETFL, 0);
+  if (flags >= 0) ::fcntl(sock.fd(), F_SETFL, flags & ~O_NONBLOCK);
+  const int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+IoResult ReadSome(int fd, void* buf, size_t len) {
+  if (KOIOS_FAULTPOINT("net.read")) {
+    return IoResult{IoEvent::kError, 0, ECONNRESET};
+  }
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, len, 0);
+    if (n > 0) return IoResult{IoEvent::kProgress, static_cast<size_t>(n), 0};
+    if (n == 0) return IoResult{IoEvent::kPeerClosed, 0, 0};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return IoResult{IoEvent::kWouldBlock, 0, 0};
+    }
+    return IoResult{IoEvent::kError, 0, errno};
+  }
+}
+
+IoResult WriteSome(int fd, const void* data, size_t len) {
+  if (KOIOS_FAULTPOINT("net.write")) {
+    return IoResult{IoEvent::kError, 0, EPIPE};
+  }
+  for (;;) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n >= 0) {
+      // n == 0 with len > 0 shouldn't happen for TCP but would spin the
+      // caller; surface it as would-block so the poll loop re-arms.
+      if (n == 0 && len > 0) return IoResult{IoEvent::kWouldBlock, 0, 0};
+      return IoResult{IoEvent::kProgress, static_cast<size_t>(n), 0};
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return IoResult{IoEvent::kWouldBlock, 0, 0};
+    }
+    return IoResult{IoEvent::kError, 0, errno};
+  }
+}
+
+AcceptResult AcceptNonBlocking(int listener_fd) {
+  AcceptResult result;
+  for (;;) {
+    const int fd = ::accept(listener_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      Socket sock(fd);
+      // Injected accept failure: the connection is real but we drop it, the
+      // exact shape of a transient accept-path failure under pressure.
+      if (KOIOS_FAULTPOINT("net.accept")) {
+        result.event = IoEvent::kError;
+        result.error = ECONNABORTED;
+        return result;
+      }
+      if (util::Status s = SetNonBlocking(sock.fd()); !s.ok()) {
+        result.event = IoEvent::kError;
+        result.error = EBADF;
+        return result;
+      }
+      const int one = 1;
+      ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      result.event = IoEvent::kProgress;
+      result.socket = std::move(sock);
+      return result;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      result.event = IoEvent::kWouldBlock;
+      return result;
+    }
+    // ECONNABORTED & friends: the connection died between SYN and accept.
+    // Not fatal for the listener.
+    result.event = IoEvent::kError;
+    result.error = errno;
+    return result;
+  }
+}
+
+util::Status WriteAll(int fd, const void* data, size_t len,
+                      std::chrono::steady_clock::time_point deadline) {
+  const char* p = static_cast<const char*>(data);
+  size_t remaining = len;
+  while (remaining > 0) {
+    ssize_t n;
+    do {
+      n = ::send(fd, p, remaining, MSG_NOSIGNAL | MSG_DONTWAIT);
+    } while (n < 0 && errno == EINTR);
+    if (n > 0) {
+      p += n;
+      remaining -= static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const int ready = PollOne(fd, POLLOUT, deadline);
+      if (ready == 0) {
+        return util::Status::DeadlineExceeded("write deadline exceeded");
+      }
+      if (ready < 0) return ErrnoStatus("poll(write)", errno);
+      continue;
+    }
+    return ErrnoStatus("send", n < 0 ? errno : EPIPE);
+  }
+  return util::Status::OK();
+}
+
+util::Status ReadExact(int fd, void* buf, size_t len,
+                       std::chrono::steady_clock::time_point deadline) {
+  char* p = static_cast<char*>(buf);
+  size_t remaining = len;
+  while (remaining > 0) {
+    ssize_t n;
+    do {
+      n = ::recv(fd, p, remaining, MSG_DONTWAIT);
+    } while (n < 0 && errno == EINTR);
+    if (n > 0) {
+      p += n;
+      remaining -= static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      return util::Status::Internal("peer closed mid-frame (" +
+                                    std::to_string(len - remaining) + "/" +
+                                    std::to_string(len) + " bytes)");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      const int ready = PollOne(fd, POLLIN, deadline);
+      if (ready == 0) {
+        return util::Status::DeadlineExceeded("read deadline exceeded");
+      }
+      if (ready < 0) return ErrnoStatus("poll(read)", errno);
+      continue;
+    }
+    return ErrnoStatus("recv", errno);
+  }
+  return util::Status::OK();
+}
+
+util::Status ReadUntilClose(int fd, std::string* out, size_t max_bytes,
+                            std::chrono::steady_clock::time_point deadline) {
+  char buf[4096];
+  for (;;) {
+    ssize_t n;
+    do {
+      n = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+    } while (n < 0 && errno == EINTR);
+    if (n > 0) {
+      if (out->size() + static_cast<size_t>(n) > max_bytes) {
+        return util::Status::ResourceExhausted("response exceeds " +
+                                               std::to_string(max_bytes) +
+                                               " bytes");
+      }
+      out->append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return util::Status::OK();
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      const int ready = PollOne(fd, POLLIN, deadline);
+      if (ready == 0) {
+        return util::Status::DeadlineExceeded("read deadline exceeded");
+      }
+      if (ready < 0) return ErrnoStatus("poll(read)", errno);
+      continue;
+    }
+    return ErrnoStatus("recv", errno);
+  }
+}
+
+}  // namespace koios::net

@@ -1,0 +1,120 @@
+// POSIX socket primitives for the network edge, wrapped so the rest of
+// net/ never touches a raw syscall: RAII fd ownership, Status-based
+// listener/connect setup, and partial-write/EINTR-correct IO helpers.
+//
+// Failure hardening baked in at this layer:
+//  * Every send uses MSG_NOSIGNAL, so a peer that died mid-stream yields
+//    EPIPE (an IoEvent::kError the caller sheds one connection over)
+//    instead of a process-wide SIGPIPE. The daemon ALSO ignores SIGPIPE
+//    process-wide (belt and suspenders; see koios_serverd).
+//  * Every syscall loops on EINTR; short reads/writes are first-class
+//    results, never errors.
+//  * The fault injector owns three seams here — "net.accept", "net.read",
+//    "net.write" — so the chaos harness can kill connections at any IO
+//    boundary and assert the edge degrades to clean per-connection closes.
+#ifndef KOIOS_NET_SOCKET_H_
+#define KOIOS_NET_SOCKET_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "koios/util/status.h"
+
+namespace koios::net {
+
+/// Owning file-descriptor wrapper (movable, closes on destruction).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+  /// Releases ownership without closing (for handing the fd elsewhere).
+  int Release() { return std::exchange(fd_, -1); }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds + listens on `address:port` (IPv4 dotted quad; empty = loopback).
+/// port 0 picks an ephemeral port; `bound_port` (optional) receives the
+/// actual one. SO_REUSEADDR is set so restarts don't trip TIME_WAIT.
+util::StatusOr<Socket> ListenTcp(const std::string& address, uint16_t port,
+                                 int backlog, uint16_t* bound_port);
+
+/// Blocking connect with a timeout (nonblocking connect + poll). The
+/// returned socket is in BLOCKING mode — the client-side helpers below
+/// drive it with per-call deadlines.
+util::StatusOr<Socket> ConnectTcp(const std::string& address, uint16_t port,
+                                  std::chrono::milliseconds timeout);
+
+util::Status SetNonBlocking(int fd);
+
+/// Outcome of one nonblocking IO attempt.
+enum class IoEvent {
+  kProgress,    // >= 1 byte moved
+  kWouldBlock,  // EAGAIN/EWOULDBLOCK: retry after poll
+  kPeerClosed,  // orderly shutdown from the peer (reads only)
+  kError,       // errno-level failure (or an injected net.read/net.write
+                // fault); the connection is dead
+};
+
+struct IoResult {
+  IoEvent event = IoEvent::kError;
+  size_t bytes = 0;  // meaningful for kProgress
+  int error = 0;     // errno for kError
+};
+
+/// One nonblocking read into `buf` (EINTR retried). Faultpoint "net.read".
+IoResult ReadSome(int fd, void* buf, size_t len);
+
+/// One nonblocking write of up to `len` bytes (EINTR retried, MSG_NOSIGNAL;
+/// partial writes report kProgress with the byte count — callers keep
+/// their own cursor). Faultpoint "net.write".
+IoResult WriteSome(int fd, const void* data, size_t len);
+
+/// Accept outcome (listener side). Faultpoint "net.accept" fires AFTER the
+/// kernel accept so the injected failure closes a real connection — the
+/// client observes exactly what a transient accept-path failure looks like.
+struct AcceptResult {
+  IoEvent event = IoEvent::kError;
+  Socket socket;  // valid for kProgress
+  int error = 0;
+};
+AcceptResult AcceptNonBlocking(int listener_fd);
+
+// --------------------------------------------------------- blocking side --
+// Client helpers over a BLOCKING socket with an absolute deadline: every
+// syscall computes the remaining budget, waits for readiness with poll
+// (EINTR-aware), and loops over short reads/writes. DeadlineExceeded when
+// the budget runs out mid-transfer.
+
+util::Status WriteAll(int fd, const void* data, size_t len,
+                      std::chrono::steady_clock::time_point deadline);
+util::Status ReadExact(int fd, void* buf, size_t len,
+                       std::chrono::steady_clock::time_point deadline);
+/// Reads until the peer closes (text/HTTP responses), appending to `out`,
+/// capped at `max_bytes`.
+util::Status ReadUntilClose(int fd, std::string* out, size_t max_bytes,
+                            std::chrono::steady_clock::time_point deadline);
+
+}  // namespace koios::net
+
+#endif  // KOIOS_NET_SOCKET_H_

@@ -183,10 +183,21 @@ std::future<QueryEngine::Result> QueryEngine::Submit(
                  /*enforce_queue_bound=*/true);
 }
 
+QueryEngine::Submission QueryEngine::SubmitCancellable(
+    std::vector<TokenId> query, const core::SearchParams& params,
+    std::chrono::milliseconds deadline) {
+  Submission submission;
+  submission.cancel = std::make_shared<CancelToken>();
+  submission.future =
+      Enqueue(CurrentState(), std::move(query), params, MakeTicket(deadline),
+              /*enforce_queue_bound=*/true, submission.cancel);
+  return submission;
+}
+
 std::future<QueryEngine::Result> QueryEngine::Enqueue(
     StatePtr state, std::vector<TokenId> query,
-    const core::SearchParams& params, Ticket ticket,
-    bool enforce_queue_bound) {
+    const core::SearchParams& params, Ticket ticket, bool enforce_queue_bound,
+    std::shared_ptr<CancelToken> cancel) {
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++counters_.submitted;
@@ -240,7 +251,7 @@ std::future<QueryEngine::Result> QueryEngine::Enqueue(
   // happen while it waits in the queue.
   return pool_.Submit(
       [this, state = std::move(state), query = std::move(query), params,
-       ticket]() -> Result {
+       ticket, cancel = std::move(cancel)]() -> Result {
         // The slot must be released on EVERY exit — Execute absorbs
         // deadline aborts, but an unexpected exception (bad_alloc, a
         // faulty similarity backend) propagates into the future, and a
@@ -249,14 +260,15 @@ std::future<QueryEngine::Result> QueryEngine::Enqueue(
           std::atomic<size_t>* in_flight;
           ~SlotRelease() { in_flight->fetch_sub(1, std::memory_order_acq_rel); }
         } release{&in_flight_};
-        return Execute(*state, query, params, ticket);
+        return Execute(*state, query, params, ticket, cancel.get());
       });
 }
 
 QueryEngine::Result QueryEngine::Execute(const ServingState& state,
                                          const std::vector<TokenId>& query,
                                          core::SearchParams params,
-                                         const Ticket& ticket) {
+                                         const Ticket& ticket,
+                                         const CancelToken* cancel) {
   // Engine policy: intra-query parallelism off (see the header comment) —
   // the query runs single-threaded in inline-pipelined mode; concurrency
   // comes from the other workers.
@@ -264,6 +276,7 @@ QueryEngine::Result QueryEngine::Execute(const ServingState& state,
 
   core::SearchContext ctx;
   if (ticket.has_deadline) ctx.set_deadline(ticket.deadline);
+  if (cancel != nullptr) ctx.set_cancel_flag(cancel->flag());
   try {
     ctx.CheckCancelled();  // expired while queued: reject without running
     util::WallTimer timer;
@@ -283,13 +296,23 @@ QueryEngine::Result QueryEngine::Execute(const ServingState& state,
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++counters_.completed;
+      search_stats_.Merge(result.stats);
       latency_.Record(elapsed);
     }
     return result;
   } catch (const core::SearchAborted&) {
     // Clean rejection: the phases unwound through the poison-safe shutdown
-    // machinery; nothing partial escapes. The retry hint is one EWMA
-    // service period — "come back when a typical query would have fit".
+    // machinery; nothing partial escapes. A fired token means the CALLER
+    // walked away (client disconnect) — kCancelled, no retry hint, there
+    // is nobody to retry. Otherwise the deadline elapsed; the retry hint
+    // is one EWMA service period — "come back when a typical query would
+    // have fit".
+    if (cancel != nullptr && cancel->cancelled()) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++counters_.cancelled;
+      return Result(util::Status::Cancelled(
+          "query cancelled by the caller; partial results discarded"));
+    }
     double ewma = 0.0;
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -362,9 +385,23 @@ EngineCounters QueryEngine::counters() const {
   return counters_;
 }
 
+core::SearchStats QueryEngine::search_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return search_stats_;
+}
+
 LatencyRecorder QueryEngine::latency() const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   return latency_;
+}
+
+double QueryEngine::LatencyEwmaSeconds() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return latency_.EwmaSeconds();
+}
+
+double QueryEngine::EstimatedQueueWaitSeconds() const {
+  return EstimatedQueueWaitSeconds(in_flight_.load(std::memory_order_acquire));
 }
 
 }  // namespace koios::serve

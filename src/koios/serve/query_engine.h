@@ -88,9 +88,29 @@ struct EngineCounters {
   /// query's deadline budget, so it was rejected at the door instead of
   /// burning a queue slot to time out later.
   uint64_t rejected_wait_exceeds_deadline = 0;
+  /// Queries aborted because their CancelToken fired (disconnected client)
+  /// before they finished; partial work was discarded.
+  uint64_t cancelled = 0;
   /// TrySwapFromRepository outcomes (SwapSnapshot counts as a success).
   uint64_t swaps_completed = 0;
   uint64_t swap_failures = 0;
+};
+
+/// Cooperative cancellation for a submitted query: the network edge holds
+/// the token and fires it when its client disconnects, so a query whose
+/// answer nobody will read stops burning a worker at the next deadline
+/// poll (the same coarse-cadence polls the deadline uses) and unwinds
+/// through the poison-safe machinery — no partial state, clean kCancelled.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  const std::atomic<bool>* flag() const { return &cancelled_; }
+
+ private:
+  std::atomic<bool> cancelled_{false};
 };
 
 class QueryEngine {
@@ -128,6 +148,19 @@ class QueryEngine {
   std::future<Result> Submit(std::vector<TokenId> query,
                              const core::SearchParams& params,
                              std::chrono::milliseconds deadline);
+
+  /// Submit with cooperative cancellation: same admission semantics, plus
+  /// a token the caller may fire at any time (before or while the query
+  /// runs). A cancelled query resolves to kCancelled with zero partial
+  /// results; a token fired after completion is a harmless no-op. The
+  /// token is also usable from other threads than the submitter.
+  struct Submission {
+    std::future<Result> future;
+    std::shared_ptr<CancelToken> cancel;
+  };
+  Submission SubmitCancellable(std::vector<TokenId> query,
+                               const core::SearchParams& params,
+                               std::chrono::milliseconds deadline);
 
   /// Batched execution: prewarms the union of the batch's query tokens
   /// once (deduplicated, parallel on the engine pool), then runs every
@@ -178,8 +211,23 @@ class QueryEngine {
   size_t num_threads() const { return pool_.num_threads(); }
 
   EngineCounters counters() const;
+  /// Aggregate of every completed query's SearchStats (tuples, candidates,
+  /// filter hits, exact matchings) — the engine-lifetime totals the metric
+  /// registry exposes, replacing per-call ad-hoc stat plumbing.
+  core::SearchStats search_stats() const;
   /// Copy of the per-query wall-latency samples (successful queries only).
   LatencyRecorder latency() const;
+  /// EWMA service time in seconds (0 until the first query completes) —
+  /// the overload governor's "how long does one query take right now",
+  /// exposed for metrics without copying the whole sample vector.
+  double LatencyEwmaSeconds() const;
+  /// The overload governor's CURRENT estimate of how long a query
+  /// submitted right now would wait before a worker picks it up. 0 while
+  /// a worker is free — and, by design, 0 on a COLD engine (no completed
+  /// query yet means no EWMA): the governor never fail-fast rejects
+  /// without evidence, so a cold daemon cannot shed its first burst on a
+  /// bogus estimate. Exposed for metrics and admission introspection.
+  double EstimatedQueueWaitSeconds() const;
 
  private:
   struct Ticket {
@@ -230,10 +278,12 @@ class QueryEngine {
   /// through the future — the wrapper in Enqueue still releases the
   /// admission slot.
   Result Execute(const ServingState& state, const std::vector<TokenId>& query,
-                 core::SearchParams params, const Ticket& ticket);
+                 core::SearchParams params, const Ticket& ticket,
+                 const CancelToken* cancel);
   std::future<Result> Enqueue(StatePtr state, std::vector<TokenId> query,
                               const core::SearchParams& params, Ticket ticket,
-                              bool enforce_queue_bound);
+                              bool enforce_queue_bound,
+                              std::shared_ptr<CancelToken> cancel = nullptr);
 
   EngineOptions options_;
   // The hot-swappable serving state; reads and the swap flip are brief
@@ -248,6 +298,7 @@ class QueryEngine {
 
   mutable std::mutex stats_mutex_;
   EngineCounters counters_;
+  core::SearchStats search_stats_;  // merged per completed query
   LatencyRecorder latency_;
 
   // LAST member: its destructor joins workers that still touch the stats

@@ -1,0 +1,194 @@
+#include "koios/util/metric_registry.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace koios::util {
+
+namespace {
+
+/// Shortest round-trippable rendering of a double: integers print bare
+/// ("42"), everything else with enough digits ("0.0125", "1e-06").
+std::string RenderDouble(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Histogram
+
+Histogram::Histogram(std::string name, std::string help,
+                     std::vector<double> bounds)
+    : name_(std::move(name)), help_(std::move(help)), bounds_(std::move(bounds)) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  const size_t idx =
+      std::upper_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  // upper_bound gives the first bound STRICTLY greater; Prometheus buckets
+  // are upper-inclusive, so step back when the value sits exactly on one.
+  const size_t bucket =
+      (idx > 0 && bounds_[idx - 1] == value) ? idx - 1 : idx;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double current = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(current, current + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::CumulativeCount(size_t i) const {
+  uint64_t total = 0;
+  for (size_t b = 0; b <= i && b <= bounds_.size(); ++b) {
+    total += buckets_[b].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<double> ExponentialLatencyBuckets() {
+  std::vector<double> bounds;
+  for (double b = 1e-4; b < 200.0; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+// ----------------------------------------------------------- MetricRegistry
+
+const MetricRegistry::Entry* MetricRegistry::Find(std::string_view name) const {
+  for (const auto& [n, entry] : metrics_) {
+    if (n == name) return &entry;
+  }
+  return nullptr;
+}
+
+Counter* MetricRegistry::RegisterCounter(std::string_view name,
+                                         std::string_view help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const Entry* existing = Find(name)) {
+    return existing->kind == Entry::kCounter ? existing->counter.get()
+                                             : nullptr;
+  }
+  Entry entry;
+  entry.kind = Entry::kCounter;
+  entry.counter.reset(new Counter(std::string(name), std::string(help)));
+  Counter* ptr = entry.counter.get();
+  metrics_.emplace_back(std::string(name), std::move(entry));
+  return ptr;
+}
+
+Gauge* MetricRegistry::RegisterGauge(std::string_view name,
+                                     std::string_view help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const Entry* existing = Find(name)) {
+    return existing->kind == Entry::kGauge ? existing->gauge.get() : nullptr;
+  }
+  Entry entry;
+  entry.kind = Entry::kGauge;
+  entry.gauge.reset(new Gauge(std::string(name), std::string(help)));
+  Gauge* ptr = entry.gauge.get();
+  metrics_.emplace_back(std::string(name), std::move(entry));
+  return ptr;
+}
+
+Histogram* MetricRegistry::RegisterHistogram(std::string_view name,
+                                             std::string_view help,
+                                             std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const Entry* existing = Find(name)) {
+    return existing->kind == Entry::kHistogram ? existing->histogram.get()
+                                               : nullptr;
+  }
+  Entry entry;
+  entry.kind = Entry::kHistogram;
+  entry.histogram.reset(
+      new Histogram(std::string(name), std::string(help), std::move(bounds)));
+  Histogram* ptr = entry.histogram.get();
+  metrics_.emplace_back(std::string(name), std::move(entry));
+  return ptr;
+}
+
+Counter* MetricRegistry::FindCounter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Entry* entry = Find(name);
+  return entry != nullptr && entry->kind == Entry::kCounter
+             ? entry->counter.get()
+             : nullptr;
+}
+
+Gauge* MetricRegistry::FindGauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Entry* entry = Find(name);
+  return entry != nullptr && entry->kind == Entry::kGauge ? entry->gauge.get()
+                                                          : nullptr;
+}
+
+Histogram* MetricRegistry::FindHistogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Entry* entry = Find(name);
+  return entry != nullptr && entry->kind == Entry::kHistogram
+             ? entry->histogram.get()
+             : nullptr;
+}
+
+void MetricRegistry::AddCollectionCallback(std::function<void()> callback) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  callbacks_.push_back(std::move(callback));
+}
+
+std::string MetricRegistry::RenderText() const {
+  // Callbacks refresh gauges from their authoritative sources first. They
+  // run under the registry mutex (serialized against each other and
+  // against concurrent registration); metric mutation itself is atomic,
+  // so concurrent hot-path updates are unaffected.
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& callback : callbacks_) callback();
+
+  std::string out;
+  out.reserve(metrics_.size() * 96);
+  for (const auto& [name, entry] : metrics_) {
+    switch (entry.kind) {
+      case Entry::kCounter: {
+        const Counter& c = *entry.counter;
+        if (!c.help_.empty()) out += "# HELP " + name + " " + c.help_ + "\n";
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + std::to_string(c.Value()) + "\n";
+        break;
+      }
+      case Entry::kGauge: {
+        const Gauge& g = *entry.gauge;
+        if (!g.help_.empty()) out += "# HELP " + name + " " + g.help_ + "\n";
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + RenderDouble(g.Value()) + "\n";
+        break;
+      }
+      case Entry::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        if (!h.help_.empty()) out += "# HELP " + name + " " + h.help_ + "\n";
+        out += "# TYPE " + name + " histogram\n";
+        for (size_t i = 0; i < h.bounds().size(); ++i) {
+          out += name + "_bucket{le=\"" + RenderDouble(h.bounds()[i]) + "\"} " +
+                 std::to_string(h.CumulativeCount(i)) + "\n";
+        }
+        out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.Count()) + "\n";
+        out += name + "_sum " + RenderDouble(h.Sum()) + "\n";
+        out += name + "_count " + std::to_string(h.Count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace koios::util

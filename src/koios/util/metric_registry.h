@@ -1,0 +1,158 @@
+// MetricRegistry — the first-class metrics vocabulary of the serving
+// stack: named counters, gauges and histograms behind one registry with a
+// Prometheus-style text exposition (rendered by the daemon's /metrics
+// endpoint and scraped by the smoke/chaos harnesses).
+//
+// Design:
+//  * Registration is idempotent and returns a STABLE pointer — a metric,
+//    once created, lives as long as the registry, so hot paths hold the
+//    raw Counter*/Gauge* and never touch the registry mutex again. All
+//    mutation methods are lock-free atomics.
+//  * Pull model for pre-existing instrumentation: subsystems that already
+//    keep their own counters (EngineCounters, CursorCacheStats, the
+//    LatencyRecorder percentiles) register a collection CALLBACK instead
+//    of double-counting on the hot path; callbacks run at render time and
+//    refresh gauges from the authoritative source.
+//  * Histograms use fixed exponential bucket bounds chosen at registration
+//    (upper-bound inclusive, +Inf implicit), each bucket a relaxed atomic —
+//    cheap enough to record every request's latency on the network thread.
+//
+// Thread-safety: everything is safe to call concurrently; RenderText takes
+// the registry mutex only to snapshot the metric list (and to serialize
+// callbacks against each other).
+#ifndef KOIOS_UTIL_METRIC_REGISTRY_H_
+#define KOIOS_UTIL_METRIC_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace koios::util {
+
+/// Monotone counter. Add() with a negative value is a caller bug and is
+/// ignored (a counter never goes down).
+class Counter {
+ public:
+  void Increment() { value_.fetch_add(1, std::memory_order_relaxed); }
+  void Add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+  /// For collection callbacks that MIRROR an authoritative monotone source
+  /// (e.g. EngineCounters) instead of counting on the hot path. The source
+  /// being monotone is what keeps the exposed counter monotone; do not use
+  /// this for values that can go down (that is a Gauge).
+  void Set(uint64_t value) { value_.store(value, std::memory_order_relaxed); }
+
+ private:
+  friend class MetricRegistry;
+  explicit Counter(std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+  std::string name_, help_;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time value (doubles cover both integral and ratio metrics).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricRegistry;
+  explicit Gauge(std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+  std::string name_, help_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bounds are upper-bound inclusive and strictly
+/// increasing; an implicit +Inf bucket catches the rest. Records are
+/// lock-free (one relaxed fetch_add per bucket + sum/count).
+class Histogram {
+ public:
+  void Observe(double value);
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Cumulative count of observations <= bounds()[i].
+  uint64_t CumulativeCount(size_t i) const;
+
+ private:
+  friend class MetricRegistry;
+  Histogram(std::string name, std::string help, std::vector<double> bounds);
+  std::string name_, help_;
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default latency bucket bounds (seconds): 100us .. ~100s, x2 steps.
+std::vector<double> ExponentialLatencyBuckets();
+
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Idempotent: re-registering an existing name returns the same metric
+  /// (the help string of the first registration wins). Registering the
+  /// same name as a DIFFERENT metric kind returns nullptr — a programming
+  /// error surfaced loudly instead of aliasing storage.
+  Counter* RegisterCounter(std::string_view name, std::string_view help);
+  Gauge* RegisterGauge(std::string_view name, std::string_view help);
+  Histogram* RegisterHistogram(std::string_view name, std::string_view help,
+                               std::vector<double> bounds);
+
+  /// Lookup without creating; nullptr when absent or a different kind.
+  Counter* FindCounter(std::string_view name) const;
+  Gauge* FindGauge(std::string_view name) const;
+  Histogram* FindHistogram(std::string_view name) const;
+
+  /// Registers a callback run at the START of every RenderText — the seam
+  /// that migrates pre-existing instrumentation (engine counters, cursor
+  /// cache stats, latency percentiles) behind the registry without
+  /// double-counting: the callback reads the authoritative source and
+  /// refreshes the registered gauges/counters.
+  void AddCollectionCallback(std::function<void()> callback);
+
+  /// Prometheus-style text exposition:
+  ///   # HELP name help text
+  ///   # TYPE name counter|gauge|histogram
+  ///   name value
+  /// Histograms render name_bucket{le="..."} lines plus _sum/_count.
+  /// Metrics render in registration order (stable scrapes diff cleanly).
+  std::string RenderText() const;
+
+ private:
+  struct Entry {
+    enum Kind { kCounter, kGauge, kHistogram } kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  const Entry* Find(std::string_view name) const;
+
+  mutable std::mutex mutex_;
+  // Pointer stability: entries are appended, never removed or reallocated
+  // away (unique_ptr payloads), so returned metric pointers live as long
+  // as the registry.
+  std::vector<std::pair<std::string, Entry>> metrics_;
+  std::vector<std::function<void()>> callbacks_;
+};
+
+}  // namespace koios::util
+
+#endif  // KOIOS_UTIL_METRIC_REGISTRY_H_

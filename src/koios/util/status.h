@@ -24,6 +24,13 @@ enum class StatusCode {
   kResourceExhausted,
   /// A per-query deadline elapsed before (or while) the work ran.
   kDeadlineExceeded,
+  /// The serving process cannot take this request right now (no snapshot
+  /// live yet, or a graceful drain is in progress); retryable, usually
+  /// against another replica.
+  kUnavailable,
+  /// The caller (or its disconnected client) cancelled the work before it
+  /// finished; any partial work was discarded.
+  kCancelled,
 };
 
 /// Lightweight status object. OK carries no allocation.
@@ -54,6 +61,12 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -19,6 +19,10 @@
 #include "koios/core/searcher.h"
 #include "koios/io/repository_v4.h"
 #include "koios/io/serialization.h"
+#include "koios/net/client.h"
+#include "koios/net/engine_slot.h"
+#include "koios/net/repository_watcher.h"
+#include "koios/net/server.h"
 #include "koios/serve/query_engine.h"
 #include "koios/serve/snapshot.h"
 #include "koios/util/fault_injector.h"
@@ -513,6 +517,226 @@ TEST(ServeFaultTest, TrySwapOnCorruptV4KeepsServingOldSnapshot) {
   std::remove(v3_path.c_str());
   std::remove(v4_path.c_str());
   std::remove(corrupt_path.c_str());
+}
+
+// ------------------------------------------------------------- net seams --
+// ISSUE 8 satellite: the network edge owns four faultpoints — net.accept,
+// net.read, net.write, watch.poll. With each armed (one-shot and
+// probabilistic), failures must cost at most ONE connection / ONE poll:
+// the server keeps answering, successful responses stay bit-identical to
+// the serial reference, and a failed poll never swaps a snapshot.
+
+struct NetChaosRig {
+  testing::RandomWorkload workload;
+  std::unique_ptr<KoiosSearcher> serial;
+  net::EngineSlot slot;
+  std::unique_ptr<net::Server> server;
+
+  std::vector<TokenId> QueryFor(size_t i) const {
+    const auto tokens = workload.corpus.sets.Tokens(
+        static_cast<SetId>((i * 7) % workload.corpus.sets.size()));
+    return {tokens.begin(), tokens.end()};
+  }
+};
+
+// Heap-allocated: the rig is self-referential (engine and server borrow
+// the workload and slot by address), so it must never move.
+std::unique_ptr<NetChaosRig> MakeNetChaosRig(uint64_t seed) {
+  auto rig_owner = std::make_unique<NetChaosRig>();
+  NetChaosRig& rig = *rig_owner;
+  rig.workload = testing::MakeRandomWorkload(100, 400, 5, 18, seed);
+  rig.serial = std::make_unique<KoiosSearcher>(&rig.workload.corpus.sets,
+                                               rig.workload.index.get());
+  EngineOptions engine_options;
+  engine_options.num_threads = 2;
+  rig.slot.Set(std::make_shared<QueryEngine>(
+      &rig.workload.corpus.sets, rig.workload.index.get(), engine_options));
+  rig.server = std::make_unique<net::Server>(&rig.slot, nullptr,
+                                             net::ServerOptions{});
+  EXPECT_TRUE(rig.server->Start().ok());
+  return rig_owner;
+}
+
+void ExpectExactOverTheWire(NetChaosRig& rig, net::BlockingClient& client,
+                            size_t i) {
+  const std::vector<TokenId> query = rig.QueryFor(i);
+  auto got = client.Search(query, 5, 0.8, 0);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  SearchParams params;
+  params.k = 5;
+  params.num_threads = 1;
+  const SearchResult want = rig.serial->Search(query, params);
+  ASSERT_EQ(got.value().size(), want.topk.size());
+  for (size_t e = 0; e < want.topk.size(); ++e) {
+    EXPECT_EQ(got.value()[e].set, want.topk[e].set);
+    EXPECT_EQ(got.value()[e].score, want.topk[e].score);
+  }
+}
+
+TEST(NetFaultTest, OneShotAcceptFaultCostsOneHandshakeOnly) {
+  std::unique_ptr<NetChaosRig> rig_owner = MakeNetChaosRig(31001);
+  NetChaosRig& rig = *rig_owner;
+  {
+    FaultSpec spec;
+    spec.fail_on_hit = 1;
+    ScopedFault fault("net.accept", spec);
+    // The TCP connect lands in the kernel; the server-side accept fires
+    // the fault and closes the fresh connection — our first IO fails.
+    auto doomed = net::BlockingClient::Connect("127.0.0.1",
+                                               rig.server->port());
+    if (doomed.ok()) {
+      EXPECT_FALSE(doomed.value().Ping().ok());
+    }
+    // One-shot: the NEXT accept (still armed) succeeds.
+    auto next = net::BlockingClient::Connect("127.0.0.1",
+                                             rig.server->port());
+    ASSERT_TRUE(next.ok());
+    EXPECT_TRUE(next.value().Ping().ok());
+    ExpectExactOverTheWire(rig, next.value(), 0);
+  }
+  EXPECT_GE(rig.server->stats().accept_errors, 1u);
+}
+
+TEST(NetFaultTest, OneShotReadFaultShedsOneConnection) {
+  std::unique_ptr<NetChaosRig> rig_owner = MakeNetChaosRig(31002);
+  NetChaosRig& rig = *rig_owner;
+  auto victim = net::BlockingClient::Connect("127.0.0.1",
+                                             rig.server->port());
+  ASSERT_TRUE(victim.ok());
+  ASSERT_TRUE(victim.value().Ping().ok());  // healthy before the fault
+  {
+    FaultSpec spec;
+    spec.fail_on_hit = 1;
+    ScopedFault fault("net.read", spec);
+    // The next server-side read of this connection dies; the ping cannot
+    // complete, but it must fail with a clean Status, not hang.
+    EXPECT_FALSE(victim.value().Ping().ok());
+  }
+  EXPECT_GE(rig.server->stats().read_errors, 1u);
+  auto fresh = net::BlockingClient::Connect("127.0.0.1", rig.server->port());
+  ASSERT_TRUE(fresh.ok()) << "server died after a read fault";
+  ExpectExactOverTheWire(rig, fresh.value(), 1);
+}
+
+TEST(NetFaultTest, OneShotWriteFaultShedsOneConnection) {
+  std::unique_ptr<NetChaosRig> rig_owner = MakeNetChaosRig(31003);
+  NetChaosRig& rig = *rig_owner;
+  auto victim = net::BlockingClient::Connect("127.0.0.1",
+                                             rig.server->port());
+  ASSERT_TRUE(victim.ok());
+  ASSERT_TRUE(victim.value().Ping().ok());
+  {
+    FaultSpec spec;
+    spec.fail_on_hit = 1;
+    ScopedFault fault("net.write", spec);
+    // The response write fails server-side; this connection is dead but
+    // the failure is contained to it.
+    EXPECT_FALSE(victim.value().Search(rig.QueryFor(2), 5, 0.8, 0).ok());
+  }
+  EXPECT_GE(rig.server->stats().write_errors, 1u);
+  auto fresh = net::BlockingClient::Connect("127.0.0.1", rig.server->port());
+  ASSERT_TRUE(fresh.ok()) << "server died after a write fault";
+  ExpectExactOverTheWire(rig, fresh.value(), 3);
+}
+
+TEST(NetFaultTest, ProbabilisticIoChaosNeverCorruptsAnAnswer) {
+  // Seeded random read+write failures across many short-lived clients:
+  // plenty of connections die mid-flight, but every answer that DOES come
+  // back is bit-identical to the serial reference, and the server is
+  // still standing (and exact) once the chaos stops.
+  std::unique_ptr<NetChaosRig> rig_owner = MakeNetChaosRig(31004);
+  NetChaosRig& rig = *rig_owner;
+  size_t answered = 0;
+  {
+    FaultSpec read_spec;
+    read_spec.fail_probability = 0.05;
+    read_spec.seed = 91;
+    ScopedFault read_fault("net.read", read_spec);
+    FaultSpec write_spec;
+    write_spec.fail_probability = 0.05;
+    write_spec.seed = 92;
+    ScopedFault write_fault("net.write", write_spec);
+
+    for (size_t i = 0; i < 40; ++i) {
+      auto client = net::BlockingClient::Connect("127.0.0.1",
+                                                 rig.server->port());
+      if (!client.ok()) continue;
+      const std::vector<TokenId> query = rig.QueryFor(i);
+      auto got = client.value().Search(query, 5, 0.8, 0);
+      if (!got.ok()) continue;  // a shed connection, not a wrong answer
+      ++answered;
+      SearchParams params;
+      params.k = 5;
+      params.num_threads = 1;
+      const SearchResult want = rig.serial->Search(query, params);
+      ASSERT_EQ(got.value().size(), want.topk.size()) << "query " << i;
+      for (size_t e = 0; e < want.topk.size(); ++e) {
+        EXPECT_EQ(got.value()[e].set, want.topk[e].set) << "query " << i;
+        EXPECT_EQ(got.value()[e].score, want.topk[e].score) << "query " << i;
+      }
+    }
+  }
+  EXPECT_GT(answered, 0u) << "p=0.05 chaos should not kill every request";
+  auto recovered = net::BlockingClient::Connect("127.0.0.1",
+                                                rig.server->port());
+  ASSERT_TRUE(recovered.ok()) << "server did not survive the chaos run";
+  ExpectExactOverTheWire(rig, recovered.value(), 5);
+}
+
+TEST(NetFaultTest, WatchPollFaultSweepNeverSwaps) {
+  // One-shot at every position AND a p=1.0 run: a failed poll only ever
+  // increments poll_failures — the pending change on disk must not load
+  // through a faulted poll, at any position in the schedule.
+  const std::string path = ::testing::TempDir() + "/koios_net_watch.bin";
+  {
+    auto w = testing::MakeRandomWorkload(40, 300, 5, 12, 31005);
+    text::Dictionary dict;
+    for (TokenId t = 0; t < 300; ++t) dict.Intern("tok" + std::to_string(t));
+    ASSERT_TRUE(io::SaveRepositoryV4(dict, w.corpus.sets, &w.model->store(),
+                                     path)
+                    .ok());
+  }
+  net::EngineSlot slot;
+  net::WatcherOptions options;
+  options.engine.num_threads = 1;
+  net::RepositoryWatcher watcher(path, &slot, nullptr, options);
+  ASSERT_TRUE(watcher.PollOnce().ok());
+  ASSERT_NE(slot.Get(), nullptr);
+
+  // Push a change that will be pending throughout the sweep.
+  {
+    auto w = testing::MakeRandomWorkload(70, 300, 5, 12, 31006);
+    text::Dictionary dict;
+    for (TokenId t = 0; t < 300; ++t) dict.Intern("tok" + std::to_string(t));
+    ASSERT_TRUE(io::SaveRepositoryV4(dict, w.corpus.sets, &w.model->store(),
+                                     path)
+                    .ok());
+  }
+
+  for (uint64_t n = 1; n <= 4; ++n) {
+    FaultSpec spec;
+    spec.fail_on_hit = n;
+    ScopedFault fault("watch.poll", spec);
+    for (uint64_t i = 1; i < n; ++i) watcher.PollOnce();  // burn hits
+    const util::Status faulted = watcher.PollOnce();      // hit n fires
+    EXPECT_FALSE(faulted.ok());
+    EXPECT_NE(faulted.ToString().find("watch.poll"), std::string::npos);
+  }
+  {
+    FaultSpec spec;
+    spec.fail_probability = 1.0;
+    ScopedFault fault("watch.poll", spec);
+    for (int i = 0; i < 6; ++i) EXPECT_FALSE(watcher.PollOnce().ok());
+  }
+  EXPECT_GE(watcher.stats().poll_failures, 10u);
+
+  // Between the one-shot windows some polls ran clean, so the change may
+  // have legitimately landed — what the sweep pins down is that no FAULTED
+  // poll swaps: failures and swaps must account for disjoint polls.
+  const net::WatcherStats stats = watcher.stats();
+  EXPECT_LE(stats.swaps_completed, 1u);
+  EXPECT_GE(stats.polls, stats.poll_failures + stats.swaps_completed);
+  std::remove(path.c_str());
 }
 
 }  // namespace

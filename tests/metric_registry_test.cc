@@ -1,0 +1,154 @@
+// MetricRegistry (ISSUE 8): the serving stack's metrics vocabulary.
+// Registration must be idempotent with stable pointers, kind collisions
+// must surface as nullptr instead of aliasing storage, histograms must
+// bucket correctly (upper-bound inclusive, implicit +Inf), collection
+// callbacks must refresh mirrored values at render time, and the text
+// exposition must be stable, parseable Prometheus format.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "koios/util/metric_registry.h"
+
+namespace koios::util {
+namespace {
+
+TEST(MetricRegistryTest, RegistrationIsIdempotentWithStablePointers) {
+  MetricRegistry registry;
+  Counter* a = registry.RegisterCounter("koios_test_total", "help one");
+  ASSERT_NE(a, nullptr);
+  a->Add(7);
+  Counter* b = registry.RegisterCounter("koios_test_total", "help two");
+  EXPECT_EQ(a, b);  // same name, same metric, same storage
+  EXPECT_EQ(b->Value(), 7u);
+
+  Gauge* g = registry.RegisterGauge("koios_test_gauge", "");
+  EXPECT_EQ(registry.RegisterGauge("koios_test_gauge", ""), g);
+}
+
+TEST(MetricRegistryTest, KindCollisionReturnsNullInsteadOfAliasing) {
+  MetricRegistry registry;
+  ASSERT_NE(registry.RegisterCounter("koios_name", ""), nullptr);
+  EXPECT_EQ(registry.RegisterGauge("koios_name", ""), nullptr);
+  EXPECT_EQ(registry.RegisterHistogram("koios_name", "", {1.0}), nullptr);
+  // Find mirrors the kind discipline.
+  EXPECT_NE(registry.FindCounter("koios_name"), nullptr);
+  EXPECT_EQ(registry.FindGauge("koios_name"), nullptr);
+  EXPECT_EQ(registry.FindCounter("koios_absent"), nullptr);
+}
+
+TEST(MetricRegistryTest, CounterIgnoresNothingAndGaugeMoves) {
+  MetricRegistry registry;
+  Counter* c = registry.RegisterCounter("koios_c_total", "");
+  c->Increment();
+  c->Add(4);
+  EXPECT_EQ(c->Value(), 5u);
+  c->Set(3);  // mirror semantics: authoritative source says 3
+  EXPECT_EQ(c->Value(), 3u);
+
+  Gauge* g = registry.RegisterGauge("koios_g", "");
+  g->Set(2.5);
+  g->Add(-1.0);
+  EXPECT_DOUBLE_EQ(g->Value(), 1.5);
+}
+
+TEST(MetricRegistryTest, HistogramBucketsAreUpperBoundInclusive) {
+  MetricRegistry registry;
+  Histogram* h =
+      registry.RegisterHistogram("koios_h_seconds", "", {0.01, 0.1, 1.0});
+  h->Observe(0.01);   // lands IN the 0.01 bucket (inclusive)
+  h->Observe(0.05);
+  h->Observe(0.5);
+  h->Observe(100.0);  // +Inf overflow
+  EXPECT_EQ(h->Count(), 4u);
+  EXPECT_DOUBLE_EQ(h->Sum(), 100.56);
+  EXPECT_EQ(h->CumulativeCount(0), 1u);  // <= 0.01
+  EXPECT_EQ(h->CumulativeCount(1), 2u);  // <= 0.1
+  EXPECT_EQ(h->CumulativeCount(2), 3u);  // <= 1.0
+}
+
+TEST(MetricRegistryTest, ExponentialLatencyBucketsAreStrictlyIncreasing) {
+  const std::vector<double> bounds = ExponentialLatencyBuckets();
+  ASSERT_GT(bounds.size(), 4u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]) << "at " << i;
+  }
+  EXPECT_LE(bounds.front(), 1e-3);  // covers sub-millisecond queries
+  EXPECT_GE(bounds.back(), 10.0);   // and pathological stalls
+}
+
+TEST(MetricRegistryTest, CollectionCallbackRefreshesMirrorsAtRenderTime) {
+  MetricRegistry registry;
+  Counter* mirror = registry.RegisterCounter("koios_mirrored_total", "");
+  std::atomic<uint64_t> authoritative{0};
+  registry.AddCollectionCallback(
+      [&] { mirror->Set(authoritative.load(std::memory_order_relaxed)); });
+
+  authoritative.store(42);
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("koios_mirrored_total 42"), std::string::npos) << text;
+  EXPECT_EQ(mirror->Value(), 42u);
+
+  authoritative.store(43);  // next scrape sees the new value, not a cache
+  EXPECT_NE(registry.RenderText().find("koios_mirrored_total 43"),
+            std::string::npos);
+}
+
+TEST(MetricRegistryTest, RenderTextIsPrometheusShaped) {
+  MetricRegistry registry;
+  registry.RegisterCounter("koios_requests_total", "Requests served")
+      ->Add(2);
+  registry.RegisterGauge("koios_ready", "Traffic-ready flag")->Set(1.0);
+  Histogram* h =
+      registry.RegisterHistogram("koios_latency_seconds", "Latency", {0.5});
+  h->Observe(0.25);
+  h->Observe(2.0);
+
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("# HELP koios_requests_total Requests served"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE koios_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("koios_requests_total 2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE koios_ready gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE koios_latency_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("koios_latency_seconds_bucket{le=\"0.5\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("koios_latency_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("koios_latency_seconds_count 2"), std::string::npos);
+  // Registration order is exposition order: stable scrapes diff cleanly.
+  EXPECT_LT(text.find("koios_requests_total"), text.find("koios_ready"));
+  EXPECT_LT(text.find("koios_ready"), text.find("koios_latency_seconds"));
+}
+
+TEST(MetricRegistryTest, ConcurrentMutationAndRenderIsSafe) {
+  MetricRegistry registry;
+  Counter* c = registry.RegisterCounter("koios_hot_total", "");
+  Histogram* h = registry.RegisterHistogram("koios_hot_seconds", "",
+                                            ExponentialLatencyBuckets());
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        c->Increment();
+        h->Observe(0.001);
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    const std::string text = registry.RenderText();
+    EXPECT_NE(text.find("koios_hot_total"), std::string::npos);
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& w : writers) w.join();
+  EXPECT_EQ(c->Value(), h->Count());  // one observe per increment
+}
+
+}  // namespace
+}  // namespace koios::util

@@ -1,0 +1,272 @@
+// Wire protocol of koios_serverd (ISSUE 8): binary frames must round-trip
+// exactly, the incremental parsers must be byte-at-a-time safe (kNeedMore
+// on every prefix), oversize must be rejected FROM THE HEADER before the
+// body is buffered, malformed frames must be clean kErrors, the wire-code
+// mapping must stay frozen, retry hints must survive the wire, and the
+// strict JSON dialect must reject what it does not understand.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "koios/net/protocol.h"
+
+namespace koios::net {
+namespace {
+
+using core::ResultEntry;
+
+RequestFrame MakeSearchMany() {
+  RequestFrame frame;
+  frame.op = Op::kSearchMany;
+  frame.k = 5;
+  frame.alpha = 0.75;
+  frame.deadline_ms = 250;
+  frame.queries = {{1, 2, 3}, {9}, {4, 4, 7, 1000000}};
+  return frame;
+}
+
+TEST(NetProtocolTest, RequestFrameRoundTripsExactly) {
+  const RequestFrame in = MakeSearchMany();
+  std::string wire;
+  AppendRequestFrame(in, &wire);
+
+  RequestFrame out;
+  size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(ParseRequestFrame(wire.data(), wire.size(), 1 << 20, &consumed,
+                              &out, &error),
+            ParseStatus::kOk)
+      << error;
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(out.op, in.op);
+  EXPECT_EQ(out.k, in.k);
+  EXPECT_DOUBLE_EQ(out.alpha, in.alpha);
+  EXPECT_EQ(out.deadline_ms, in.deadline_ms);
+  EXPECT_EQ(out.queries, in.queries);
+}
+
+TEST(NetProtocolTest, EveryPrefixIsNeedMoreNeverError) {
+  // Byte-at-a-time safety: a parser that mis-handles a short read would
+  // close perfectly healthy slow connections.
+  std::string wire;
+  AppendRequestFrame(MakeSearchMany(), &wire);
+  for (size_t len = 0; len < wire.size(); ++len) {
+    RequestFrame out;
+    size_t consumed = 0;
+    std::string error;
+    EXPECT_EQ(ParseRequestFrame(wire.data(), len, 1 << 20, &consumed, &out,
+                                &error),
+              ParseStatus::kNeedMore)
+        << "prefix of " << len << " bytes: " << error;
+  }
+}
+
+TEST(NetProtocolTest, PipelinedFramesParseOneAtATime) {
+  std::string wire;
+  AppendRequestFrame(MakeSearchMany(), &wire);
+  const size_t first = wire.size();
+  RequestFrame ping;
+  ping.op = Op::kPing;
+  ping.queries.clear();
+  AppendRequestFrame(ping, &wire);
+
+  RequestFrame out;
+  size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(ParseRequestFrame(wire.data(), wire.size(), 1 << 20, &consumed,
+                              &out, &error),
+            ParseStatus::kOk);
+  EXPECT_EQ(consumed, first);  // exactly one frame consumed
+  EXPECT_EQ(out.op, Op::kSearchMany);
+  ASSERT_EQ(ParseRequestFrame(wire.data() + consumed, wire.size() - consumed,
+                              1 << 20, &consumed, &out, &error),
+            ParseStatus::kOk);
+  EXPECT_EQ(out.op, Op::kPing);
+}
+
+TEST(NetProtocolTest, OversizeIsRejectedFromTheHeaderAlone) {
+  // Header declaring a 2 MiB body against a 1 MiB cap: kError with only
+  // the 6 header bytes in the buffer — the defense must not wait for (or
+  // buffer) a body the peer could feed forever.
+  char header[kFrameHeaderBytes];
+  header[0] = static_cast<char>(kFrameMagic);
+  header[1] = static_cast<char>(Op::kSearch);
+  const uint32_t body_len = 2u << 20;
+  std::memcpy(header + 2, &body_len, sizeof body_len);
+
+  RequestFrame out;
+  size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(ParseRequestFrame(header, sizeof header, 1 << 20, &consumed, &out,
+                              &error),
+            ParseStatus::kError);
+  EXPECT_NE(error.find("exceeds"), std::string::npos) << error;
+}
+
+TEST(NetProtocolTest, MalformedFramesAreCleanErrors) {
+  auto expect_error = [](std::string wire, const char* label) {
+    RequestFrame out;
+    size_t consumed = 0;
+    std::string error;
+    EXPECT_EQ(ParseRequestFrame(wire.data(), wire.size(), 1 << 20, &consumed,
+                                &out, &error),
+              ParseStatus::kError)
+        << label;
+    EXPECT_FALSE(error.empty()) << label;
+  };
+
+  std::string good;
+  AppendRequestFrame(MakeSearchMany(), &good);
+
+  std::string bad_magic = good;
+  bad_magic[0] = 0x7f;
+  expect_error(bad_magic, "bad magic");
+
+  std::string bad_op = good;
+  bad_op[1] = 99;
+  expect_error(bad_op, "unknown op");
+
+  std::string padded = good;  // body_len covers 4 junk bytes past the queries
+  padded[2] = static_cast<char>(padded[2] + 4);
+  padded.append(4, '\0');
+  expect_error(padded, "trailing bytes in frame body");
+
+  RequestFrame zero_k = MakeSearchMany();
+  zero_k.k = 0;
+  std::string zero_k_wire;
+  AppendRequestFrame(zero_k, &zero_k_wire);
+  expect_error(zero_k_wire, "k == 0");
+
+  RequestFrame bad_alpha = MakeSearchMany();
+  bad_alpha.alpha = 1.5;
+  std::string bad_alpha_wire;
+  AppendRequestFrame(bad_alpha, &bad_alpha_wire);
+  expect_error(bad_alpha_wire, "alpha out of (0,1]");
+
+  RequestFrame empty = MakeSearchMany();
+  empty.queries = {{}};
+  std::string empty_wire;
+  AppendRequestFrame(empty, &empty_wire);
+  expect_error(empty_wire, "empty query");
+}
+
+TEST(NetProtocolTest, OkResponseRoundTripsResultsExactly) {
+  std::vector<ResultEntry> topk = {{4, 0.918273645546372819, true},
+                                   {17, 0.5, false},
+                                   {0, 1e-12, true}};
+  std::string wire;
+  AppendOkResponse(3, topk, &wire);
+
+  ResponseFrame out;
+  size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(ParseResponseFrame(wire.data(), wire.size(), 16 << 20, &consumed,
+                               &out, &error),
+            ParseStatus::kOk)
+      << error;
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(out.code, WireCode::kOk);
+  EXPECT_EQ(out.query_index, 3u);
+  ASSERT_EQ(out.results.size(), topk.size());
+  for (size_t i = 0; i < topk.size(); ++i) {
+    EXPECT_EQ(out.results[i].set, topk[i].set);
+    // Bit-exact: the chaos bench compares network results to the serial
+    // reference with ==; the wire must not round doubles.
+    EXPECT_EQ(out.results[i].score, topk[i].score);
+    EXPECT_EQ(out.results[i].exact, topk[i].exact);
+  }
+}
+
+TEST(NetProtocolTest, ErrorResponseCarriesRetryHintAcrossTheWire) {
+  const util::Status shed =
+      util::Status::ResourceExhausted("queue full").WithRetryAfterMs(37);
+  std::string wire;
+  AppendErrorResponse(2, shed, &wire);
+
+  ResponseFrame out;
+  size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(ParseResponseFrame(wire.data(), wire.size(), 16 << 20, &consumed,
+                               &out, &error),
+            ParseStatus::kOk);
+  EXPECT_EQ(out.code, WireCode::kResourceExhausted);
+  EXPECT_EQ(out.query_index, 2u);
+  EXPECT_EQ(out.retry_after_ms, 37u);
+
+  const util::Status back = ResponseToStatus(out);
+  EXPECT_EQ(back.code(), util::StatusCode::kResourceExhausted);
+  ASSERT_TRUE(back.has_retry_after());
+  EXPECT_EQ(back.retry_after_ms(), 37);
+  EXPECT_NE(back.message().find("queue full"), std::string::npos);
+}
+
+TEST(NetProtocolTest, WireCodeMappingIsFrozen) {
+  // These numeric values are the protocol contract; reordering the C++
+  // enums must never change them.
+  EXPECT_EQ(static_cast<uint8_t>(WireCode::kOk), 0);
+  EXPECT_EQ(static_cast<uint8_t>(WireCode::kInvalidArgument), 1);
+  EXPECT_EQ(static_cast<uint8_t>(WireCode::kNotFound), 2);
+  EXPECT_EQ(static_cast<uint8_t>(WireCode::kResourceExhausted), 3);
+  EXPECT_EQ(static_cast<uint8_t>(WireCode::kDeadlineExceeded), 4);
+  EXPECT_EQ(static_cast<uint8_t>(WireCode::kUnavailable), 5);
+  EXPECT_EQ(static_cast<uint8_t>(WireCode::kCancelled), 6);
+  EXPECT_EQ(static_cast<uint8_t>(WireCode::kInternal), 7);
+
+  // Round-trip every code the engine can emit.
+  for (const util::StatusCode code :
+       {util::StatusCode::kOk, util::StatusCode::kInvalidArgument,
+        util::StatusCode::kNotFound, util::StatusCode::kResourceExhausted,
+        util::StatusCode::kDeadlineExceeded, util::StatusCode::kUnavailable,
+        util::StatusCode::kCancelled, util::StatusCode::kInternal}) {
+    EXPECT_EQ(FromWireCode(ToWireCode(code)), code);
+  }
+}
+
+TEST(NetProtocolTest, JsonRequestParsesAndDefaultsApply) {
+  JsonRequest req;
+  ASSERT_TRUE(ParseJsonRequestLine(
+                  R"({"tokens":[3,1,4],"k":7,"alpha":0.6,"deadline_ms":99})",
+                  &req)
+                  .ok());
+  EXPECT_EQ(req.tokens, (std::vector<TokenId>{3, 1, 4}));
+  EXPECT_EQ(req.k, 7u);
+  EXPECT_DOUBLE_EQ(req.alpha, 0.6);
+  EXPECT_EQ(req.deadline_ms, 99u);
+
+  JsonRequest defaults;
+  ASSERT_TRUE(ParseJsonRequestLine(R"({"tokens":[5]})", &defaults).ok());
+  EXPECT_EQ(defaults.k, 10u);
+  EXPECT_DOUBLE_EQ(defaults.alpha, 0.8);
+  EXPECT_EQ(defaults.deadline_ms, 0u);
+}
+
+TEST(NetProtocolTest, JsonParserIsStrict) {
+  JsonRequest req;
+  // A typo'd key must fail loud, not silently fall back to a default.
+  EXPECT_FALSE(
+      ParseJsonRequestLine(R"({"tokens":[1],"aplha":0.5})", &req).ok());
+  EXPECT_FALSE(ParseJsonRequestLine(R"({"k":10})", &req).ok());  // no tokens
+  EXPECT_FALSE(ParseJsonRequestLine(R"({"tokens":[]})", &req).ok());
+  EXPECT_FALSE(ParseJsonRequestLine(R"({"tokens":[1]} extra)", &req).ok());
+  EXPECT_FALSE(ParseJsonRequestLine("not json", &req).ok());
+  EXPECT_FALSE(ParseJsonRequestLine(R"({"tokens":[-1]})", &req).ok());
+}
+
+TEST(NetProtocolTest, JsonResponsesAreWellFormed) {
+  const std::string ok = JsonOkResponse({{4, 0.5, true}, {9, 0.25, false}});
+  EXPECT_NE(ok.find("\"status\":\"ok\""), std::string::npos) << ok;
+  EXPECT_NE(ok.find("\"set\":4"), std::string::npos);
+  EXPECT_NE(ok.find("\"exact\":true"), std::string::npos);
+  EXPECT_NE(ok.find("\"exact\":false"), std::string::npos);
+
+  const std::string err = JsonErrorResponse(
+      util::Status::Unavailable("draining").WithRetryAfterMs(12));
+  EXPECT_NE(err.find("\"status\":\"unavailable\""), std::string::npos) << err;
+  EXPECT_NE(err.find("\"retry_after_ms\":12"), std::string::npos);
+  EXPECT_NE(err.find("draining"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace koios::net

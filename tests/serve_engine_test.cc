@@ -21,6 +21,7 @@
 #include "koios/serve/query_engine.h"
 #include "koios/serve/snapshot.h"
 #include "koios/sim/batched_neighbor_index.h"
+#include "koios/util/fault_injector.h"
 #include "test_util.h"
 
 namespace koios::serve {
@@ -228,6 +229,56 @@ TEST(QueryEngineTest, ExpiredDeadlineIsCleanlyRejected) {
     EXPECT_EQ(late.status().code(), util::StatusCode::kDeadlineExceeded);
     EXPECT_GE(engine.counters().deadline_exceeded, 1u);
   }
+}
+
+TEST(QueryEngineTest, ColdEngineNeverFailsFastOnEstimatedWait) {
+  // Regression (ISSUE 8 satellite): the fail-fast governor estimates a
+  // new query's queue wait from the latency EWMA. A COLD engine has no
+  // EWMA, so the estimate must be 0 and the fail-fast path must never
+  // fire — a daemon's first burst after startup (or after a snapshot
+  // swap built a fresh engine) must not be shed on a made-up wait.
+  auto w = testing::MakeRandomWorkload(100, 400, 5, 20, 11010);
+  EngineOptions options;
+  options.num_threads = 1;  // a deep queue forms immediately
+  options.max_queue = 64;
+  QueryEngine engine(&w.corpus.sets, w.index.get(), options);
+  EXPECT_DOUBLE_EQ(engine.EstimatedQueueWaitSeconds(), 0.0);
+
+  const auto tokens = w.corpus.sets.Tokens(2);
+  SearchParams params;
+  params.k = 5;
+  params.alpha = 0.7;
+  // Every query carries a TIGHT deadline: if the governor hallucinated a
+  // wait, these would all be rejected_wait_exceeds_deadline. Cold, they
+  // must all be admitted (what happens later — completion or an honest
+  // mid-flight deadline — is not this test's concern). The stalled
+  // dispatch pins the engine cold for the WHOLE burst: nothing completes,
+  // so the EWMA provably stays empty while every submit is judged.
+  std::vector<std::future<QueryEngine::Result>> futures;
+  {
+    util::FaultSpec slow;
+    slow.latency = std::chrono::milliseconds(20);
+    util::ScopedFault dispatch_fault("threadpool.dispatch", slow);
+    for (size_t i = 0; i < 32; ++i) {
+      futures.push_back(engine.Submit({tokens.begin(), tokens.end()}, params,
+                                      std::chrono::milliseconds(5)));
+    }
+    EXPECT_DOUBLE_EQ(engine.EstimatedQueueWaitSeconds(), 0.0)
+        << "a cold engine has no basis for a wait estimate";
+  }
+  for (auto& f : futures) f.get();
+  const EngineCounters counters = engine.counters();
+  EXPECT_EQ(counters.rejected_wait_exceeds_deadline, 0u)
+      << "cold engine shed on an estimated wait it cannot have";
+  EXPECT_EQ(counters.rejected_queue_full, 0u);
+  EXPECT_EQ(counters.submitted, 32u);
+
+  // Warmed up (one clean completion), the estimator comes alive — the
+  // /metrics gauges the daemon exposes key off exactly these two.
+  QueryEngine::Result warm =
+      engine.Submit({tokens.begin(), tokens.end()}, params).get();
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_GT(engine.LatencyEwmaSeconds(), 0.0);
 }
 
 TEST(QueryEngineTest, SearchManyPrewarmsOnceAcrossTheBatch) {

@@ -1,0 +1,177 @@
+// koios_serverd — the failure-hardened network front-end. Serves the Koios
+// top-k semantic overlap search from a repository file over TCP (binary
+// protocol + line-JSON + /healthz //readyz //metrics HTTP), with:
+//
+//   * zero-touch snapshot reload: a watcher thread polls the repository
+//     file and hot-swaps on change, fail-closed (a corrupt push is
+//     rejected; the old snapshot keeps answering);
+//   * graceful drain: SIGTERM/SIGINT stop accepting, flip /readyz to 503,
+//     finish in-flight queries under --drain-ms, then exit 0;
+//   * first-class metrics: every counter the serve stack keeps, exposed
+//     in Prometheus text form on GET /metrics of the SAME listener.
+//
+// The daemon starts UNREADY (no engine) and becomes ready when the first
+// snapshot load succeeds — pointed at a missing or corrupt file it comes
+// up, answers health checks, and waits for a good push instead of
+// crash-looping.
+//
+//   koios_serverd --repo /path/repo.bin [--port 0] [--threads 4] ...
+//
+// Exit status: 0 clean drain / clean stop, 1 usage, 2 startup failure.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "koios/net/engine_slot.h"
+#include "koios/net/repository_watcher.h"
+#include "koios/net/server.h"
+#include "koios/serve/engine_metrics.h"
+#include "koios/util/metric_registry.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void HandleShutdownSignal(int) { g_shutdown = 1; }
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --repo <file> [options]\n"
+      "  --repo PATH            repository file to serve (watched for "
+      "changes)\n"
+      "  --port N               listen port (default 0 = ephemeral; the "
+      "chosen\n"
+      "                         port is printed to stdout)\n"
+      "  --bind ADDR            bind address (default 127.0.0.1)\n"
+      "  --port-file PATH       also write the chosen port to this file\n"
+      "  --threads N            query worker threads (default 4)\n"
+      "  --queue N              admission queue bound (default 256)\n"
+      "  --deadline-ms N        default per-query deadline (default 0 = "
+      "none)\n"
+      "  --cache-bytes N        cursor cache byte budget (default 64MiB)\n"
+      "  --poll-ms N            repository watch interval (default 500)\n"
+      "  --max-conns N          connection cap (default 256)\n"
+      "  --max-request-bytes N  request size cap (default 1MiB)\n"
+      "  --drain-ms N           graceful drain budget on SIGTERM (default "
+      "5000)\n"
+      "  --read-deadline-ms N   slow-loris close threshold (default 10000)\n"
+      "  --write-deadline-ms N  stalled-reader close threshold (default "
+      "10000)\n"
+      "  --idle-ms N            idle connection close (default 60000, 0 = "
+      "never)\n"
+      "  --quantize             build the int8 embedding tier on load\n",
+      argv0);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace koios;
+
+  std::string repo;
+  std::string port_file;
+  net::ServerOptions server_options;
+  net::WatcherOptions watcher_options;
+  watcher_options.engine.num_threads = 4;
+  watcher_options.engine.cursor_cache_bytes = 64u << 20;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](long long* out) {
+      if (i + 1 >= argc) return false;
+      *out = std::atoll(argv[++i]);
+      return true;
+    };
+    long long v = 0;
+    if (arg == "--repo" && i + 1 < argc) {
+      repo = argv[++i];
+    } else if (arg == "--bind" && i + 1 < argc) {
+      server_options.bind_address = argv[++i];
+    } else if (arg == "--port-file" && i + 1 < argc) {
+      port_file = argv[++i];
+    } else if (arg == "--port" && next(&v)) {
+      server_options.port = static_cast<uint16_t>(v);
+    } else if (arg == "--threads" && next(&v)) {
+      watcher_options.engine.num_threads = static_cast<size_t>(v);
+    } else if (arg == "--queue" && next(&v)) {
+      watcher_options.engine.max_queue = static_cast<size_t>(v);
+    } else if (arg == "--deadline-ms" && next(&v)) {
+      server_options.default_query_deadline = std::chrono::milliseconds(v);
+    } else if (arg == "--cache-bytes" && next(&v)) {
+      watcher_options.engine.cursor_cache_bytes = static_cast<size_t>(v);
+    } else if (arg == "--poll-ms" && next(&v)) {
+      watcher_options.poll_interval = std::chrono::milliseconds(v);
+    } else if (arg == "--max-conns" && next(&v)) {
+      server_options.max_connections = static_cast<size_t>(v);
+    } else if (arg == "--max-request-bytes" && next(&v)) {
+      server_options.max_request_bytes = static_cast<size_t>(v);
+    } else if (arg == "--drain-ms" && next(&v)) {
+      server_options.drain_deadline = std::chrono::milliseconds(v);
+    } else if (arg == "--read-deadline-ms" && next(&v)) {
+      server_options.read_deadline = std::chrono::milliseconds(v);
+    } else if (arg == "--write-deadline-ms" && next(&v)) {
+      server_options.write_deadline = std::chrono::milliseconds(v);
+    } else if (arg == "--idle-ms" && next(&v)) {
+      server_options.idle_timeout = std::chrono::milliseconds(v);
+    } else if (arg == "--quantize") {
+      watcher_options.snapshot.quantize_embeddings = true;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+  if (repo.empty()) return Usage(argv[0]);
+
+  // SIGPIPE-proofing, belt and suspenders with MSG_NOSIGNAL on every send:
+  // a client that vanishes mid-stream must surface as EPIPE on ONE
+  // connection, never as a process-killing signal.
+  std::signal(SIGPIPE, SIG_IGN);
+  std::signal(SIGTERM, HandleShutdownSignal);
+  std::signal(SIGINT, HandleShutdownSignal);
+
+  util::MetricRegistry registry;
+  net::EngineSlot slot;
+  // The engine family resolves through the slot per scrape: all zeros
+  // until the first snapshot loads, then live engine/cursor-cache stats.
+  serve::RegisterEngineMetrics(
+      &registry, [&slot]() -> std::shared_ptr<const serve::QueryEngine> {
+        return slot.Get();
+      });
+  net::RepositoryWatcher watcher(repo, &slot, &registry, watcher_options);
+  net::Server server(&slot, &registry, server_options);
+
+  if (util::Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "koios_serverd: %s\n", s.ToString().c_str());
+    return 2;
+  }
+  watcher.Start();
+
+  std::printf("koios_serverd listening on %s:%u (repo %s)\n",
+              server_options.bind_address.c_str(), server.port(),
+              repo.c_str());
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    if (std::FILE* f = std::fopen(port_file.c_str(), "w")) {
+      std::fprintf(f, "%u\n", server.port());
+      std::fclose(f);
+    }
+  }
+
+  while (g_shutdown == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  // Graceful drain: stop accepting, answer kUnavailable, finish + flush
+  // in-flight work (bounded by --drain-ms), then exit 0.
+  std::fprintf(stderr, "koios_serverd: draining...\n");
+  server.Drain();
+  watcher.Stop();
+  std::fprintf(stderr, "koios_serverd: drained, exiting\n");
+  return 0;
+}
