@@ -72,7 +72,13 @@ void RepositoryWatcher::Start() {
 }
 
 void RepositoryWatcher::Stop() {
-  stop_.store(true, std::memory_order_release);
+  {
+    // Store under wake_mutex_ so the notify cannot slip between the
+    // waiter's predicate check and its block — a lost wakeup would delay
+    // shutdown by a full poll interval.
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_.store(true, std::memory_order_release);
+  }
   wake_.notify_all();
   if (thread_.joinable()) thread_.join();
 }

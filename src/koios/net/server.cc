@@ -321,14 +321,23 @@ void SubmitQuery(LoopContext& ctx, Connection& c, uint32_t query_index,
   std::shared_ptr<serve::QueryEngine> engine = ctx.slot->Get();
   if (engine == nullptr || ctx.draining) {
     ctx.im->unavailable_rejections.fetch_add(1, std::memory_order_relaxed);
-    std::string payload;
     if (c.mode == Connection::Mode::kJson) {
-      payload = JsonErrorResponse(UnavailableStatus(ctx)) + "\n";
+      // JSON responses are correlated strictly by line order, so the
+      // rejection must wait its turn behind earlier pipelined queries:
+      // enqueue it as an already-resolved entry (same head-of-line
+      // mechanism as the parse-error path). EmitResult counts the error.
+      std::promise<serve::QueryEngine::Result> resolved;
+      resolved.set_value(UnavailableStatus(ctx));
+      PendingQuery p;
+      p.future = resolved.get_future();
+      p.submitted = std::chrono::steady_clock::now();
+      c.pending.push_back(std::move(p));
     } else {
+      std::string payload;
       AppendErrorResponse(query_index, UnavailableStatus(ctx), &payload);
+      ctx.im->responses_error.fetch_add(1, std::memory_order_relaxed);
+      QueueOutput(ctx, c, payload);
     }
-    ctx.im->responses_error.fetch_add(1, std::memory_order_relaxed);
-    QueueOutput(ctx, c, payload);
     return;
   }
   core::SearchParams params;
@@ -541,6 +550,9 @@ void PollPendingQueries(LoopContext& ctx, Connection& c) {
     // order, head-of-line.
     while (!c.dead && !c.pending.empty() && c.pending.front().Ready()) {
       EmitResult(ctx, c, c.pending.front());
+      // EmitResult can shed the connection (bounded output buffer), and
+      // Close clears c.pending — erasing after that is UB.
+      if (c.dead) break;
       c.pending.erase(c.pending.begin());
     }
   } else {
@@ -549,6 +561,8 @@ void PollPendingQueries(LoopContext& ctx, Connection& c) {
     for (auto it = c.pending.begin(); !c.dead && it != c.pending.end();) {
       if (it->Ready()) {
         EmitResult(ctx, c, *it);
+        // A shed inside EmitResult clears c.pending and invalidates `it`.
+        if (c.dead) break;
         it = c.pending.erase(it);
       } else {
         ++it;
@@ -633,7 +647,10 @@ void Server::Loop() {
         if (accepted.event == IoEvent::kWouldBlock) break;
         if (accepted.event != IoEvent::kProgress) {
           im.accept_errors.fetch_add(1, std::memory_order_relaxed);
-          continue;
+          // A persistent failure (EMFILE/ENFILE) does not dequeue the
+          // pending connection; looping here would spin the event-loop
+          // thread. Yield to the next poll round instead.
+          break;
         }
         if (im.connections.size() >= options_.max_connections) {
           // Hard cap: close immediately (never queued, never half-served).

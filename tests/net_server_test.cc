@@ -458,6 +458,154 @@ TEST(NetServerTest, SlowLorisConnectionIsClosedAtTheReadDeadline) {
   EXPECT_TRUE(client.value().Ping().ok());
 }
 
+// Regression: a stalled-reader shed fired from INSIDE EmitResult (the
+// bounded output buffer) calls Close, which clears c.pending while
+// PollPendingQueries is still iterating it. The erase that used to follow
+// unconditionally ran on the cleared vector (JSON) or through an
+// invalidated iterator (binary). With a cap smaller than one response,
+// the very first pipelined result trips the path; the server must shed
+// the one connection, not corrupt its loop.
+TEST(NetServerTest, ShedInsidePipelinedEmitCostsOnlyThatConnection) {
+  ServerOptions options;
+  options.max_output_buffer_bytes = 16;  // smaller than any query response
+  std::unique_ptr<ServerFixture> owner =
+      MakeServer(options, 12008, /*engine_threads=*/1);
+  ServerFixture& f = *owner;
+
+  auto victim = ConnectTcp("127.0.0.1", f.server->port(),
+                           std::chrono::milliseconds(2000));
+  ASSERT_TRUE(victim.ok());
+  RequestFrame frame;
+  frame.op = Op::kSearchMany;
+  frame.k = 5;
+  frame.alpha = 0.8;
+  for (size_t i = 0; i < 8; ++i) frame.queries.push_back(f.QueryFor(i));
+  std::string wire;
+  AppendRequestFrame(frame, &wire);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  ASSERT_TRUE(WriteAll(victim.value().fd(), wire.data(), wire.size(),
+                       deadline)
+                  .ok());
+
+  bool shed = false;
+  for (int attempt = 0; attempt < 500 && !shed; ++attempt) {
+    shed = f.server->stats().stalled_reader_sheds > 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(shed) << "tiny output bound never shed the batch connection";
+
+  // The loop thread survived: pings still answer (a ping response fits
+  // under the 16-byte bound; query responses would not).
+  auto next = BlockingClient::Connect("127.0.0.1", f.server->port());
+  ASSERT_TRUE(next.ok()) << "server died shedding a stalled reader";
+  EXPECT_TRUE(next.value().Ping().ok());
+
+  // And the same JSON-mode path: pipeline two lines, first emit sheds.
+  const uint64_t sheds_before = f.server->stats().stalled_reader_sheds;
+  auto json_victim = ConnectTcp("127.0.0.1", f.server->port(),
+                                std::chrono::milliseconds(2000));
+  ASSERT_TRUE(json_victim.ok());
+  const std::string two_lines =
+      "{\"tokens\":[1,2,3],\"k\":3}\n{\"tokens\":[4,5,6],\"k\":3}\n";
+  ASSERT_TRUE(WriteAll(json_victim.value().fd(), two_lines.data(),
+                       two_lines.size(), deadline)
+                  .ok());
+  shed = false;
+  for (int attempt = 0; attempt < 500 && !shed; ++attempt) {
+    shed = f.server->stats().stalled_reader_sheds > sheds_before;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(shed) << "JSON pipelined emit never shed";
+  auto after = BlockingClient::Connect("127.0.0.1", f.server->port());
+  ASSERT_TRUE(after.ok()) << "server died on the JSON shed path";
+  EXPECT_TRUE(after.value().Ping().ok());
+}
+
+// Regression: JSON clients correlate responses strictly by line order, so
+// an unavailable rejection (slot cleared / draining) raised while earlier
+// pipelined queries are still in flight must wait its turn in the
+// head-of-line queue — it used to be written immediately, jumping ahead
+// and misattributing every response after it.
+TEST(NetServerTest, JsonUnavailableRejectionKeepsItsPlaceInResponseOrder) {
+  std::unique_ptr<ServerFixture> owner =
+      MakeServer({}, 12009, /*engine_threads=*/1);
+  ServerFixture& f = *owner;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+
+  // Occupy the single worker with a long pipelined batch from another
+  // connection so the JSON query below stays pending for a while.
+  auto busy = ConnectTcp("127.0.0.1", f.server->port(),
+                         std::chrono::milliseconds(2000));
+  ASSERT_TRUE(busy.ok());
+  RequestFrame frame;
+  frame.op = Op::kSearchMany;
+  frame.k = 5;
+  frame.alpha = 0.8;
+  for (size_t i = 0; i < 100; ++i) frame.queries.push_back(f.QueryFor(i));
+  std::string wire;
+  AppendRequestFrame(frame, &wire);
+  ASSERT_TRUE(WriteAll(busy.value().fd(), wire.data(), wire.size(), deadline)
+                  .ok());
+
+  auto sock = ConnectTcp("127.0.0.1", f.server->port(),
+                         std::chrono::milliseconds(2000));
+  ASSERT_TRUE(sock.ok());
+  std::string valid = "{\"tokens\":[";
+  const std::vector<TokenId> query = f.QueryFor(1);
+  for (size_t t = 0; t < query.size(); ++t) {
+    if (t > 0) valid += ',';
+    valid += std::to_string(query[t]);
+  }
+  valid += "],\"k\":3}\n";
+  ASSERT_TRUE(WriteAll(sock.value().fd(), valid.data(), valid.size(),
+                       deadline)
+                  .ok());
+  // Wait until the valid line is dispatched (the batch was request #1).
+  for (int attempt = 0; attempt < 500; ++attempt) {
+    if (f.server->stats().requests >= 2) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_GE(f.server->stats().requests, 2u);
+
+  // Yank the slot (keeping the engine alive so in-flight work finishes):
+  // the next line must be rejected kUnavailable — but BEHIND the pending
+  // query, not ahead of it.
+  std::shared_ptr<serve::QueryEngine> held = f.slot.Get();
+  f.slot.Set(nullptr);
+  const std::string second = "{\"tokens\":[7,8,9],\"k\":3}\n";
+  ASSERT_TRUE(WriteAll(sock.value().fd(), second.data(), second.size(),
+                       deadline)
+                  .ok());
+
+  std::vector<std::string> responses;
+  std::string current;
+  while (responses.size() < 2) {
+    char c = 0;
+    ASSERT_TRUE(ReadExact(sock.value().fd(), &c, 1, deadline).ok());
+    if (c == '\n') {
+      responses.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  // First line answers the first query (whatever the engine said, it is
+  // NOT the slot-cleared rejection); the rejection is second, with its
+  // retry hint intact.
+  EXPECT_EQ(responses[0].find("no snapshot live yet"), std::string::npos)
+      << responses[0];
+  EXPECT_NE(responses[1].find("\"status\":\"unavailable\""),
+            std::string::npos)
+      << responses[1];
+  EXPECT_NE(responses[1].find("no snapshot live yet"), std::string::npos)
+      << responses[1];
+  EXPECT_NE(responses[1].find("retry_after_ms"), std::string::npos)
+      << responses[1];
+  EXPECT_GE(f.server->stats().unavailable_rejections, 1u);
+}
+
 TEST(NetServerTest, DrainFinishesInFlightWorkThenStopsListening) {
   std::unique_ptr<ServerFixture> owner = MakeServer({}, 12007, /*engine_threads=*/1);
   ServerFixture& f = *owner;
