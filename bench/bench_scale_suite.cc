@@ -30,6 +30,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,7 @@
 #include "koios/text/dictionary.h"
 #include "koios/util/rng.h"
 #include "koios/util/timer.h"
+#include "koios/util/trace_recorder.h"
 
 namespace koios {
 namespace {
@@ -97,6 +99,12 @@ bool SameTopK(const core::SearchResult& got, const core::SearchResult& want) {
   return true;
 }
 
+struct PhaseDelta {
+  std::string name;
+  uint64_t count = 0;
+  double sum_sec = 0.0;
+};
+
 struct SizeReport {
   size_t num_sets = 0;
   size_t total_tokens = 0;
@@ -108,15 +116,35 @@ struct SizeReport {
   double load_speedup = 0.0;
   size_t v3_load_rss_kb = 0, v4_load_rss_kb = 0;
   double qps = 0.0, p50_ms = 0.0, p99_ms = 0.0;
+  std::vector<PhaseDelta> phases;    // span-time attribution, v4 queries only
+  double span_coverage = 0.0;        // direct search children / search total
   bool exact = true;
   bool zero_requant = true;
 };
+
+/// Cumulative (count, sum-seconds) per phase name from the trace recorder.
+std::map<std::string, std::pair<uint64_t, double>> PhaseTotals() {
+  std::map<std::string, std::pair<uint64_t, double>> totals;
+  for (const auto& phase : util::TraceRecorder::Instance().PhaseHistograms()) {
+    totals[phase.name] = {phase.count, phase.sum};
+  }
+  return totals;
+}
 
 int Run(const std::vector<size_t>& sizes, size_t num_queries,
         const std::string& json_path) {
   std::vector<SizeReport> reports;
   bool all_exact = true;
   bool all_zero_requant = true;
+
+  // Trace every probe query so the report can attribute serving time to
+  // pipeline phases at each tier (the span recorder's overhead is a few
+  // ns per span — noise against ms-scale queries).
+  {
+    util::TraceRecorder::Options trace_options;
+    trace_options.sample_every = 1;
+    util::TraceRecorder::Instance().Configure(trace_options);
+  }
 
   for (const size_t num_sets : sizes) {
     SizeReport r;
@@ -232,13 +260,26 @@ int Run(const std::vector<size_t>& sizes, size_t num_queries,
     core::KoiosSearcher v3_searcher(&v3_snap->sets(), v3_snap->index());
     core::KoiosSearcher v4_searcher(&v4_snap->sets(), v4_snap->index());
     std::vector<double> latencies_ms;
+    std::vector<core::SearchResult> v4_results;
     util::WallTimer serve_timer;
+    // The v4 pass runs alone (phase totals snapshotted around it) so the
+    // per-tier span attribution covers only the measured queries; the v3
+    // exactness pass follows.
+    const auto phases_before = PhaseTotals();
     for (const auto& q : sampled) {
+      // Bench drives the searcher directly (no QueryEngine front door), so
+      // each query adopts its own forced trace to make its spans record.
+      util::TraceAdopt trace(
+          util::TraceRecorder::Instance().StartTraceForced(), 0);
       util::WallTimer qt;
-      core::SearchResult v4_result = v4_searcher.Search(q.tokens, params);
+      v4_results.push_back(v4_searcher.Search(q.tokens, params));
       latencies_ms.push_back(qt.ElapsedSeconds() * 1e3);
-      core::SearchResult v3_result = v3_searcher.Search(q.tokens, params);
-      if (!SameTopK(v4_result, v3_result)) {
+    }
+    const auto phases_after = PhaseTotals();
+    for (size_t i = 0; i < sampled.size(); ++i) {
+      core::SearchResult v3_result =
+          v3_searcher.Search(sampled[i].tokens, params);
+      if (!SameTopK(v4_results[i], v3_result)) {
         std::fprintf(stderr,
                      "EXACTNESS VIOLATION at %zu sets: v4 top-k diverges "
                      "from v3\n",
@@ -247,6 +288,26 @@ int Run(const std::vector<size_t>& sizes, size_t num_queries,
       }
     }
     const double serve_sec = serve_timer.ElapsedSeconds();
+
+    // ---- per-phase attribution (v4 pass only) --------------------------
+    double search_total = 0.0, children_total = 0.0;
+    for (const auto& [name, after] : phases_after) {
+      const auto it = phases_before.find(name);
+      PhaseDelta d;
+      d.name = name;
+      d.count = after.first - (it != phases_before.end() ? it->second.first : 0);
+      d.sum_sec =
+          after.second - (it != phases_before.end() ? it->second.second : 0.0);
+      if (d.count == 0) continue;
+      if (d.name == "search") search_total = d.sum_sec;
+      // Direct children of "search" partition its wall time in the serial
+      // pipeline; search.em_batch is nested inside search.postprocess.
+      if (d.name.rfind("search.", 0) == 0 && d.name != "search.em_batch") {
+        children_total += d.sum_sec;
+      }
+      r.phases.push_back(std::move(d));
+    }
+    r.span_coverage = search_total > 0 ? children_total / search_total : 0.0;
     all_exact = all_exact && r.exact;
     r.qps = serve_sec > 0 ? static_cast<double>(2 * sampled.size()) / serve_sec
                           : 0.0;
@@ -256,10 +317,10 @@ int Run(const std::vector<size_t>& sizes, size_t num_queries,
     std::printf(
         "[%8zu sets] build %.1fs | file v3 %.1fMB v4 %.1fMB | load v3 "
         "%.3fs v4 %.5fs (%.0fx) | rss v3 +%zuMB v4 +%zuMB | p50 %.1fms "
-        "p99 %.1fms | %s %s\n",
+        "p99 %.1fms | span cover %.0f%% | %s %s\n",
         num_sets, r.build_sec, r.v3_bytes / 1e6, r.v4_bytes / 1e6,
         r.v3_load_sec, r.v4_load_sec, r.load_speedup, r.v3_load_rss_kb / 1024,
-        r.v4_load_rss_kb / 1024, r.p50_ms, r.p99_ms,
+        r.v4_load_rss_kb / 1024, r.p50_ms, r.p99_ms, r.span_coverage * 100.0,
         r.exact ? "exact" : "DIVERGED",
         r.zero_requant ? "zero-requant" : "REQUANTIZED");
     reports.push_back(r);
@@ -288,13 +349,25 @@ int Run(const std::vector<size_t>& sizes, size_t num_queries,
           "     \"load_speedup\": %.1f,\n"
           "     \"v3_load_rss_kb\": %zu, \"v4_load_rss_kb\": %zu,\n"
           "     \"qps\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f,\n"
-          "     \"exact\": %s, \"zero_requant\": %s}%s\n",
+          "     \"span_coverage\": %.4f,\n"
+          "     \"phases\": {",
           r.num_sets, r.total_tokens, r.vocab, r.build_sec, r.v3_bytes,
           r.v4_bytes, r.v3_save_sec, r.v4_save_sec, r.v3_load_sec,
           r.v4_load_sec, r.load_speedup, r.v3_load_rss_kb, r.v4_load_rss_kb,
-          r.qps, r.p50_ms, r.p99_ms, r.exact ? "true" : "false",
-          r.zero_requant ? "true" : "false",
-          i + 1 < reports.size() ? "," : "");
+          r.qps, r.p50_ms, r.p99_ms, r.span_coverage);
+      for (size_t p = 0; p < r.phases.size(); ++p) {
+        const PhaseDelta& d = r.phases[p];
+        std::fprintf(f, "%s\n       \"%s\": {\"count\": %llu, \"sum_ms\": %.3f}",
+                     p > 0 ? "," : "", d.name.c_str(),
+                     static_cast<unsigned long long>(d.count),
+                     d.sum_sec * 1e3);
+      }
+      std::fprintf(f,
+                   "},\n"
+                   "     \"exact\": %s, \"zero_requant\": %s}%s\n",
+                   r.exact ? "true" : "false",
+                   r.zero_requant ? "true" : "false",
+                   i + 1 < reports.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n  \"required_load_speedup\": %.0f\n}\n",
                  kRequiredLoadSpeedup);

@@ -8,6 +8,7 @@
 
 #include "koios/matching/hungarian.h"
 #include "koios/util/top_k_list.h"
+#include "koios/util/trace_recorder.h"
 
 namespace koios::core {
 
@@ -180,6 +181,9 @@ std::vector<ResultEntry> PostProcessor::Run(RefinementOutput refinement,
     };
 
     std::vector<EmOutcome> outcomes;
+    // One span per exact-matching batch (the expensive unit of this
+    // phase); `candidates` is the batch width.
+    KOIOS_TRACE_SPAN_ARG("search.em_batch", "candidates", to_process.size());
     if (batch_size > 1 && to_process.size() > 1) {
       std::vector<std::future<EmOutcome>> futures;
       futures.reserve(to_process.size());

@@ -142,12 +142,25 @@ class SearchContext {
     stop_controller_.Reset(num_consumers);
   }
 
+  /// Trace handle for the sampled-query profiler (util::TraceRecorder):
+  /// KoiosSearcher::Search stashes the caller's ambient trace here so
+  /// phase work fanned onto pool threads (partition tasks, EM batches)
+  /// can adopt it and parent their spans correctly. Zero = not sampled.
+  void set_trace(uint64_t trace_id, uint64_t parent_span) {
+    trace_id_ = trace_id;
+    trace_parent_ = parent_span;
+  }
+  uint64_t trace_id() const { return trace_id_; }
+  uint64_t trace_parent() const { return trace_parent_; }
+
  private:
   GlobalThreshold global_theta_;
   StreamStopController stop_controller_{0};
   std::chrono::steady_clock::time_point deadline_{};
   bool has_deadline_ = false;
   const std::atomic<bool>* cancel_ = nullptr;
+  uint64_t trace_id_ = 0;
+  uint64_t trace_parent_ = 0;
 };
 
 /// Per-query search parameters. Filter toggles exist for the ablation

@@ -12,6 +12,7 @@
 #include "koios/util/rng.h"
 #include "koios/util/thread_pool.h"
 #include "koios/util/timer.h"
+#include "koios/util/trace_recorder.h"
 
 namespace koios::core {
 
@@ -95,11 +96,24 @@ SearchResult KoiosSearcher::Search(std::span<const TokenId> query,
   ctx->BeginSearch(p);
   ctx->CheckCancelled();  // an already-expired deadline never starts work
 
+  // Root span of the search core (children: cursor build, per-partition
+  // refinement/postprocess, the stream producer). The context carries the
+  // trace so phase work fanned onto pool threads parents correctly.
+  util::TraceSpan search_span("search", "query_tokens", query.size());
+  ctx->set_trace(search_span.trace_id(), search_span.span_id());
+
   // ---- shared refinement input: the token stream, produced once --------
   util::WallTimer stream_timer;
-  sim::TokenStream stream(
-      std::vector<TokenId>(query.begin(), query.end()), index, params.alpha,
-      [this](TokenId t) { return InVocabulary(t); });
+  std::optional<sim::TokenStream> stream_storage;
+  {
+    // Cursor construction: TokenStream's constructor prewarms every query
+    // token's (token, α) cursor — the up-front index cost of a query.
+    KOIOS_TRACE_SPAN("search.cursor_build");
+    stream_storage.emplace(
+        std::vector<TokenId>(query.begin(), query.end()), index, params.alpha,
+        [this](TokenId t) { return InVocabulary(t); });
+  }
+  sim::TokenStream& stream = *stream_storage;
 
   // ---- θlb→producer feedback (§IV–VI) ----------------------------------
   // Refinement consumers publish their running θlb into the shared
@@ -151,6 +165,10 @@ SearchResult KoiosSearcher::Search(std::span<const TokenId> query,
 
   auto refine_partition = [&](size_t part) -> RefinementOutput {
     SearchStats& stats = partial_stats[part];
+    // Partition tasks may run on pool threads: adopt the query's trace so
+    // their spans parent under the "search" root.
+    util::TraceAdopt trace_adopt(ctx->trace_id(), ctx->trace_parent());
+    util::TraceSpan refine_span("search.refinement");
     // Pacing registration first thing in the task (before refinement's own
     // allocations), released on every exit — a partition that unwinds must
     // not pace the producer forever. No-op when pacing is off.
@@ -160,15 +178,19 @@ SearchResult KoiosSearcher::Search(std::span<const TokenId> query,
     util::WallTimer timer;
     RefinementOutput refined = refinement.Run(&cache, &stats, ctx, &consumer);
     stats.timers.Accumulate("refinement", timer.ElapsedSeconds());
+    refine_span.set_arg("tuples", stats.stream_tuples);
     return refined;
   };
   auto postprocess_partition = [&](size_t part, RefinementOutput refined,
                                    util::ThreadPool* em_pool) {
     SearchStats& stats = partial_stats[part];
+    util::TraceAdopt trace_adopt(ctx->trace_id(), ctx->trace_parent());
+    util::TraceSpan post_span("search.postprocess");
     util::WallTimer timer;
     PostProcessor post(sets_, &cache, params, ctx, em_pool);
     partial[part] = post.Run(std::move(refined), &stats);
     stats.timers.Accumulate("postprocess", timer.ElapsedSeconds());
+    post_span.set_arg("em_computed", stats.em_computed);
   };
   auto search_partition = [&](size_t part, util::ThreadPool* em_pool) {
     postprocess_partition(part, refine_partition(part), em_pool);
@@ -223,7 +245,13 @@ SearchResult KoiosSearcher::Search(std::span<const TokenId> query,
             [&search_partition, part] { search_partition(part, nullptr); }));
       }
     }
-    cache.Materialize();
+    {
+      // The EdgeCache producer: cursor pulls, ordering, caching — the
+      // stream side of the pipelined overlap (hidden behind refinement
+      // wall-clock when consumers keep up).
+      KOIOS_TRACE_SPAN("search.stream_produce");
+      cache.Materialize();
+    }
     // Diagnostic label. The "refinement" phase benches read still covers
     // the stream cost: every partition's refinement timer spans this whole
     // materialization (consumers block on the producer through NextTuples

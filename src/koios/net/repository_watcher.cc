@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "koios/util/fault_injector.h"
+#include "koios/util/trace_recorder.h"
 
 namespace koios::net {
 
@@ -216,7 +217,19 @@ util::StatusOr<std::string> RepositoryWatcher::SpoolToPrivateCopy() const {
 }
 
 util::Status RepositoryWatcher::LoadOrSwap() {
-  util::StatusOr<std::string> spool = SpoolToPrivateCopy();
+  // Swap builds get their own (always-sampled) trace: they are rare,
+  // expensive, and exactly what an operator looks for in /debug/tracez
+  // when a push stalls serving.
+  const uint64_t trace =
+      util::TraceRecorder::Enabled()
+          ? util::TraceRecorder::Instance().StartTraceForced()
+          : 0;
+  util::TraceAdopt adopt(trace, 0);
+  KOIOS_TRACE_SPAN("watch.swap");
+  util::StatusOr<std::string> spool = [&] {
+    KOIOS_TRACE_SPAN("watch.spool_copy");
+    return SpoolToPrivateCopy();
+  }();
   if (!spool.ok()) {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.swap_failures;
@@ -237,13 +250,16 @@ util::Status RepositoryWatcher::LoadOrSwapFrom(const std::string& load_path) {
     // verified eagerly before it can become the readiness flip.
     serve::SnapshotOptions load_options = options_.snapshot;
     load_options.mmap_verify = true;
-    util::StatusOr<std::shared_ptr<const serve::Snapshot>> snapshot =
-        serve::Snapshot::Load(load_path, load_options);
+    util::StatusOr<std::shared_ptr<const serve::Snapshot>> snapshot = [&] {
+      KOIOS_TRACE_SPAN("watch.initial_load");
+      return serve::Snapshot::Load(load_path, load_options);
+    }();
     if (!snapshot.ok()) {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.swap_failures;
       return snapshot.status();
     }
+    KOIOS_TRACE_SPAN("watch.engine_build");
     auto built = std::make_shared<serve::QueryEngine>(
         std::move(snapshot).value(), options_.engine);
     slot_->Set(std::move(built));

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "koios/net/protocol.h"
+#include "koios/util/trace_recorder.h"
 
 namespace koios::net {
 
@@ -17,9 +18,11 @@ namespace {
 constexpr size_t kReadChunk = 16 * 1024;
 
 std::string HttpResponse(int code, const std::string& reason,
-                         const std::string& body, bool head_only) {
+                         const std::string& body, bool head_only,
+                         const char* content_type =
+                             "text/plain; charset=utf-8") {
   std::string out = "HTTP/1.0 " + std::to_string(code) + " " + reason +
-                    "\r\nContent-Type: text/plain; charset=utf-8"
+                    "\r\nContent-Type: " + content_type +
                     "\r\nContent-Length: " +
                     std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n";
   if (!head_only) out += body;
@@ -33,6 +36,11 @@ struct PendingQuery {
   std::shared_ptr<serve::CancelToken> cancel;
   std::future<serve::QueryEngine::Result> future;
   std::chrono::steady_clock::time_point submitted;
+  // Sampled-query trace: the request root span opens at parse/submit and
+  // is recorded when the response is emitted (net.request).
+  uint64_t trace_id = 0;
+  uint64_t root_span = 0;
+  int64_t trace_t0_ns = 0;
 
   bool Ready() const {
     return future.wait_for(std::chrono::seconds(0)) ==
@@ -82,8 +90,16 @@ struct Server::Impl {
   std::atomic<uint64_t> unavailable_rejections{0};
   std::atomic<uint64_t> http_requests{0};
 
-  util::Histogram* request_seconds = nullptr;   // may stay null
+  // Request latency split by wire dialect (may stay null): wire-layer
+  // overhead is attributable separately from engine time per protocol.
+  util::Histogram* request_seconds_binary = nullptr;
+  util::Histogram* request_seconds_json = nullptr;
+  util::Histogram* request_seconds_http = nullptr;
   util::Gauge* open_connections = nullptr;      // may stay null
+
+  // Server-lifecycle trace (accept bursts record under it); 0 when the
+  // trace recorder was disabled at Start().
+  uint64_t server_trace = 0;
 
   void Close(Connection& c) {
     if (c.dead) return;
@@ -150,10 +166,20 @@ util::Status Server::Start() {
   impl_->listener = std::move(listener).value();
 
   if (registry_ != nullptr) {
-    impl_->request_seconds = registry_->RegisterHistogram(
-        "koios_server_request_seconds",
-        "Wall time from request dispatch to response encode",
-        util::ExponentialLatencyBuckets());
+    const char* request_help =
+        "Wall time from request dispatch to response encode, by wire dialect";
+    impl_->request_seconds_binary = registry_->RegisterHistogram(
+        util::LabeledMetricName("koios_server_request_seconds", "dialect",
+                                "binary"),
+        request_help, util::ExponentialLatencyBuckets());
+    impl_->request_seconds_json = registry_->RegisterHistogram(
+        util::LabeledMetricName("koios_server_request_seconds", "dialect",
+                                "json"),
+        request_help, util::ExponentialLatencyBuckets());
+    impl_->request_seconds_http = registry_->RegisterHistogram(
+        util::LabeledMetricName("koios_server_request_seconds", "dialect",
+                                "http"),
+        request_help, util::ExponentialLatencyBuckets());
     impl_->open_connections = registry_->RegisterGauge(
         "koios_server_open_connections", "Currently open client connections");
     util::Gauge* ready_gauge = registry_->RegisterGauge(
@@ -214,7 +240,8 @@ util::Status Server::Start() {
         "Queries rejected kUnavailable (no snapshot yet, or draining)",
         &im->unavailable_rejections);
     add("koios_server_http_requests_total",
-        "HTTP requests (/healthz, /readyz, /metrics)", &im->http_requests);
+        "HTTP requests (/healthz, /readyz, /metrics, /debug/tracez)",
+        &im->http_requests);
     registry_->AddCollectionCallback([this, mirrors, ready_gauge,
                                       draining_gauge] {
       for (const Mirror& m : *mirrors) {
@@ -223,6 +250,13 @@ util::Status Server::Start() {
       ready_gauge->Set(ready() ? 1.0 : 0.0);
       draining_gauge->Set(draining() ? 1.0 : 0.0);
     });
+  }
+
+  // One always-sampled trace spans the server's lifetime: accept bursts
+  // record under it so tracez shows when the loop was busy admitting
+  // connections versus serving them.
+  if (util::TraceRecorder::Enabled()) {
+    impl_->server_trace = util::TraceRecorder::Instance().StartTraceForced();
   }
 
   started_ = true;
@@ -275,12 +309,22 @@ void QueueOutput(LoopContext& ctx, Connection& c, const std::string& payload) {
 
 void EmitResult(LoopContext& ctx, Connection& c, PendingQuery& p) {
   const serve::QueryEngine::Result result = p.future.get();
-  if (ctx.im->request_seconds != nullptr) {
+  util::Histogram* request_seconds = c.mode == Connection::Mode::kJson
+                                         ? ctx.im->request_seconds_json
+                                         : ctx.im->request_seconds_binary;
+  if (request_seconds != nullptr) {
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       p.submitted)
             .count();
-    ctx.im->request_seconds->Observe(seconds);
+    request_seconds->Observe(seconds);
+  }
+  if (p.trace_id != 0) {
+    // Close the request root: parse/submit time through response encode.
+    auto& rec = util::TraceRecorder::Instance();
+    rec.RecordManualSpan("net.request", p.trace_id, p.root_span,
+                         /*parent_id=*/0, p.trace_t0_ns, rec.NowNs(),
+                         "query_index", p.query_index);
   }
   std::string payload;
   if (c.mode == Connection::Mode::kJson) {
@@ -317,7 +361,8 @@ util::Status UnavailableStatus(LoopContext& ctx) {
 /// future like any other result — the retry hint crosses the wire intact.
 void SubmitQuery(LoopContext& ctx, Connection& c, uint32_t query_index,
                  std::vector<TokenId> tokens, uint32_t k, double alpha,
-                 uint32_t deadline_ms) {
+                 uint32_t deadline_ms, int64_t parse_t0_ns = 0,
+                 int64_t parse_t1_ns = 0) {
   std::shared_ptr<serve::QueryEngine> engine = ctx.slot->Get();
   if (engine == nullptr || ctx.draining) {
     ctx.im->unavailable_rejections.fetch_add(1, std::memory_order_relaxed);
@@ -345,6 +390,24 @@ void SubmitQuery(LoopContext& ctx, Connection& c, uint32_t query_index,
   params.alpha = alpha;
   std::chrono::milliseconds deadline(deadline_ms);
   if (deadline.count() == 0) deadline = ctx.opts->default_query_deadline;
+
+  // The sampling decision is made here at the wire, so a sampled trace
+  // covers the whole request: wire parse, engine queue wait, and search.
+  auto& rec = util::TraceRecorder::Instance();
+  const uint64_t trace = rec.StartTrace();
+  uint64_t root = 0;
+  int64_t request_t0 = 0;
+  if (trace != 0) {
+    root = rec.NewSpanId();
+    request_t0 = parse_t0_ns != 0 ? parse_t0_ns : rec.NowNs();
+    if (parse_t0_ns != 0) {
+      rec.RecordManualSpan("net.parse", trace, /*span_id=*/0, root,
+                           parse_t0_ns, parse_t1_ns);
+    }
+  }
+  // The engine's Enqueue captures the ambient trace; its queue_wait and
+  // search spans nest under this request's root span.
+  util::TraceAdopt adopt(trace, root);
   serve::QueryEngine::Submission submission =
       engine->SubmitCancellable(std::move(tokens), params, deadline);
   PendingQuery p;
@@ -352,10 +415,14 @@ void SubmitQuery(LoopContext& ctx, Connection& c, uint32_t query_index,
   p.cancel = std::move(submission.cancel);
   p.future = std::move(submission.future);
   p.submitted = std::chrono::steady_clock::now();
+  p.trace_id = trace;
+  p.root_span = root;
+  p.trace_t0_ns = request_t0;
   c.pending.push_back(std::move(p));
 }
 
-void DispatchBinary(LoopContext& ctx, Connection& c, RequestFrame&& req) {
+void DispatchBinary(LoopContext& ctx, Connection& c, RequestFrame&& req,
+                    int64_t parse_t0_ns, int64_t parse_t1_ns) {
   ctx.im->requests.fetch_add(1, std::memory_order_relaxed);
   if (req.op == Op::kPing) {
     std::string payload;
@@ -365,13 +432,16 @@ void DispatchBinary(LoopContext& ctx, Connection& c, RequestFrame&& req) {
   }
   for (uint32_t i = 0; i < req.queries.size() && !c.dead; ++i) {
     SubmitQuery(ctx, c, i, std::move(req.queries[i]), req.k, req.alpha,
-                req.deadline_ms);
+                req.deadline_ms, parse_t0_ns, parse_t1_ns);
   }
 }
 
 void DispatchJsonLine(LoopContext& ctx, Connection& c,
                       const std::string& line) {
   ctx.im->requests.fetch_add(1, std::memory_order_relaxed);
+  const bool tracing = util::TraceRecorder::Enabled();
+  const int64_t parse_t0 =
+      tracing ? util::TraceRecorder::Instance().NowNs() : 0;
   JsonRequest req;
   if (util::Status s = ParseJsonRequestLine(line, &req); !s.ok()) {
     ctx.im->protocol_errors.fetch_add(1, std::memory_order_relaxed);
@@ -388,12 +458,15 @@ void DispatchJsonLine(LoopContext& ctx, Connection& c,
     c.pending.push_back(std::move(p));
     return;
   }
+  const int64_t parse_t1 =
+      tracing ? util::TraceRecorder::Instance().NowNs() : 0;
   SubmitQuery(ctx, c, 0, std::move(req.tokens), req.k, req.alpha,
-              req.deadline_ms);
+              req.deadline_ms, parse_t0, parse_t1);
 }
 
 void DispatchHttp(LoopContext& ctx, Connection& c, const std::string& head) {
   ctx.im->http_requests.fetch_add(1, std::memory_order_relaxed);
+  const auto handle_t0 = std::chrono::steady_clock::now();
   const size_t line_end = head.find("\r\n");
   const std::string request_line =
       head.substr(0, line_end == std::string::npos ? head.find('\n')
@@ -433,9 +506,23 @@ void DispatchHttp(LoopContext& ctx, Connection& c, const std::string& head) {
       response = HttpResponse(404, "Not Found", "no metric registry\n",
                               head_only);
     }
+  } else if (path == "/debug/tracez") {
+    // Chrome trace-event JSON of the recently sampled queries; load the
+    // body in Perfetto (ui.perfetto.dev) or chrome://tracing. Valid (with
+    // an empty traceEvents array) even when tracing is disabled.
+    response = HttpResponse(
+        200, "OK", util::TraceRecorder::Instance().RenderChromeTraceJson(),
+        head_only, "application/json");
   } else {
-    response = HttpResponse(404, "Not Found",
-                            "try /healthz, /readyz or /metrics\n", head_only);
+    response = HttpResponse(
+        404, "Not Found",
+        "try /healthz, /readyz, /metrics or /debug/tracez\n", head_only);
+  }
+  if (ctx.im->request_seconds_http != nullptr) {
+    ctx.im->request_seconds_http->Observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      handle_t0)
+            .count());
   }
   QueueOutput(ctx, c, response);
   c.close_after_flush = true;
@@ -462,12 +549,17 @@ void ProcessInput(LoopContext& ctx, Connection& c) {
     }
     switch (c.mode) {
       case Connection::Mode::kBinary: {
+        const bool tracing = util::TraceRecorder::Enabled();
+        const int64_t parse_t0 =
+            tracing ? util::TraceRecorder::Instance().NowNs() : 0;
         size_t consumed = 0;
         RequestFrame req;
         std::string error;
         const ParseStatus ps = ParseRequestFrame(
             c.inbuf.data(), c.inbuf.size(), ctx.opts->max_request_bytes,
             &consumed, &req, &error);
+        const int64_t parse_t1 =
+            tracing ? util::TraceRecorder::Instance().NowNs() : 0;
         if (ps == ParseStatus::kNeedMore) return;
         if (ps == ParseStatus::kError) {
           // Oversize is recognizable from the header alone; everything in
@@ -491,7 +583,7 @@ void ProcessInput(LoopContext& ctx, Connection& c) {
           return;
         }
         c.inbuf.erase(0, consumed);
-        DispatchBinary(ctx, c, std::move(req));
+        DispatchBinary(ctx, c, std::move(req), parse_t0, parse_t1);
         break;
       }
       case Connection::Mode::kJson: {
@@ -642,6 +734,9 @@ void Server::Loop() {
     // ---- accept --------------------------------------------------------
     if (im.listener.valid() && !fds.empty() &&
         fd_conns[0] == nullptr && (fds[0].revents & POLLIN) != 0) {
+      const int64_t accept_t0 =
+          im.server_trace != 0 ? util::TraceRecorder::Instance().NowNs() : 0;
+      size_t accepted_count = 0;
       for (;;) {
         AcceptResult accepted = AcceptNonBlocking(im.listener.fd());
         if (accepted.event == IoEvent::kWouldBlock) break;
@@ -659,11 +754,18 @@ void Server::Loop() {
           continue;  // Socket destructor closes it
         }
         im.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+        ++accepted_count;
         Connection c;
         c.sock = std::move(accepted.socket);
         c.last_activity = now;
         c.last_write_progress = now;
         im.connections.push_back(std::move(c));
+      }
+      if (im.server_trace != 0 && accepted_count > 0) {
+        auto& rec = util::TraceRecorder::Instance();
+        rec.RecordManualSpan("net.accept", im.server_trace, /*span_id=*/0,
+                             /*parent_id=*/0, accept_t0, rec.NowNs(),
+                             "connections", accepted_count);
       }
     }
 

@@ -1,6 +1,7 @@
 #include "koios/serve/engine_metrics.h"
 
 #include "koios/sim/batched_neighbor_index.h"
+#include "koios/util/trace_recorder.h"
 
 namespace koios::serve {
 
@@ -14,6 +15,7 @@ struct EngineMetrics {
   util::Counter* deadline_exceeded;
   util::Counter* rejected_wait_exceeds_deadline;
   util::Counter* cancelled;
+  util::Counter* slow_queries;
   util::Counter* swaps_completed;
   util::Counter* swap_failures;
   // Overload governor.
@@ -76,6 +78,10 @@ void RegisterEngineMetrics(
   m.cancelled = registry->RegisterCounter(
       "koios_queries_cancelled_total",
       "Queries aborted by a fired CancelToken (client disconnect)");
+  m.slow_queries = registry->RegisterCounter(
+      "koios_slow_queries_total",
+      "Queries over the slow-query threshold (counted even when the log "
+      "line itself was rate-limited away)");
   m.swaps_completed = registry->RegisterCounter(
       "koios_snapshot_swaps_completed_total", "Snapshot hot-swaps that landed");
   m.swap_failures = registry->RegisterCounter(
@@ -88,14 +94,18 @@ void RegisterEngineMetrics(
   m.estimated_queue_wait_seconds = registry->RegisterGauge(
       "koios_estimated_queue_wait_seconds",
       "Governor estimate of a new query's queue wait (0 on a cold engine)");
-  m.latency_p50 =
-      registry->RegisterGauge("koios_query_latency_p50_seconds", "");
-  m.latency_p95 =
-      registry->RegisterGauge("koios_query_latency_p95_seconds", "");
-  m.latency_p99 =
-      registry->RegisterGauge("koios_query_latency_p99_seconds", "");
-  m.latency_max =
-      registry->RegisterGauge("koios_query_latency_max_seconds", "");
+  m.latency_p50 = registry->RegisterGauge(
+      "koios_query_latency_p50_seconds",
+      "Median end-to-end query latency over the recorder window");
+  m.latency_p95 = registry->RegisterGauge(
+      "koios_query_latency_p95_seconds",
+      "95th-percentile query latency over the recorder window");
+  m.latency_p99 = registry->RegisterGauge(
+      "koios_query_latency_p99_seconds",
+      "99th-percentile query latency over the recorder window");
+  m.latency_max = registry->RegisterGauge(
+      "koios_query_latency_max_seconds",
+      "Worst query latency over the recorder window (0 while empty)");
   m.stream_tuples = registry->RegisterCounter(
       "koios_stream_tuples_consumed_total",
       "Token-stream tuples consumed by refinement across queries");
@@ -142,6 +152,7 @@ void RegisterEngineMetrics(
     m.rejected_wait_exceeds_deadline->Set(
         counters.rejected_wait_exceeds_deadline);
     m.cancelled->Set(counters.cancelled);
+    m.slow_queries->Set(counters.slow_queries);
     m.swaps_completed->Set(counters.swaps_completed);
     m.swap_failures->Set(counters.swap_failures);
 
@@ -178,6 +189,23 @@ void RegisterEngineMetrics(
         m.cache_bytes->Set(static_cast<double>(stats.bytes));
         m.cache_capacity_bytes->Set(static_cast<double>(stats.capacity_bytes));
       }
+    }
+  });
+
+  // Per-phase span-time histograms. Phases appear dynamically as spans are
+  // first recorded, so the labeled series are registered lazily from the
+  // collection callback (callbacks run outside the registry lock, and a
+  // duplicate registration returns the existing series). Each render
+  // overwrites the series with the recorder's authoritative snapshot.
+  registry->AddCollectionCallback([registry] {
+    auto& rec = util::TraceRecorder::Instance();
+    for (const util::TraceRecorder::PhaseSnapshot& phase :
+         rec.PhaseHistograms()) {
+      util::Histogram* hist = registry->RegisterHistogram(
+          util::LabeledMetricName("koios_phase_seconds", "phase", phase.name),
+          "Span wall time per pipeline phase (sampled queries only)",
+          util::TraceRecorder::PhaseBucketBounds());
+      if (hist != nullptr) hist->SetSnapshot(phase.buckets, phase.sum);
     }
   });
 }

@@ -6,9 +6,12 @@
 #include <span>
 #include <utility>
 
+#include <cstdio>
+
 #include "koios/sim/batched_neighbor_index.h"
 #include "koios/util/fault_injector.h"
 #include "koios/util/timer.h"
+#include "koios/util/trace_recorder.h"
 
 namespace koios::serve {
 
@@ -101,7 +104,11 @@ util::Status QueryEngine::TrySwapFromRepository(const std::string& path,
   // A swap must adopt only a fully verified file or keep the old one.
   SnapshotOptions verified_options = options;
   verified_options.mmap_verify = true;
-  auto loaded = Snapshot::Load(path, verified_options);
+  util::StatusOr<std::shared_ptr<const Snapshot>> loaded = [&] {
+    // Spans only under an ambient trace — the watcher starts one per swap.
+    KOIOS_TRACE_SPAN("swap.load");
+    return Snapshot::Load(path, verified_options);
+  }();
   if (!loaded.ok()) return record_failure(loaded.status());
   // Chaos seam: a fault between the (successful) load and the flip models
   // a state build blowing up — the swap must fail closed.
@@ -113,6 +120,7 @@ util::Status QueryEngine::TrySwapFromRepository(const std::string& path,
   const Snapshot* raw = snapshot.get();
   StatePtr next;
   try {
+    KOIOS_TRACE_SPAN("swap.state_build");
     next = MakeState(std::move(snapshot), &raw->sets(), raw->index());
   } catch (const std::exception& e) {
     return record_failure(util::Status::Internal(
@@ -135,6 +143,21 @@ std::shared_ptr<const core::KoiosSearcher> QueryEngine::searcher() const {
   StatePtr state = CurrentState();
   const core::KoiosSearcher* ptr = &state->searcher;
   return std::shared_ptr<const core::KoiosSearcher>(std::move(state), ptr);
+}
+
+QueryEngine::TraceTask QueryEngine::CaptureTrace() const {
+  TraceTask trace;
+  if (!util::TraceRecorder::Enabled()) return trace;
+  util::TraceRecorder& rec = util::TraceRecorder::Instance();
+  const util::TraceRecorder::ThreadContext ambient =
+      util::TraceRecorder::Current();
+  // A submitter with an ambient trace (the net edge's request trace, or a
+  // batch) is joined; a direct caller gets its own sampling decision.
+  trace.trace_id =
+      ambient.trace_id != 0 ? ambient.trace_id : rec.StartTrace();
+  trace.parent_span = ambient.parent_span;
+  if (trace.trace_id != 0) trace.enqueue_ns = rec.NowNs();
+  return trace;
 }
 
 QueryEngine::Ticket QueryEngine::MakeTicket(
@@ -246,12 +269,13 @@ std::future<QueryEngine::Result> QueryEngine::Enqueue(
       }
     }
   }
+  const TraceTask trace = CaptureTrace();
   // The task pins `state`: its snapshot/searcher/index stay alive and
   // untouched until this query completes, no matter how many hot swaps
   // happen while it waits in the queue.
   return pool_.Submit(
       [this, state = std::move(state), query = std::move(query), params,
-       ticket, cancel = std::move(cancel)]() -> Result {
+       ticket, cancel = std::move(cancel), trace]() -> Result {
         // The slot must be released on EVERY exit — Execute absorbs
         // deadline aborts, but an unexpected exception (bad_alloc, a
         // faulty similarity backend) propagates into the future, and a
@@ -260,7 +284,7 @@ std::future<QueryEngine::Result> QueryEngine::Enqueue(
           std::atomic<size_t>* in_flight;
           ~SlotRelease() { in_flight->fetch_sub(1, std::memory_order_acq_rel); }
         } release{&in_flight_};
-        return Execute(*state, query, params, ticket, cancel.get());
+        return Execute(*state, query, params, ticket, cancel.get(), trace);
       });
 }
 
@@ -268,11 +292,21 @@ QueryEngine::Result QueryEngine::Execute(const ServingState& state,
                                          const std::vector<TokenId>& query,
                                          core::SearchParams params,
                                          const Ticket& ticket,
-                                         const CancelToken* cancel) {
+                                         const CancelToken* cancel,
+                                         const TraceTask& trace) {
   // Engine policy: intra-query parallelism off (see the header comment) —
   // the query runs single-threaded in inline-pipelined mode; concurrency
   // comes from the other workers.
   params.num_threads = 1;
+
+  // Hop the submitter's trace onto this worker; the admission wait (from
+  // Enqueue to pickup) is a span only measurable after the fact.
+  util::TraceAdopt adopt(trace.trace_id, trace.parent_span);
+  if (trace.trace_id != 0) {
+    util::TraceRecorder& rec = util::TraceRecorder::Instance();
+    rec.RecordManualSpan("serve.queue_wait", trace.trace_id, 0,
+                         trace.parent_span, trace.enqueue_ns, rec.NowNs());
+  }
 
   core::SearchContext ctx;
   if (ticket.has_deadline) ctx.set_deadline(ticket.deadline);
@@ -281,16 +315,26 @@ QueryEngine::Result QueryEngine::Execute(const ServingState& state,
     ctx.CheckCancelled();  // expired while queued: reject without running
     util::WallTimer timer;
     core::SearchResult result;
-    if (state.sessions_supported) {
-      // Fresh per-query probe session over the shared cursor cache: the
-      // only per-query state is a position table, so creation is cheap and
-      // any number of Executes run concurrently.
-      std::unique_ptr<sim::SimilarityIndex> session = state.index->NewSession();
-      result = state.searcher.Search(query, params, session.get(), &ctx);
-    } else {
-      // No session support: correctness first — one query at a time.
-      std::lock_guard<std::mutex> lock(no_session_fallback_mutex_);
-      result = state.searcher.Search(query, params, state.index, &ctx);
+    {
+      util::TraceSpan execute_span("serve.execute");
+      if (execute_span.active() && ticket.has_deadline) {
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            ticket.deadline - std::chrono::steady_clock::now());
+        execute_span.set_arg("deadline_ms_left",
+                             left.count() > 0 ? left.count() : 0);
+      }
+      if (state.sessions_supported) {
+        // Fresh per-query probe session over the shared cursor cache: the
+        // only per-query state is a position table, so creation is cheap and
+        // any number of Executes run concurrently.
+        std::unique_ptr<sim::SimilarityIndex> session =
+            state.index->NewSession();
+        result = state.searcher.Search(query, params, session.get(), &ctx);
+      } else {
+        // No session support: correctness first — one query at a time.
+        std::lock_guard<std::mutex> lock(no_session_fallback_mutex_);
+        result = state.searcher.Search(query, params, state.index, &ctx);
+      }
     }
     const double elapsed = timer.ElapsedSeconds();
     {
@@ -299,6 +343,7 @@ QueryEngine::Result QueryEngine::Execute(const ServingState& state,
       search_stats_.Merge(result.stats);
       latency_.Record(elapsed);
     }
+    MaybeLogSlowQuery(query, params, result.stats, elapsed, trace.trace_id);
     return result;
   } catch (const core::SearchAborted&) {
     // Clean rejection: the phases unwound through the poison-safe shutdown
@@ -326,6 +371,58 @@ QueryEngine::Result QueryEngine::Execute(const ServingState& state,
   }
 }
 
+void QueryEngine::MaybeLogSlowQuery(const std::vector<TokenId>& query,
+                                    const core::SearchParams& params,
+                                    const core::SearchStats& stats,
+                                    double elapsed_seconds,
+                                    uint64_t trace_id) {
+  if (options_.slow_query_threshold.count() <= 0) return;
+  const double threshold_seconds =
+      std::chrono::duration<double>(options_.slow_query_threshold).count();
+  if (elapsed_seconds < threshold_seconds) return;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++counters_.slow_queries;
+  }
+  // Rate limit: one report per interval, claimed with a CAS so concurrent
+  // slow finishers elect exactly one reporter.
+  const int64_t interval_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          options_.slow_query_log_interval)
+          .count();
+  const int64_t now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  int64_t last = last_slow_log_ns_.load(std::memory_order_relaxed);
+  if (last != 0 && now_ns - last < interval_ns) return;
+  if (!last_slow_log_ns_.compare_exchange_strong(last, now_ns,
+                                                 std::memory_order_relaxed)) {
+    return;
+  }
+
+  char header[160];
+  std::snprintf(header, sizeof(header),
+                "slow query: %.1f ms (threshold %lld ms), %zu tokens, k=%zu, "
+                "alpha=%.3f\n",
+                elapsed_seconds * 1e3,
+                static_cast<long long>(options_.slow_query_threshold.count()),
+                query.size(), params.k, static_cast<double>(params.alpha));
+  std::string report = header;
+  if (trace_id != 0) {
+    report += util::TraceRecorder::Instance().RenderSpanTree(trace_id);
+  } else {
+    report +=
+        "(no span tree: query was not sampled by the trace recorder)\n";
+  }
+  report += stats.ToString();
+  if (options_.slow_query_sink) {
+    options_.slow_query_sink(report);
+  } else {
+    std::fprintf(stderr, "%s", report.c_str());
+  }
+}
+
 std::vector<QueryEngine::Result> QueryEngine::SearchMany(
     const std::vector<std::vector<TokenId>>& queries,
     const core::SearchParams& params) {
@@ -338,6 +435,14 @@ std::vector<QueryEngine::Result> QueryEngine::SearchMany(
   // queries must be the same index even if a swap lands mid-batch.
   const StatePtr state = CurrentState();
 
+  // One sampling decision per batch: when it hits, the shared prewarm and
+  // every member query record into the same trace (the queries join the
+  // ambient batch trace at Enqueue).
+  const uint64_t batch_trace = util::TraceRecorder::Enabled()
+                                   ? util::TraceRecorder::Instance().StartTrace()
+                                   : 0;
+  util::TraceAdopt batch_adopt(batch_trace, 0);
+
   // Deduplicate the batch's tokens and pay each (token, α) cursor build
   // once, fanned across the engine pool, BEFORE any query runs. Queries
   // then find their cursors hot in the shared cache (counted as hits).
@@ -348,6 +453,7 @@ std::vector<QueryEngine::Result> QueryEngine::SearchMany(
   std::sort(tokens.begin(), tokens.end());
   tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
   if (state->sessions_supported && !tokens.empty()) {
+    KOIOS_TRACE_SPAN_ARG("serve.prewarm", "tokens", tokens.size());
     std::unique_ptr<sim::SimilarityIndex> session = state->index->NewSession();
     session->set_thread_pool(&pool_);
     // Chunked fan-out with a deadline poll between chunks: a stalled or

@@ -45,9 +45,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "koios/core/search_types.h"
@@ -76,6 +78,18 @@ struct EngineOptions {
   size_t cursor_cache_bytes = 0;
   /// Repository partitioning (paper §VI) used by the engine's searcher.
   core::SearcherOptions searcher;
+
+  /// Completed queries slower than this get a report — the query's full
+  /// span tree (when it was sampled by the trace recorder) plus
+  /// SearchStats::ToString() — written to `slow_query_sink`. Zero
+  /// disables. Reports are rate-limited to one per
+  /// `slow_query_log_interval` so an overloaded engine logs a steady
+  /// trickle, not a flood (the koios_slow_queries_total counter still
+  /// ticks for every over-threshold query).
+  std::chrono::milliseconds slow_query_threshold{0};
+  std::chrono::milliseconds slow_query_log_interval{1000};
+  /// Destination for slow-query reports; null = stderr.
+  std::function<void(const std::string&)> slow_query_sink;
 };
 
 /// Monotone engine counters (snapshot; taken under the stats mutex).
@@ -94,6 +108,9 @@ struct EngineCounters {
   /// TrySwapFromRepository outcomes (SwapSnapshot counts as a success).
   uint64_t swaps_completed = 0;
   uint64_t swap_failures = 0;
+  /// Completed queries over the slow-query threshold (counted even when
+  /// the rate limiter suppressed the report itself).
+  uint64_t slow_queries = 0;
 };
 
 /// Cooperative cancellation for a submitted query: the network edge holds
@@ -265,6 +282,17 @@ class QueryEngine {
                      sim::SimilarityIndex* index) const;
   StatePtr CurrentState() const;
 
+  /// Per-query trace context, captured at admission (the submitter's
+  /// ambient trace — the net edge's request trace — or a fresh sampling
+  /// decision for direct callers) and carried into the worker so the
+  /// queue wait and execution record under the right parent.
+  struct TraceTask {
+    uint64_t trace_id = 0;
+    uint64_t parent_span = 0;
+    int64_t enqueue_ns = 0;
+  };
+  TraceTask CaptureTrace() const;
+
   Ticket MakeTicket(std::chrono::milliseconds deadline) const;
   static bool TicketExpired(const Ticket& ticket);
   /// Overload-governor estimate of how long a query admitted as number
@@ -279,7 +307,12 @@ class QueryEngine {
   /// admission slot.
   Result Execute(const ServingState& state, const std::vector<TokenId>& query,
                  core::SearchParams params, const Ticket& ticket,
-                 const CancelToken* cancel);
+                 const CancelToken* cancel, const TraceTask& trace);
+  /// Emits the rate-limited slow-query report (span tree + stats).
+  void MaybeLogSlowQuery(const std::vector<TokenId>& query,
+                         const core::SearchParams& params,
+                         const core::SearchStats& stats,
+                         double elapsed_seconds, uint64_t trace_id);
   std::future<Result> Enqueue(StatePtr state, std::vector<TokenId> query,
                               const core::SearchParams& params, Ticket ticket,
                               bool enforce_queue_bound,
@@ -295,6 +328,9 @@ class QueryEngine {
 
   // Admitted (queued or running) queries, for the queue bound.
   std::atomic<size_t> in_flight_{0};
+
+  // Steady-clock ns of the last emitted slow-query report (rate limiter).
+  std::atomic<int64_t> last_slow_log_ns_{0};
 
   mutable std::mutex stats_mutex_;
   EngineCounters counters_;

@@ -23,7 +23,87 @@ std::string RenderDouble(double v) {
   return buf;
 }
 
+/// Prometheus help-text escaping: backslash and newline.
+std::string EscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Splits a registered series name into base and label body:
+/// `base{key="v"}` -> {"base", `key="v"`}; an unlabeled name has an empty
+/// label body.
+struct NameParts {
+  std::string_view base;
+  std::string_view labels;  // without the enclosing braces
+};
+
+NameParts SplitName(std::string_view name) {
+  const size_t brace = name.find('{');
+  if (brace == std::string_view::npos) return {name, {}};
+  std::string_view labels = name.substr(brace + 1);
+  if (!labels.empty() && labels.back() == '}') {
+    labels.remove_suffix(1);
+  }
+  return {name.substr(0, brace), labels};
+}
+
+/// `base_bucket{<labels,>le="0.1"}` — merges a histogram's own labels
+/// with the `le` bucket label.
+std::string BucketSeries(const NameParts& parts, const std::string& le) {
+  std::string out(parts.base);
+  out += "_bucket{";
+  if (!parts.labels.empty()) {
+    out += parts.labels;
+    out += ",";
+  }
+  out += "le=\"" + le + "\"} ";
+  return out;
+}
+
+/// `base_sum{labels}` / plain `base_sum` for unlabeled histograms.
+std::string SuffixSeries(const NameParts& parts, const char* suffix) {
+  std::string out(parts.base);
+  out += suffix;
+  if (!parts.labels.empty()) {
+    out += "{";
+    out += parts.labels;
+    out += "}";
+  }
+  return out;
+}
+
 }  // namespace
+
+std::string LabeledMetricName(std::string_view base, std::string_view key,
+                              std::string_view value) {
+  std::string out(base);
+  out += "{";
+  out += key;
+  out += "=\"";
+  for (char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  out += "\"}";
+  return out;
+}
 
 // ---------------------------------------------------------------- Histogram
 
@@ -56,6 +136,21 @@ uint64_t Histogram::CumulativeCount(size_t i) const {
     total += buckets_[b].load(std::memory_order_relaxed);
   }
   return total;
+}
+
+void Histogram::SetSnapshot(const std::vector<uint64_t>& bucket_counts,
+                            double sum) {
+  uint64_t total = 0;
+  const size_t n = std::min(bucket_counts.size(), bounds_.size() + 1);
+  // The snapshot is authoritative: slots past a short vector are zeroed,
+  // never left holding counts from a previous snapshot or Observe.
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    const uint64_t v = i < n ? bucket_counts[i] : 0;
+    buckets_[i].store(v, std::memory_order_relaxed);
+    total += v;
+  }
+  sum_.store(sum, std::memory_order_relaxed);
+  count_.store(total, std::memory_order_relaxed);
 }
 
 std::vector<double> ExponentialLatencyBuckets() {
@@ -143,48 +238,91 @@ Histogram* MetricRegistry::FindHistogram(std::string_view name) const {
 }
 
 void MetricRegistry::AddCollectionCallback(std::function<void()> callback) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(callbacks_mutex_);
   callbacks_.push_back(std::move(callback));
 }
 
 std::string MetricRegistry::RenderText() const {
   // Callbacks refresh gauges from their authoritative sources first. They
-  // run under the registry mutex (serialized against each other and
-  // against concurrent registration); metric mutation itself is atomic,
-  // so concurrent hot-path updates are unaffected.
+  // run OUTSIDE the registry mutex (a callback may register a new labeled
+  // series, e.g. a freshly observed trace phase) but hold the callbacks
+  // mutex, so renders serialize against each other.
+  {
+    std::lock_guard<std::mutex> lock(callbacks_mutex_);
+    for (const auto& callback : callbacks_) callback();
+  }
+
   std::lock_guard<std::mutex> lock(mutex_);
-  for (const auto& callback : callbacks_) callback();
+  // Group every series of one base name under a single HELP/TYPE block
+  // (Prometheus requires all samples of a metric to be contiguous).
+  // Groups render in first-registration order, series within a group in
+  // registration order — stable scrapes diff cleanly.
+  std::vector<std::pair<std::string_view, std::vector<size_t>>> groups;
+  for (size_t i = 0; i < metrics_.size(); ++i) {
+    const std::string_view base = SplitName(metrics_[i].first).base;
+    bool found = false;
+    for (auto& [have, indices] : groups) {
+      if (have == base) {
+        indices.push_back(i);
+        found = true;
+        break;
+      }
+    }
+    if (!found) groups.push_back({base, {i}});
+  }
 
   std::string out;
   out.reserve(metrics_.size() * 96);
-  for (const auto& [name, entry] : metrics_) {
-    switch (entry.kind) {
-      case Entry::kCounter: {
-        const Counter& c = *entry.counter;
-        if (!c.help_.empty()) out += "# HELP " + name + " " + c.help_ + "\n";
-        out += "# TYPE " + name + " counter\n";
-        out += name + " " + std::to_string(c.Value()) + "\n";
+  for (const auto& [base, indices] : groups) {
+    const std::string base_name(base);
+    // HELP from the first series with help text; TYPE from the first.
+    for (size_t i : indices) {
+      const Entry& entry = metrics_[i].second;
+      const std::string& help = entry.kind == Entry::kCounter
+                                    ? entry.counter->help_
+                                    : entry.kind == Entry::kGauge
+                                          ? entry.gauge->help_
+                                          : entry.histogram->help_;
+      if (!help.empty()) {
+        out += "# HELP " + base_name + " " + EscapeHelp(help) + "\n";
         break;
       }
-      case Entry::kGauge: {
-        const Gauge& g = *entry.gauge;
-        if (!g.help_.empty()) out += "# HELP " + name + " " + g.help_ + "\n";
-        out += "# TYPE " + name + " gauge\n";
-        out += name + " " + RenderDouble(g.Value()) + "\n";
+    }
+    switch (metrics_[indices.front()].second.kind) {
+      case Entry::kCounter:
+        out += "# TYPE " + base_name + " counter\n";
         break;
-      }
-      case Entry::kHistogram: {
-        const Histogram& h = *entry.histogram;
-        if (!h.help_.empty()) out += "# HELP " + name + " " + h.help_ + "\n";
-        out += "# TYPE " + name + " histogram\n";
-        for (size_t i = 0; i < h.bounds().size(); ++i) {
-          out += name + "_bucket{le=\"" + RenderDouble(h.bounds()[i]) + "\"} " +
-                 std::to_string(h.CumulativeCount(i)) + "\n";
+      case Entry::kGauge:
+        out += "# TYPE " + base_name + " gauge\n";
+        break;
+      case Entry::kHistogram:
+        out += "# TYPE " + base_name + " histogram\n";
+        break;
+    }
+    for (size_t i : indices) {
+      const std::string& name = metrics_[i].first;
+      const Entry& entry = metrics_[i].second;
+      const NameParts parts = SplitName(name);
+      switch (entry.kind) {
+        case Entry::kCounter:
+          out += name + " " + std::to_string(entry.counter->Value()) + "\n";
+          break;
+        case Entry::kGauge:
+          out += name + " " + RenderDouble(entry.gauge->Value()) + "\n";
+          break;
+        case Entry::kHistogram: {
+          const Histogram& h = *entry.histogram;
+          for (size_t b = 0; b < h.bounds().size(); ++b) {
+            out += BucketSeries(parts, RenderDouble(h.bounds()[b])) +
+                   std::to_string(h.CumulativeCount(b)) + "\n";
+          }
+          out += BucketSeries(parts, "+Inf") + std::to_string(h.Count()) + "\n";
+          out += SuffixSeries(parts, "_sum") + " " + RenderDouble(h.Sum()) +
+                 "\n";
+          out += SuffixSeries(parts, "_count") + " " +
+                 std::to_string(h.Count()) + "\n";
+          break;
         }
-        out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.Count()) + "\n";
-        out += name + "_sum " + RenderDouble(h.Sum()) + "\n";
-        out += name + "_count " + std::to_string(h.Count()) + "\n";
-        break;
       }
     }
   }

@@ -16,10 +16,17 @@
 //  * Histograms use fixed exponential bucket bounds chosen at registration
 //    (upper-bound inclusive, +Inf implicit), each bucket a relaxed atomic —
 //    cheap enough to record every request's latency on the network thread.
+//  * Labeled series register under a full name of the form
+//    `base{key="value"}` (build one safely with LabeledMetricName, which
+//    escapes the value). The renderer groups every series of a base name
+//    under one # HELP/# TYPE block and merges histogram `le` labels into
+//    the series' own label set, so `koios_phase_seconds{phase="..."}` and
+//    dialect-split request histograms are first-class.
 //
-// Thread-safety: everything is safe to call concurrently; RenderText takes
-// the registry mutex only to snapshot the metric list (and to serialize
-// callbacks against each other).
+// Thread-safety: everything is safe to call concurrently. Collection
+// callbacks run OUTSIDE the registry mutex (serialized against each other
+// by their own mutex), so a callback may register new labeled series —
+// that is how dynamically discovered trace phases appear in /metrics.
 #ifndef KOIOS_UTIL_METRIC_REGISTRY_H_
 #define KOIOS_UTIL_METRIC_REGISTRY_H_
 
@@ -88,6 +95,14 @@ class Histogram {
   /// Cumulative count of observations <= bounds()[i].
   uint64_t CumulativeCount(size_t i) const;
 
+  /// For collection callbacks that MIRROR an authoritative histogram
+  /// source (e.g. the trace recorder's per-phase histograms): replaces the
+  /// per-bucket counts (bounds().size() + 1 entries, +Inf last) and the
+  /// sum; the count becomes the bucket total. The source being monotone
+  /// keeps the exposed histogram monotone. Extra entries are ignored,
+  /// missing ones leave old values in place.
+  void SetSnapshot(const std::vector<uint64_t>& bucket_counts, double sum);
+
  private:
   friend class MetricRegistry;
   Histogram(std::string name, std::string help, std::vector<double> bounds);
@@ -100,6 +115,12 @@ class Histogram {
 
 /// Default latency bucket bounds (seconds): 100us .. ~100s, x2 steps.
 std::vector<double> ExponentialLatencyBuckets();
+
+/// `base{key="value"}` with Prometheus label-value escaping (backslash,
+/// double-quote, newline). Use this to build labeled series names instead
+/// of concatenating by hand.
+std::string LabeledMetricName(std::string_view base, std::string_view key,
+                              std::string_view value);
 
 class MetricRegistry {
  public:
@@ -125,7 +146,8 @@ class MetricRegistry {
   /// that migrates pre-existing instrumentation (engine counters, cursor
   /// cache stats, latency percentiles) behind the registry without
   /// double-counting: the callback reads the authoritative source and
-  /// refreshes the registered gauges/counters.
+  /// refreshes the registered gauges/counters. Callbacks run outside the
+  /// registry mutex, so they may register metrics (new labeled series).
   void AddCollectionCallback(std::function<void()> callback);
 
   /// Prometheus-style text exposition:
@@ -133,7 +155,10 @@ class MetricRegistry {
   ///   # TYPE name counter|gauge|histogram
   ///   name value
   /// Histograms render name_bucket{le="..."} lines plus _sum/_count.
-  /// Metrics render in registration order (stable scrapes diff cleanly).
+  /// Series sharing a base name (labeled variants) are grouped under one
+  /// HELP/TYPE block at the base's first registration; otherwise metrics
+  /// render in registration order (stable scrapes diff cleanly). Help
+  /// text is escaped per the Prometheus text format.
   std::string RenderText() const;
 
  private:
@@ -150,6 +175,9 @@ class MetricRegistry {
   // away (unique_ptr payloads), so returned metric pointers live as long
   // as the registry.
   std::vector<std::pair<std::string, Entry>> metrics_;
+  // Callbacks live under their own mutex so running them (outside mutex_)
+  // can re-enter Register* without deadlocking.
+  mutable std::mutex callbacks_mutex_;
   std::vector<std::function<void()>> callbacks_;
 };
 

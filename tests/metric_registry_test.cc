@@ -150,5 +150,140 @@ TEST(MetricRegistryTest, ConcurrentMutationAndRenderIsSafe) {
   EXPECT_EQ(c->Value(), h->Count());  // one observe per increment
 }
 
+TEST(MetricRegistryTest, LabeledSeriesGroupUnderOneHelpAndTypeBlock) {
+  MetricRegistry registry;
+  registry
+      .RegisterCounter(LabeledMetricName("koios_req_total", "dialect", "bin"),
+                       "Requests by dialect")
+      ->Add(3);
+  registry
+      .RegisterCounter(LabeledMetricName("koios_req_total", "dialect", "json"),
+                       "Requests by dialect")
+      ->Add(5);
+
+  const std::string text = registry.RenderText();
+  // One HELP and one TYPE line for the base name, two series under them.
+  size_t help_count = 0;
+  for (size_t pos = text.find("# HELP koios_req_total");
+       pos != std::string::npos;
+       pos = text.find("# HELP koios_req_total", pos + 1)) {
+    ++help_count;
+  }
+  EXPECT_EQ(help_count, 1u) << text;
+  EXPECT_NE(text.find("# TYPE koios_req_total counter"), std::string::npos);
+  EXPECT_NE(text.find("koios_req_total{dialect=\"bin\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("koios_req_total{dialect=\"json\"} 5"),
+            std::string::npos);
+}
+
+TEST(MetricRegistryTest, LabeledHistogramMergesLabelsWithLe) {
+  MetricRegistry registry;
+  Histogram* h = registry.RegisterHistogram(
+      LabeledMetricName("koios_lat_seconds", "phase", "parse"), "", {0.5});
+  h->Observe(0.1);
+  h->Observe(2.0);
+
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("koios_lat_seconds_bucket{phase=\"parse\",le=\"0.5\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("koios_lat_seconds_bucket{phase=\"parse\",le=\"+Inf\"} 2"),
+      std::string::npos);
+  EXPECT_NE(text.find("koios_lat_seconds_count{phase=\"parse\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("koios_lat_seconds_sum{phase=\"parse\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE koios_lat_seconds histogram"),
+            std::string::npos);
+}
+
+TEST(MetricRegistryTest, LabelValuesAndHelpTextAreEscaped) {
+  // Label values escape backslash, quote, and newline per the Prometheus
+  // text format; HELP lines escape backslash and newline.
+  EXPECT_EQ(LabeledMetricName("m", "k", "a\"b"), "m{k=\"a\\\"b\"}");
+  EXPECT_EQ(LabeledMetricName("m", "k", "a\\b"), "m{k=\"a\\\\b\"}");
+  EXPECT_EQ(LabeledMetricName("m", "k", "a\nb"), "m{k=\"a\\nb\"}");
+
+  MetricRegistry registry;
+  registry.RegisterCounter("koios_esc_total", "line one\nline \\two")->Add(1);
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("# HELP koios_esc_total line one\\nline \\\\two"),
+            std::string::npos)
+      << text;
+  // The raw newline must NOT appear inside the HELP line.
+  EXPECT_EQ(text.find("line one\nline"), std::string::npos);
+}
+
+TEST(MetricRegistryTest, SetSnapshotOverwritesBucketsAndRecomputesCount) {
+  MetricRegistry registry;
+  Histogram* h =
+      registry.RegisterHistogram("koios_snap_seconds", "", {0.1, 1.0});
+  h->Observe(0.05);  // stale organic observation, overwritten below
+  h->SetSnapshot({4, 2, 1}, 3.25);  // buckets incl. +Inf slot
+  EXPECT_EQ(h->Count(), 7u);
+  EXPECT_DOUBLE_EQ(h->Sum(), 3.25);
+  EXPECT_EQ(h->CumulativeCount(0), 4u);
+  EXPECT_EQ(h->CumulativeCount(1), 6u);
+
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("koios_snap_seconds_bucket{le=\"+Inf\"} 7"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("koios_snap_seconds_count 7"), std::string::npos);
+
+  // A short vector (fewer slots than buckets) must not read out of range.
+  h->SetSnapshot({9}, 1.0);
+  EXPECT_EQ(h->CumulativeCount(0), 9u);
+  EXPECT_EQ(h->Count(), 9u);
+}
+
+TEST(MetricRegistryTest, CallbackMayRegisterNewSeriesDuringRender) {
+  // Dynamic labeled series (e.g. koios_phase_seconds{phase=...}) register
+  // lazily from collection callbacks; callbacks run outside the registry
+  // lock so this must not deadlock, and the new series must appear in the
+  // SAME render that created it.
+  MetricRegistry registry;
+  int renders = 0;
+  registry.AddCollectionCallback([&registry, &renders] {
+    ++renders;
+    registry
+        .RegisterCounter(LabeledMetricName("koios_dyn_total", "round",
+                                           std::to_string(renders)),
+                         "Dynamic series")
+        ->Set(static_cast<uint64_t>(renders));
+  });
+  const std::string first = registry.RenderText();
+  EXPECT_NE(first.find("koios_dyn_total{round=\"1\"} 1"), std::string::npos)
+      << first;
+  const std::string second = registry.RenderText();
+  EXPECT_NE(second.find("koios_dyn_total{round=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(second.find("koios_dyn_total{round=\"2\"} 2"), std::string::npos);
+}
+
+TEST(MetricRegistryTest, ConcurrentObserveVersusExposeOnLabeledHistogram) {
+  MetricRegistry registry;
+  Histogram* h = registry.RegisterHistogram(
+      LabeledMetricName("koios_conc_seconds", "phase", "em"), "",
+      ExponentialLatencyBuckets());
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        h->Observe(0.002);
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    const std::string text = registry.RenderText();
+    EXPECT_NE(text.find("koios_conc_seconds_bucket{phase=\"em\",le=\""),
+              std::string::npos);
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& w : writers) w.join();
+}
+
 }  // namespace
 }  // namespace koios::util

@@ -31,6 +31,7 @@
 #include "koios/net/server.h"
 #include "koios/serve/engine_metrics.h"
 #include "koios/util/metric_registry.h"
+#include "koios/util/trace_recorder.h"
 
 namespace {
 
@@ -64,7 +65,16 @@ int Usage(const char* argv0) {
       "10000)\n"
       "  --idle-ms N            idle connection close (default 60000, 0 = "
       "never)\n"
-      "  --quantize             build the int8 embedding tier on load\n",
+      "  --quantize             build the int8 embedding tier on load\n"
+      "  --trace-sample N       trace 1 in N queries (default 16, 0 = "
+      "tracing\n"
+      "                         off); sampled spans feed /debug/tracez and\n"
+      "                         koios_phase_seconds\n"
+      "  --trace-ring N         per-thread span ring capacity (default "
+      "4096)\n"
+      "  --slow-query-ms N      log span tree + stats for queries slower "
+      "than\n"
+      "                         this (default 0 = off; 1 line/sec max)\n",
       argv0);
   return 1;
 }
@@ -80,6 +90,8 @@ int main(int argc, char** argv) {
   net::WatcherOptions watcher_options;
   watcher_options.engine.num_threads = 4;
   watcher_options.engine.cursor_cache_bytes = 64u << 20;
+  long long trace_sample = 16;
+  long long trace_ring = 4096;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -121,6 +133,13 @@ int main(int argc, char** argv) {
       server_options.idle_timeout = std::chrono::milliseconds(v);
     } else if (arg == "--quantize") {
       watcher_options.snapshot.quantize_embeddings = true;
+    } else if (arg == "--trace-sample" && next(&v)) {
+      trace_sample = v;
+    } else if (arg == "--trace-ring" && next(&v)) {
+      trace_ring = v;
+    } else if (arg == "--slow-query-ms" && next(&v)) {
+      watcher_options.engine.slow_query_threshold =
+          std::chrono::milliseconds(v);
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return Usage(argv[0]);
@@ -134,6 +153,17 @@ int main(int argc, char** argv) {
   std::signal(SIGPIPE, SIG_IGN);
   std::signal(SIGTERM, HandleShutdownSignal);
   std::signal(SIGINT, HandleShutdownSignal);
+
+  // Tracing configures before any serving thread exists; disabled tracing
+  // (--trace-sample 0) leaves only a relaxed load + branch on hot paths.
+  if (trace_sample > 0) {
+    util::TraceRecorder::Options trace_options;
+    trace_options.sample_every = static_cast<uint64_t>(trace_sample);
+    if (trace_ring > 0) {
+      trace_options.ring_spans = static_cast<size_t>(trace_ring);
+    }
+    util::TraceRecorder::Instance().Configure(trace_options);
+  }
 
   util::MetricRegistry registry;
   net::EngineSlot slot;

@@ -9,11 +9,14 @@
 #   1. fixture + daemon A starts, becomes ready (zero-touch initial load)
 #   2. happy path: ping, one query, a batch over the binary protocol,
 #      line-JSON via the same listener
-#   3. metrics scrape: server + engine + watcher families present
+#   3. metrics scrape: server + engine + watcher families present, incl.
+#      per-dialect request latency and koios_phase_seconds span histograms
 #   4. hot snapshot push (atomic rename): watcher swaps, still ready,
 #      queries keep answering
 #   5. corrupt push: swap rejected (fail-closed), old snapshot answers,
 #      swap_failures counter ticks
+#   5b. /debug/tracez scrape mid-run: parses as Chrome trace-event JSON
+#      with search + swap spans; saved as serverd_tracez.json for CI
 #   6. daemon B (tiny queue, 1 worker, small request cap) pointed at a
 #      MISSING repository: up but unready, /readyz 503, sheds carry a
 #      retry hint; pushing the fixture flips it ready with zero touches
@@ -140,6 +143,15 @@ for series in koios_server_responses_ok_total koios_server_ready \
   grep -q "^$series" <<<"$METRICS" || fail "metrics missing $series"
 done
 grep -q '^koios_server_ready 1$' <<<"$METRICS" || fail "not ready in metrics"
+# Observability families: request latency split by wire dialect, and the
+# per-phase span histograms (act 2's traffic guarantees sampled queries
+# at the default 1-in-16 rate).
+grep -q '^koios_server_request_seconds_bucket{dialect="binary"' \
+  <<<"$METRICS" || fail "metrics missing binary-dialect latency"
+grep -q '^koios_server_request_seconds_bucket{dialect="json"' \
+  <<<"$METRICS" || fail "metrics missing json-dialect latency"
+grep -q '^koios_phase_seconds_bucket{phase="search"' <<<"$METRICS" ||
+  fail "metrics missing koios_phase_seconds for the search phase"
 
 # ---- act 4: hot snapshot push (atomic rename) -----------------------------
 note "act 4: hot snapshot push"
@@ -160,6 +172,29 @@ wait_metric "$PORT_A" 'koios_watch_swap_failures_total 1' ||
 wait_ready "$PORT_A" 10 || fail "daemon A unready after corrupt push"
 [[ -n "$("$CLIENT" --port "$PORT_A" --query "$Q1" --k 5)" ]] ||
   fail "old snapshot stopped answering after corrupt push"
+
+# ---- act 5b: /debug/tracez is Perfetto-loadable Chrome trace JSON ---------
+note "act 5b: tracez capture parses as Chrome trace-event JSON"
+"$CLIENT" --port "$PORT_A" --http /debug/tracez >"$WORK/tracez.json" ||
+  fail "tracez scrape failed"
+python3 - "$WORK/tracez.json" <<'PY' || fail "tracez JSON validation"
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert isinstance(events, list) and events, "traceEvents empty"
+names = {e.get("name") for e in events}
+assert "search" in names, "no search span: %s" % sorted(n for n in names if n)
+assert "watch.swap" in names, "no watch.swap span (acts 4/5 pushed twice)"
+complete = [e for e in events if e.get("ph") == "X"]
+assert complete, "no complete (ph=X) events"
+for e in complete:
+    for key in ("name", "ts", "dur", "pid", "tid"):
+        assert key in e, "event missing %s: %r" % (key, e)
+print("tracez ok: %d events, %d span names" % (len(events), len(names)))
+PY
+# Keep a copy where CI picks it up as an artifact (repo root when the
+# workflow runs this script).
+cp "$WORK/tracez.json" serverd_tracez.json 2>/dev/null || true
 
 # ---- act 6: daemon B starts unready against a missing repository ----------
 note "act 6: daemon B unready until the first push lands"
