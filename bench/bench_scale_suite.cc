@@ -1,7 +1,10 @@
 // Scale suite for the repository formats (v3 stream vs v4 mmap): build,
 // save, load, and serve a WDC-shaped corpus at increasing set counts and
 // record per-size build time, container sizes, load times, RSS deltas,
-// and serving QPS / tail latency into one JSON report.
+// and serving QPS / tail latency into one JSON report. A 4-shard pass
+// over the v4 snapshot adds per-shard phase timings (cursor_build /
+// stream / refinement / postprocess) to each tier — ROADMAP item 2's
+// cursor-build cliff tracking, attributable per shard.
 //
 // Two HARD gates:
 //  * exactness (exit 2) — for every probe query, the top-k served from
@@ -105,6 +108,15 @@ struct PhaseDelta {
   double sum_sec = 0.0;
 };
 
+// One shard's phase-time attribution from its SearchStats timers — the
+// per-shard analogue of the trace-span phases below, so the item-2
+// cursor-build cliff at the 1M tier is measurable per shard instead of
+// blended across the fan-out.
+struct ShardPhaseReport {
+  size_t shard = 0;
+  std::map<std::string, double> phase_sec;
+};
+
 struct SizeReport {
   size_t num_sets = 0;
   size_t total_tokens = 0;
@@ -118,6 +130,7 @@ struct SizeReport {
   double qps = 0.0, p50_ms = 0.0, p99_ms = 0.0;
   std::vector<PhaseDelta> phases;    // span-time attribution, v4 queries only
   double span_coverage = 0.0;        // direct search children / search total
+  std::vector<ShardPhaseReport> shard_phases;  // N=4 pass over the v4 snap
   bool exact = true;
   bool zero_requant = true;
 };
@@ -314,6 +327,39 @@ int Run(const std::vector<size_t>& sizes, size_t num_queries,
     r.p50_ms = Percentile(latencies_ms, 0.50);
     r.p99_ms = Percentile(latencies_ms, 0.99);
 
+    // ---- per-shard phase breakdown (sharded pass over the v4 snapshot) --
+    // The same probe queries through a 4-shard engine; each shard's
+    // SearchStats timers (cursor_build / stream / refinement /
+    // postprocess) land in the JSON so a 1M-tier p50 regression can be
+    // attributed to a single shard's cursor-build cliff rather than a
+    // blended number. Results feed the exactness gate too: the sharded
+    // engine must serve the identical top-k.
+    {
+      serve::EngineOptions options;
+      options.num_threads = 1;
+      options.num_shards = 4;
+      options.max_queue = sampled.size();
+      serve::QueryEngine engine(v4_snap, options);
+      for (size_t i = 0; i < sampled.size(); ++i) {
+        serve::QueryEngine::Result res =
+            engine.Submit(sampled[i].tokens, params).get();
+        if (!res.ok() || !SameTopK(res.value(), v4_results[i])) {
+          std::fprintf(stderr,
+                       "EXACTNESS VIOLATION at %zu sets: 4-shard top-k "
+                       "diverges from the serial v4 pass\n",
+                       num_sets);
+          r.exact = false;
+        }
+      }
+      for (size_t s = 0; s < engine.num_shards(); ++s) {
+        ShardPhaseReport sp;
+        sp.shard = s;
+        sp.phase_sec = engine.shard_search_stats(s).timers.phases();
+        r.shard_phases.push_back(std::move(sp));
+      }
+      all_exact = all_exact && r.exact;
+    }
+
     std::printf(
         "[%8zu sets] build %.1fs | file v3 %.1fMB v4 %.1fMB | load v3 "
         "%.3fs v4 %.5fs (%.0fx) | rss v3 +%zuMB v4 +%zuMB | p50 %.1fms "
@@ -323,6 +369,14 @@ int Run(const std::vector<size_t>& sizes, size_t num_queries,
         r.v4_load_rss_kb / 1024, r.p50_ms, r.p99_ms, r.span_coverage * 100.0,
         r.exact ? "exact" : "DIVERGED",
         r.zero_requant ? "zero-requant" : "REQUANTIZED");
+    if (!r.shard_phases.empty()) {
+      std::printf("           per-shard (N=4) cursor_build ms:");
+      for (const ShardPhaseReport& sp : r.shard_phases) {
+        const auto it = sp.phase_sec.find("cursor_build");
+        std::printf(" %.1f", (it != sp.phase_sec.end() ? it->second : 0.0) * 1e3);
+      }
+      std::printf("\n");
+    }
     reports.push_back(r);
 
     std::remove(v3_path.c_str());
@@ -362,8 +416,20 @@ int Run(const std::vector<size_t>& sizes, size_t num_queries,
                      static_cast<unsigned long long>(d.count),
                      d.sum_sec * 1e3);
       }
+      std::fprintf(f, "},\n     \"shard_phases\": [");
+      for (size_t s = 0; s < r.shard_phases.size(); ++s) {
+        const ShardPhaseReport& sp = r.shard_phases[s];
+        std::fprintf(f, "%s\n       {\"shard\": %zu, \"phases\": {",
+                     s > 0 ? "," : "", sp.shard);
+        size_t p = 0;
+        for (const auto& [name, sec] : sp.phase_sec) {
+          std::fprintf(f, "%s\"%s\": %.3f", p++ > 0 ? ", " : "", name.c_str(),
+                       sec * 1e3);
+        }
+        std::fprintf(f, "}}");
+      }
       std::fprintf(f,
-                   "},\n"
+                   "],\n"
                    "     \"exact\": %s, \"zero_requant\": %s}%s\n",
                    r.exact ? "true" : "false",
                    r.zero_requant ? "true" : "false",

@@ -218,9 +218,7 @@ std::vector<ResultEntry> PostProcessor::Run(RefinementOutput refinement,
   // Harvest the window; optionally verify No-EM admissions so every
   // reported score is the exact SO (needed for cross-partition merging).
   std::vector<ResultEntry> result;
-  auto it = alive.begin();
-  for (size_t i = 0; i < params_.k && it != alive.end(); ++i, ++it) {
-    Item& item = items[it->second];
+  auto harvest = [&](const Item& item) {
     ResultEntry entry;
     entry.set = item.set;
     entry.exact = item.exact;
@@ -231,7 +229,45 @@ std::vector<ResultEntry> PostProcessor::Run(RefinementOutput refinement,
       ++stats->result_verification_ems;
     }
     result.push_back(entry);
+  };
+  auto it = alive.begin();
+  for (size_t i = 0; i < params_.k && it != alive.end(); ++i, ++it) {
+    harvest(items[it->second]);
   }
+
+  // Canonical tie resolution (verify mode only — without exact scores a
+  // cross-run tie is not even well defined). The window above was chosen
+  // by UPPER BOUNDS: a No-EM admission keeps its inflated refinement
+  // bound while an EM'd set is repositioned to its exact score, so WHICH
+  // of several sets tied at the k-th exact score made the window depends
+  // on processing history — and serial, partitioned and sharded runs have
+  // different histories. The bit-identity contract (ROADMAP item 4) needs
+  // one canonical answer: smallest ids win. Sweep the remaining alive
+  // sets that could still reach the k-th exact score (SO <= ub bounds the
+  // sweep; early termination against θk keeps the non-tied ones cheap)
+  // and let the final (score desc, id asc) sort pick canonically.
+  if (params_.verify_result_scores && result.size() >= params_.k &&
+      !result.empty()) {
+    Score theta_k = result.front().score;
+    for (const ResultEntry& e : result) theta_k = std::min(theta_k, e.score);
+    for (; it != alive.end() && it->first >= theta_k - kScoreEps; ++it) {
+      const Item& item = items[it->second];
+      if (item.exact) {
+        harvest(item);
+        continue;
+      }
+      const matching::MatchResult r =
+          SolveWithScratch(item.set, theta_k - kScoreEps);
+      ++stats->result_verification_ems;
+      if (r.early_terminated) continue;  // certified below every tie
+      ResultEntry entry;
+      entry.set = item.set;
+      entry.score = r.score;
+      entry.exact = true;
+      result.push_back(entry);
+    }
+  }
+
   stats->em_workspace_reuses +=
       workspace_reuses_.exchange(0, std::memory_order_relaxed);
   std::sort(result.begin(), result.end(),
@@ -239,6 +275,7 @@ std::vector<ResultEntry> PostProcessor::Run(RefinementOutput refinement,
               if (a.score != b.score) return a.score > b.score;
               return a.set < b.set;
             });
+  if (result.size() > params_.k) result.resize(params_.k);
   return result;
 }
 

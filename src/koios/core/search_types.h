@@ -112,8 +112,23 @@ class SearchContext {
  public:
   SearchContext() = default;
 
-  GlobalThreshold& global_theta() { return global_theta_; }
+  GlobalThreshold& global_theta() {
+    return shared_theta_ != nullptr ? *shared_theta_ : global_theta_;
+  }
   StreamStopController& stop_controller() { return stop_controller_; }
+
+  /// Points this context's θlb at an EXTERNAL threshold shared by several
+  /// concurrently running searches — the cross-shard generalization of the
+  /// paper's §VI partition rule (every shard's refinement publishes into
+  /// one query-global maximum, and every shard's producer derives its stop
+  /// similarity from it). The attached threshold is NOT reset by
+  /// BeginSearch: its owner (the shard coordinator) resets it exactly once
+  /// per query, before any shard starts, so a late-starting shard cannot
+  /// wipe the publications of an earlier one. Null detaches (back to the
+  /// private per-context threshold). The pointee must outlive every search
+  /// using this context.
+  void AttachSharedTheta(GlobalThreshold* shared) { shared_theta_ = shared; }
+  bool has_shared_theta() const { return shared_theta_ != nullptr; }
 
   void set_deadline(std::chrono::steady_clock::time_point deadline) {
     deadline_ = deadline;
@@ -136,9 +151,10 @@ class SearchContext {
   }
 
   /// Called by KoiosSearcher::Search on entry: rearms the per-query
-  /// machinery for `num_consumers` refinement partitions.
+  /// machinery for `num_consumers` refinement partitions. A shared
+  /// (attached) θlb is deliberately left alone — see AttachSharedTheta.
   void BeginSearch(size_t num_consumers) {
-    global_theta_.Reset();
+    if (shared_theta_ == nullptr) global_theta_.Reset();
     stop_controller_.Reset(num_consumers);
   }
 
@@ -155,6 +171,7 @@ class SearchContext {
 
  private:
   GlobalThreshold global_theta_;
+  GlobalThreshold* shared_theta_ = nullptr;
   StreamStopController stop_controller_{0};
   std::chrono::steady_clock::time_point deadline_{};
   bool has_deadline_ = false;

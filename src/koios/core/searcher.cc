@@ -108,10 +108,15 @@ SearchResult KoiosSearcher::Search(std::span<const TokenId> query,
   {
     // Cursor construction: TokenStream's constructor prewarms every query
     // token's (token, α) cursor — the up-front index cost of a query.
+    // Timed into the stats (not only the sampled trace) so per-shard
+    // breakdowns can read the cost of every query, sampled or not.
     KOIOS_TRACE_SPAN("search.cursor_build");
+    util::WallTimer cursor_timer;
     stream_storage.emplace(
         std::vector<TokenId>(query.begin(), query.end()), index, params.alpha,
         [this](TokenId t) { return InVocabulary(t); });
+    result.stats.timers.Accumulate("cursor_build",
+                                   cursor_timer.ElapsedSeconds());
   }
   sim::TokenStream& stream = *stream_storage;
 

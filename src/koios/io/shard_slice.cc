@@ -1,0 +1,78 @@
+#include "koios/io/shard_slice.h"
+
+#include <cassert>
+#include <span>
+
+namespace koios::io {
+
+namespace {
+
+/// Clamp: at least one shard, never more shards than sets (an empty
+/// collection still gets its one — empty — shard).
+size_t ClampShards(size_t set_count, size_t num_shards) {
+  if (num_shards < 1) return 1;
+  if (set_count == 0) return 1;
+  return num_shards > set_count ? set_count : num_shards;
+}
+
+/// Shard i of n over [0, count): [i*count/n, (i+1)*count/n). Balanced to
+/// within one set and exhaustive by construction.
+std::pair<size_t, size_t> ShardRange(size_t count, size_t n, size_t i) {
+  return {count * i / n, count * (i + 1) / n};
+}
+
+}  // namespace
+
+std::vector<ShardSlice> SliceCollection(const index::SetCollection& full,
+                                        size_t num_shards) {
+  const size_t count = full.size();
+  const size_t n = ClampShards(count, num_shards);
+  const std::span<const uint64_t> offsets = full.RawOffsets();
+  const std::span<const TokenId> tokens = full.RawTokens();
+
+  std::vector<ShardSlice> slices(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto [lo, hi] = ShardRange(count, n, i);
+    ShardSlice& slice = slices[i];
+    slice.base = static_cast<SetId>(lo);
+    slice.offsets.reserve(hi - lo + 1);
+    const uint64_t rebase = offsets[lo];
+    for (size_t j = lo; j <= hi; ++j) {
+      slice.offsets.push_back(offsets[j] - rebase);
+    }
+    // The vocabulary bound stays the FULL collection's: every shard probes
+    // the same replicated neighbor index, whose dense vocabulary covers
+    // tokens this shard's postings may not contain.
+    auto sliced = index::SetCollection::FromBorrowed(
+        slice.offsets,
+        tokens.subspan(static_cast<size_t>(rebase),
+                       static_cast<size_t>(offsets[hi] - rebase)),
+        full.TokenIdBound());
+    // The spans above are carved from a collection that already validated
+    // them; failure here would be a programming error, not bad input.
+    assert(sliced.ok());
+    slice.sets = std::move(sliced).value();
+  }
+  return slices;
+}
+
+std::vector<ShardPlan> PlanShards(const index::SetCollection& full,
+                                  size_t num_shards) {
+  const size_t count = full.size();
+  const size_t n = ClampShards(count, num_shards);
+  const std::span<const uint64_t> offsets = full.RawOffsets();
+
+  std::vector<ShardPlan> plans(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto [lo, hi] = ShardRange(count, n, i);
+    ShardPlan& plan = plans[i];
+    plan.first_set = static_cast<SetId>(lo);
+    plan.set_count = hi - lo;
+    plan.token_count = static_cast<size_t>(offsets[hi] - offsets[lo]);
+    plan.postings_bytes = plan.token_count * sizeof(TokenId);
+    plan.offsets_bytes = (plan.set_count + 1) * sizeof(uint64_t);
+  }
+  return plans;
+}
+
+}  // namespace koios::io

@@ -1,0 +1,79 @@
+// Sharded views over one set collection — the partitioned half of the
+// replicate-vs-partition split (ROADMAP item 4, Socrates/Aurora frame):
+// the dictionary, embeddings and neighbor index are REPLICATED (every
+// shard reads the same instances — with the v4 mmap format those are
+// shared read-only pages), while the sets and the postings derived from
+// them are PARTITIONED into contiguous SetId ranges.
+//
+// Contiguous ranges keep the id mapping trivial and the merge
+// deterministic: shard i owns global ids [base, base + sets.size()), so a
+// shard-local result id rebases with one addition and the global
+// (score desc, id asc) tie-break order is computable without any lookup
+// table. Slicing is near-zero-copy: each slice borrows the parent token
+// arena ([offsets[lo], offsets[hi]) — for an mmap-backed snapshot these
+// are the mapped pages themselves) and owns only its REBASED offsets
+// array (size()+1 uint64s, the price of SetCollection's "offsets start at
+// 0" invariant).
+//
+// Lifetime: a slice's token span aliases the parent collection's arena;
+// whoever holds slices must pin whatever pins the parent (the serve layer
+// keeps them inside the ServingState next to the snapshot).
+#ifndef KOIOS_IO_SHARD_SLICE_H_
+#define KOIOS_IO_SHARD_SLICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "koios/index/set_collection.h"
+#include "koios/util/types.h"
+
+namespace koios::io {
+
+/// One shard's view of a set collection: the sets with global ids
+/// [base, base + sets.size()), re-addressed as local ids [0, size).
+struct ShardSlice {
+  /// Global SetId of this shard's local id 0.
+  SetId base = 0;
+  /// Rebased CSR offsets (offsets[j] = parent_offsets[base + j] -
+  /// parent_offsets[base]); owned here because `sets` borrows them.
+  std::vector<uint64_t> offsets;
+  /// Borrowed-mode collection over (offsets, parent token subspan).
+  index::SetCollection sets;
+
+  ShardSlice() = default;
+  // `sets` holds spans into `offsets`; moving the vector keeps its heap
+  // buffer (and therefore the spans) valid, so moves are safe — but the
+  // serve layer still heap-allocates the owning ShardEngine so raw
+  // `&slice.sets` pointers (held by searchers) never dangle.
+  ShardSlice(ShardSlice&&) = default;
+  ShardSlice& operator=(ShardSlice&&) = default;
+};
+
+/// Partitions `full` into `num_shards` contiguous, balanced slices
+/// (shard i owns [i*n/N, (i+1)*n/N), so sizes differ by at most one and
+/// every set appears in exactly one shard). `num_shards` is clamped to
+/// [1, max(1, full.size())] — asking for more shards than sets yields one
+/// shard per set. Works over both owned and borrowed (mmap) collections;
+/// the returned slices alias `full`'s token arena (see file comment).
+std::vector<ShardSlice> SliceCollection(const index::SetCollection& full,
+                                        size_t num_shards);
+
+/// Planner record for `koios_snapshot shard`: what one shard of an
+/// N-way partitioned open would hold.
+struct ShardPlan {
+  SetId first_set = 0;
+  size_t set_count = 0;
+  size_t token_count = 0;       // Σ |C| over the shard's sets
+  size_t postings_bytes = 0;    // token_count * sizeof(TokenId)
+  size_t offsets_bytes = 0;     // rebased offsets copy (the per-shard cost)
+};
+
+/// Computes the per-shard partition plan without building the slices.
+/// Same clamping and ranges as SliceCollection.
+std::vector<ShardPlan> PlanShards(const index::SetCollection& full,
+                                  size_t num_shards);
+
+}  // namespace koios::io
+
+#endif  // KOIOS_IO_SHARD_SLICE_H_

@@ -192,6 +192,45 @@ void RegisterEngineMetrics(
     }
   });
 
+  // Per-shard series (sharded engines only; an unsharded engine emits
+  // none — series count is the ACTUAL shard count, so dashboards see the
+  // real topology). Registered lazily from the callback, same pattern as
+  // the phase histograms below: a duplicate registration returns the
+  // existing series, and each render overwrites with the authoritative
+  // snapshot. The EWMA gauges are the overload governor's per-shard view
+  // — the governor itself reads the SLOWEST of them, not a blend.
+  registry->AddCollectionCallback([registry, resolve] {
+    const std::shared_ptr<const QueryEngine> engine = resolve();
+    if (engine == nullptr) return;
+    const size_t shards = engine->num_shards();
+    if (shards <= 1) return;
+    for (size_t i = 0; i < shards; ++i) {
+      const std::string label = std::to_string(i);
+      util::Gauge* ewma = registry->RegisterGauge(
+          util::LabeledMetricName("koios_shard_latency_ewma_seconds", "shard",
+                                  label),
+          "Per-shard EWMA execution time (governor reads the slowest)");
+      util::Gauge* p99 = registry->RegisterGauge(
+          util::LabeledMetricName("koios_shard_latency_p99_seconds", "shard",
+                                  label),
+          "Per-shard 99th-percentile execution time");
+      util::Counter* queries = registry->RegisterCounter(
+          util::LabeledMetricName("koios_shard_queries_total", "shard", label),
+          "Shard executions completed (one per shard per query)");
+      util::Counter* produced = registry->RegisterCounter(
+          util::LabeledMetricName("koios_shard_stream_tuples_produced_total",
+                                  "shard", label),
+          "Token-stream tuples this shard's producer materialized (the "
+          "θlb-exchange savings show up here)");
+      const LatencyRecorder latency = engine->shard_latency(i);
+      const core::SearchStats stats = engine->shard_search_stats(i);
+      if (ewma != nullptr) ewma->Set(latency.EwmaSeconds());
+      if (p99 != nullptr) p99->Set(latency.Percentile(99.0));
+      if (queries != nullptr) queries->Set(latency.count());
+      if (produced != nullptr) produced->Set(stats.stream_tuples_produced);
+    }
+  });
+
   // Per-phase span-time histograms. Phases appear dynamically as spans are
   // first recorded, so the labeled series are registered lazily from the
   // collection callback (callbacks run outside the registry lock, and a

@@ -33,11 +33,19 @@ int64_t HintMs(double wait_seconds) {
 
 }  // namespace
 
+ShardOptions QueryEngine::MakeShardOptions() const {
+  ShardOptions shard_options;
+  shard_options.num_shards = std::max<size_t>(1, options_.num_shards);
+  shard_options.theta_exchange = options_.shard_theta_exchange;
+  shard_options.searcher = options_.searcher;
+  return shard_options;
+}
+
 QueryEngine::StatePtr QueryEngine::MakeState(
     std::shared_ptr<const Snapshot> snapshot, const index::SetCollection* sets,
     sim::SimilarityIndex* index) const {
   auto state = std::make_shared<ServingState>(std::move(snapshot), sets, index,
-                                              options_.searcher);
+                                              MakeShardOptions());
   if (options_.cursor_cache_bytes > 0) {
     if (auto* cache = dynamic_cast<sim::BatchedNeighborIndex*>(index)) {
       cache->SetCursorCacheCapacity(options_.cursor_cache_bytes);
@@ -51,16 +59,36 @@ QueryEngine::StatePtr QueryEngine::CurrentState() const {
   return state_;
 }
 
+namespace {
+
+/// Shard fan-out pool: shards 1..N-1 of up to num_threads concurrent
+/// queries, each a single-threaded leaf task. Null at N = 1 — the fast
+/// path never pays for threads it cannot use.
+std::unique_ptr<util::ThreadPool> MakeShardPool(const EngineOptions& options) {
+  if (options.num_shards <= 1) return nullptr;
+  return std::make_unique<util::ThreadPool>(
+      (options.num_shards - 1) * std::max<size_t>(1, options.num_threads));
+}
+
+}  // namespace
+
 QueryEngine::QueryEngine(const index::SetCollection* sets,
                          sim::SimilarityIndex* index,
                          const EngineOptions& options)
     : options_(options),
       state_(MakeState(nullptr, sets, index)),
+      shard_latency_(std::max<size_t>(1, options.num_shards)),
+      shard_stats_(std::max<size_t>(1, options.num_shards)),
+      shard_pool_(MakeShardPool(options)),
       pool_(std::max<size_t>(1, options.num_threads)) {}
 
 QueryEngine::QueryEngine(std::shared_ptr<const Snapshot> snapshot,
                          const EngineOptions& options)
-    : options_(options), pool_(std::max<size_t>(1, options.num_threads)) {
+    : options_(options),
+      shard_latency_(std::max<size_t>(1, options.num_shards)),
+      shard_stats_(std::max<size_t>(1, options.num_shards)),
+      shard_pool_(MakeShardPool(options)),
+      pool_(std::max<size_t>(1, options.num_threads)) {
   const Snapshot* raw = snapshot.get();
   state_ = MakeState(std::move(snapshot), &raw->sets(), raw->index());
 }
@@ -141,8 +169,12 @@ std::shared_ptr<const Snapshot> QueryEngine::snapshot() const {
 
 std::shared_ptr<const core::KoiosSearcher> QueryEngine::searcher() const {
   StatePtr state = CurrentState();
-  const core::KoiosSearcher* ptr = &state->searcher;
+  const core::KoiosSearcher* ptr = &state->coordinator.shard(0).searcher();
   return std::shared_ptr<const core::KoiosSearcher>(std::move(state), ptr);
+}
+
+size_t QueryEngine::num_shards() const {
+  return CurrentState()->coordinator.num_shards();
 }
 
 QueryEngine::TraceTask QueryEngine::CaptureTrace() const {
@@ -175,13 +207,22 @@ bool QueryEngine::TicketExpired(const Ticket& ticket) {
          std::chrono::steady_clock::now() >= ticket.deadline;
 }
 
+double QueryEngine::GovernorEwmaSecondsLocked() const {
+  if (options_.num_shards <= 1) return latency_.EwmaSeconds();
+  double slowest = 0.0;
+  for (const LatencyRecorder& recorder : shard_latency_) {
+    slowest = std::max(slowest, recorder.EwmaSeconds());
+  }
+  return slowest > 0.0 ? slowest : latency_.EwmaSeconds();
+}
+
 double QueryEngine::EstimatedQueueWaitSeconds(size_t admitted) const {
   const size_t workers = pool_.num_threads();
   if (admitted < workers) return 0.0;  // a worker is (about to be) free
   double ewma = 0.0;
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
-    ewma = latency_.EwmaSeconds();
+    ewma = GovernorEwmaSecondsLocked();
   }
   if (ewma <= 0.0) return 0.0;  // nothing completed yet: no estimate
   // `admitted - workers` queries are queued ahead of this one; the pool
@@ -308,13 +349,18 @@ QueryEngine::Result QueryEngine::Execute(const ServingState& state,
                          trace.parent_span, trace.enqueue_ns, rec.NowNs());
   }
 
-  core::SearchContext ctx;
-  if (ticket.has_deadline) ctx.set_deadline(ticket.deadline);
-  if (cancel != nullptr) ctx.set_cancel_flag(cancel->flag());
+  ShardCoordinator::QueryOptions qopts;
+  qopts.has_deadline = ticket.has_deadline;
+  qopts.deadline = ticket.deadline;
+  qopts.cancel_flag = cancel != nullptr ? cancel->flag() : nullptr;
   try {
-    ctx.CheckCancelled();  // expired while queued: reject without running
+    // Expired or cancelled while queued: reject without running.
+    if ((cancel != nullptr && cancel->cancelled()) || TicketExpired(ticket)) {
+      throw core::SearchAborted{};
+    }
     util::WallTimer timer;
     core::SearchResult result;
+    ShardCoordinator::QueryReport report;
     {
       util::TraceSpan execute_span("serve.execute");
       if (execute_span.active() && ticket.has_deadline) {
@@ -323,18 +369,17 @@ QueryEngine::Result QueryEngine::Execute(const ServingState& state,
         execute_span.set_arg("deadline_ms_left",
                              left.count() > 0 ? left.count() : 0);
       }
-      if (state.sessions_supported) {
-        // Fresh per-query probe session over the shared cursor cache: the
-        // only per-query state is a position table, so creation is cheap and
-        // any number of Executes run concurrently.
-        std::unique_ptr<sim::SimilarityIndex> session =
-            state.index->NewSession();
-        result = state.searcher.Search(query, params, session.get(), &ctx);
-      } else {
-        // No session support: correctness first — one query at a time.
-        std::lock_guard<std::mutex> lock(no_session_fallback_mutex_);
-        result = state.searcher.Search(query, params, state.index, &ctx);
-      }
+      // Shard tasks hop threads: hand them this thread's ambient trace so
+      // their shard.execute spans parent under serve.execute.
+      const util::TraceRecorder::ThreadContext ambient =
+          util::TraceRecorder::Current();
+      qopts.trace_id = ambient.trace_id;
+      qopts.trace_parent = ambient.parent_span;
+      // The coordinator owns session creation (one per shard) and the
+      // no-session serialization fallback; at num_shards = 1 this is
+      // exactly the pre-shard execution path.
+      result = state.coordinator.Execute(query, params, qopts,
+                                         shard_pool_.get(), &report);
     }
     const double elapsed = timer.ElapsedSeconds();
     {
@@ -342,6 +387,12 @@ QueryEngine::Result QueryEngine::Execute(const ServingState& state,
       ++counters_.completed;
       search_stats_.Merge(result.stats);
       latency_.Record(elapsed);
+      const size_t shards =
+          std::min(report.shard_seconds.size(), shard_latency_.size());
+      for (size_t i = 0; i < shards; ++i) {
+        shard_latency_[i].Record(report.shard_seconds[i]);
+        shard_stats_[i].Merge(report.shard_stats[i]);
+      }
     }
     MaybeLogSlowQuery(query, params, result.stats, elapsed, trace.trace_id);
     return result;
@@ -452,7 +503,7 @@ std::vector<QueryEngine::Result> QueryEngine::SearchMany(
   }
   std::sort(tokens.begin(), tokens.end());
   tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
-  if (state->sessions_supported && !tokens.empty()) {
+  if (state->coordinator.sessions_supported() && !tokens.empty()) {
     KOIOS_TRACE_SPAN_ARG("serve.prewarm", "tokens", tokens.size());
     std::unique_ptr<sim::SimilarityIndex> session = state->index->NewSession();
     session->set_thread_pool(&pool_);
@@ -499,6 +550,18 @@ core::SearchStats QueryEngine::search_stats() const {
 LatencyRecorder QueryEngine::latency() const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   return latency_;
+}
+
+LatencyRecorder QueryEngine::shard_latency(size_t shard) const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  if (shard >= shard_latency_.size()) return LatencyRecorder{};
+  return shard_latency_[shard];
+}
+
+core::SearchStats QueryEngine::shard_search_stats(size_t shard) const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  if (shard >= shard_stats_.size()) return core::SearchStats{};
+  return shard_stats_[shard];
 }
 
 double QueryEngine::LatencyEwmaSeconds() const {

@@ -34,6 +34,16 @@
 //    they were admitted under, later submissions see the new snapshot,
 //    and the old snapshot is destroyed when its last in-flight query
 //    drops the reference — no drain, no lock held across a search.
+//  * Sharded scatter-gather (num_shards > 1). The set collection is
+//    partitioned into N contiguous slices (dict/embeddings/neighbor index
+//    replicated — shared pages under the v4 mmap format), each with its
+//    own ShardEngine; every query fans out across all shards (shard 0 on
+//    the query's worker, the rest on a dedicated shard pool), exchanges
+//    θlb mid-flight so any shard's proven bound prunes the others, and
+//    merges the per-shard top-k streams deterministically. Results are
+//    bit-identical to the N=1 engine; admission, deadlines, cancellation
+//    and swaps keep their exact semantics (the coordinator lives inside
+//    the ServingState, so a swap flips all shards atomically).
 //
 // Intra-query threading is intentionally OFF in engine execution
 // (params.num_threads is forced to 1): at serving concurrency the cores
@@ -55,6 +65,7 @@
 #include "koios/core/search_types.h"
 #include "koios/core/searcher.h"
 #include "koios/serve/latency_recorder.h"
+#include "koios/serve/shard_coordinator.h"
 #include "koios/serve/snapshot.h"
 #include "koios/util/status.h"
 #include "koios/util/thread_pool.h"
@@ -78,6 +89,26 @@ struct EngineOptions {
   size_t cursor_cache_bytes = 0;
   /// Repository partitioning (paper §VI) used by the engine's searcher.
   core::SearcherOptions searcher;
+
+  /// Corpus shards (ROADMAP item 4): the set collection is partitioned
+  /// into this many contiguous slices, each searched by its own
+  /// ShardEngine, with one query fanned across all of them (shard 0 on
+  /// the query's worker, the rest on a dedicated shard pool) and the
+  /// per-shard top-k streams merged deterministically. Dict, embeddings
+  /// and the neighbor index stay shared (replicated) across shards.
+  /// 1 = today's single-shard engine, bit-for-bit; results are
+  /// bit-identical at every N (hard gate in bench_shard_scaling). Clamped
+  /// to the set count. Fixed for the engine's lifetime — hot swaps re-
+  /// slice the NEW snapshot at the same N, flipping all shards atomically
+  /// (they live inside the one ServingState pointer).
+  size_t num_shards = 1;
+  /// Cross-shard θlb exchange (paper §VI partition pruning, lifted to
+  /// shards): every shard's refinement publishes into one query-global
+  /// threshold that all shards' producers read, so a bound proven by any
+  /// shard stops the others' streams early. Results are identical either
+  /// way — off is the independent-shard baseline the scaling bench
+  /// measures the exchange against. Ignored at num_shards = 1.
+  bool shard_theta_exchange = true;
 
   /// Completed queries slower than this get a report — the query's full
   /// span tree (when it was sampled by the trace recorder) plus
@@ -220,12 +251,17 @@ class QueryEngine {
   /// constructed over borrowed parts and never swapped).
   std::shared_ptr<const Snapshot> snapshot() const;
 
-  /// The CURRENT serving state's searcher. The returned pointer PINS the
-  /// state it belongs to (aliasing shared_ptr), so it stays valid across
-  /// hot swaps — but a caller holding it across a swap keeps reading the
-  /// OLD snapshot's searcher, exactly like an in-flight query would.
+  /// The CURRENT serving state's FIRST shard searcher (the only shard —
+  /// the full collection — at num_shards = 1). The returned pointer PINS
+  /// the state it belongs to (aliasing shared_ptr), so it stays valid
+  /// across hot swaps — but a caller holding it across a swap keeps
+  /// reading the OLD snapshot's searcher, exactly like an in-flight query
+  /// would.
   std::shared_ptr<const core::KoiosSearcher> searcher() const;
   size_t num_threads() const { return pool_.num_threads(); }
+  /// ACTUAL shard count of the current serving state (options.num_shards
+  /// clamped to the snapshot's set count; 1 for an unsharded engine).
+  size_t num_shards() const;
 
   EngineCounters counters() const;
   /// Aggregate of every completed query's SearchStats (tuples, candidates,
@@ -234,6 +270,16 @@ class QueryEngine {
   core::SearchStats search_stats() const;
   /// Copy of the per-query wall-latency samples (successful queries only).
   LatencyRecorder latency() const;
+  /// Per-shard execution latency samples of completed queries (one sample
+  /// per shard per query — shard i's own wall time inside the fan-out).
+  /// Empty recorder for out-of-range shards. At num_shards = 1, shard 0
+  /// mirrors latency() minus the merge/session overhead.
+  LatencyRecorder shard_latency(size_t shard) const;
+  /// Aggregate SearchStats of shard `shard` across completed queries —
+  /// per-shard tuples/candidates/phase timers ("cursor_build",
+  /// "refinement", "postprocess") for the metrics layer and the scale
+  /// suite's per-shard breakdowns.
+  core::SearchStats shard_search_stats(size_t shard) const;
   /// EWMA service time in seconds (0 until the first query completes) —
   /// the overload governor's "how long does one query take right now",
   /// exposed for metrics without copying the whole sample vector.
@@ -253,24 +299,25 @@ class QueryEngine {
   };
 
   /// Everything a query dereferences while it runs, bundled immutably so
-  /// a hot swap is one shared_ptr flip. A query pins the state it was
-  /// ADMITTED under (captured into its task), which is what makes the
-  /// swap safe with queries in flight: nothing a running search touches
-  /// is ever mutated or freed underneath it.
+  /// a hot swap is one shared_ptr flip — INCLUDING every shard: the
+  /// coordinator (and the slices + per-shard searchers inside it) lives
+  /// here, so a swap replaces all N shards atomically; a query can never
+  /// see shard 0 of one snapshot and shard 1 of another. A query pins the
+  /// state it was ADMITTED under (captured into its task), which is what
+  /// makes the swap safe with queries in flight: nothing a running search
+  /// touches is ever mutated or freed underneath it.
   struct ServingState {
     ServingState(std::shared_ptr<const Snapshot> snap,
                  const index::SetCollection* sets,
                  sim::SimilarityIndex* index_in,
-                 const core::SearcherOptions& searcher_options)
+                 const ShardOptions& shard_options)
         : snapshot(std::move(snap)),
           index(index_in),
-          searcher(sets, index_in, searcher_options),
-          sessions_supported(index_in->NewSession() != nullptr) {}
+          coordinator(sets, index_in, shard_options) {}
 
     std::shared_ptr<const Snapshot> snapshot;  // null for borrowed parts
     sim::SimilarityIndex* index;
-    core::KoiosSearcher searcher;  // holds the sets pointer itself
-    bool sessions_supported;
+    ShardCoordinator coordinator;  // holds the shard slices + searchers
   };
   using StatePtr = std::shared_ptr<const ServingState>;
 
@@ -295,6 +342,15 @@ class QueryEngine {
 
   Ticket MakeTicket(std::chrono::milliseconds deadline) const;
   static bool TicketExpired(const Ticket& ticket);
+  /// The shard options every serving state is built with.
+  ShardOptions MakeShardOptions() const;
+  /// The overload governor's per-query service-time estimate (seconds).
+  /// Unsharded: the query EWMA. Sharded: the SLOWEST shard's EWMA — a
+  /// query is only done when its slowest shard is, so a blended average
+  /// would understate the drain rate whenever shards are imbalanced.
+  /// Falls back to the query EWMA before any shard has reported.
+  /// Requires stats_mutex_ held.
+  double GovernorEwmaSecondsLocked() const;
   /// Overload-governor estimate of how long a query admitted as number
   /// `admitted` (pre-increment in_flight_ value) will wait before a worker
   /// picks it up: (queued ahead of it + 1) × EWMA service time / workers.
@@ -320,11 +376,10 @@ class QueryEngine {
 
   EngineOptions options_;
   // The hot-swappable serving state; reads and the swap flip are brief
-  // critical sections (never held across a search).
+  // critical sections (never held across a search). (The no-session
+  // serialization fallback lives inside each state's coordinator now.)
   mutable std::mutex state_mutex_;
   StatePtr state_;
-  // Serializes whole searches when the index cannot hand out sessions.
-  std::mutex no_session_fallback_mutex_;
 
   // Admitted (queued or running) queries, for the queue bound.
   std::atomic<size_t> in_flight_{0};
@@ -336,6 +391,19 @@ class QueryEngine {
   EngineCounters counters_;
   core::SearchStats search_stats_;  // merged per completed query
   LatencyRecorder latency_;
+  // Per-shard accumulation, indexed by shard — sized to the REQUESTED
+  // shard count (a snapshot with fewer sets than shards reports into the
+  // low indexes only).
+  std::vector<LatencyRecorder> shard_latency_;
+  std::vector<core::SearchStats> shard_stats_;
+
+  // The shard fan-out pool (created only at num_shards > 1): shards
+  // 1..N-1 of every in-flight query run here while shard 0 runs on the
+  // query's own worker, so it is sized (N-1) × num_threads to keep every
+  // shard of every concurrently running query on a core. Declared BEFORE
+  // pool_ (and destroyed after it): query workers block on shard futures,
+  // so the shard pool must outlive them.
+  std::unique_ptr<util::ThreadPool> shard_pool_;
 
   // LAST member: its destructor joins workers that still touch the stats
   // mutex and counters above, so they must outlive it.

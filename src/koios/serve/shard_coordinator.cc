@@ -1,0 +1,171 @@
+#include "koios/serve/shard_coordinator.h"
+
+#include <algorithm>
+#include <exception>
+#include <future>
+#include <optional>
+#include <utility>
+
+#include "koios/io/shard_slice.h"
+#include "koios/util/timer.h"
+#include "koios/util/trace_recorder.h"
+
+namespace koios::serve {
+
+ShardCoordinator::ShardCoordinator(const index::SetCollection* sets,
+                                   sim::SimilarityIndex* index,
+                                   const ShardOptions& options)
+    : options_(options),
+      index_(index),
+      sessions_supported_(index->NewSession() != nullptr) {
+  // One shard serves the FULL collection directly (no slice, no rebased
+  // offsets) — the N=1 fast path the equivalence contract depends on.
+  if (options.num_shards <= 1 || sets->size() <= 1) {
+    shards_.push_back(
+        std::make_unique<ShardEngine>(sets, index, options.searcher));
+    return;
+  }
+  std::vector<io::ShardSlice> slices =
+      io::SliceCollection(*sets, options.num_shards);
+  shards_.reserve(slices.size());
+  for (io::ShardSlice& slice : slices) {
+    shards_.push_back(std::make_unique<ShardEngine>(std::move(slice), index,
+                                                    options.searcher));
+  }
+}
+
+core::SearchResult ShardCoordinator::Execute(std::span<const TokenId> query,
+                                             core::SearchParams params,
+                                             const QueryOptions& qopts,
+                                             util::ThreadPool* shard_pool,
+                                             QueryReport* report) const {
+  if (!sessions_supported_) {
+    // No probe sessions: shards would fight over the shared index's
+    // cursor positions, so the whole query — all shards, sequentially —
+    // runs under one lock, exactly as whole queries serialized before.
+    std::lock_guard<std::mutex> lock(no_session_mutex_);
+    return ExecuteSharded(query, params, qopts, /*shard_pool=*/nullptr,
+                          report);
+  }
+  return ExecuteSharded(query, params, qopts, shard_pool, report);
+}
+
+core::SearchResult ShardCoordinator::ExecuteSharded(
+    std::span<const TokenId> query, const core::SearchParams& params,
+    const QueryOptions& qopts, util::ThreadPool* shard_pool,
+    QueryReport* report) const {
+  const size_t n = shards_.size();
+
+  // One query-global θlb; every shard's refinement publishes into it and
+  // every shard's producer derives its stop similarity from it (with the
+  // exchange off each context keeps its private threshold — same results,
+  // more work). Fresh per query, so no reset ordering to get wrong.
+  core::GlobalThreshold shared_theta;
+  const bool exchange = options_.theta_exchange && n > 1;
+
+  // SearchContext holds atomics (non-movable) — heap-pin each one.
+  std::vector<std::unique_ptr<core::SearchContext>> contexts;
+  contexts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto ctx = std::make_unique<core::SearchContext>();
+    if (qopts.has_deadline) ctx->set_deadline(qopts.deadline);
+    if (qopts.cancel_flag != nullptr) ctx->set_cancel_flag(qopts.cancel_flag);
+    if (exchange) ctx->AttachSharedTheta(&shared_theta);
+    contexts.push_back(std::move(ctx));
+  }
+
+  // Exact scores are what make the cross-shard (score desc, id asc) order
+  // well defined; certified lower bounds from the No-EM filter are not
+  // comparable across shards. N=1 keeps the caller's setting untouched.
+  core::SearchParams shard_params = params;
+  if (n > 1) shard_params.verify_result_scores = true;
+
+  std::vector<core::SearchResult> partial(n);
+  std::vector<double> seconds(n, 0.0);
+
+  auto run_shard = [&](size_t i) {
+    std::optional<util::TraceSpan> span;
+    if (n > 1) span.emplace("shard.execute", "shard", i);
+    util::WallTimer timer;
+    if (sessions_supported_) {
+      std::unique_ptr<sim::SimilarityIndex> session = index_->NewSession();
+      partial[i] =
+          shards_[i]->Execute(query, shard_params, session.get(),
+                              contexts[i].get());
+    } else {
+      partial[i] =
+          shards_[i]->Execute(query, shard_params, index_, contexts[i].get());
+    }
+    seconds[i] = timer.ElapsedSeconds();
+  };
+
+  if (shard_pool != nullptr && n > 1) {
+    // Scatter: shards 1..N-1 on the dedicated shard pool, shard 0 INLINE
+    // on this (query-worker) thread — the worker always makes forward
+    // progress itself and shard tasks are leaves (single-threaded
+    // searches that never wait on a pool), so the fan-out cannot
+    // deadlock. An exception anywhere still joins EVERY shard before
+    // rethrowing: the contexts and partials live on this frame.
+    std::vector<std::future<void>> futures;
+    futures.reserve(n - 1);
+    for (size_t i = 1; i < n; ++i) {
+      futures.push_back(shard_pool->Submit([&run_shard, &qopts, i] {
+        util::TraceAdopt adopt(qopts.trace_id, qopts.trace_parent);
+        run_shard(i);
+      }));
+    }
+    std::exception_ptr first_error;
+    try {
+      run_shard(0);
+    } catch (...) {
+      first_error = std::current_exception();
+    }
+    for (std::future<void>& future : futures) {
+      try {
+        future.get();
+      } catch (...) {
+        if (first_error == nullptr) first_error = std::current_exception();
+      }
+    }
+    if (first_error != nullptr) std::rethrow_exception(first_error);
+  } else {
+    // Sequential scatter: the no-session fallback, and the deterministic
+    // mode tests use (θlb flows from earlier shards to later ones with
+    // reproducible tuple counts).
+    for (size_t i = 0; i < n; ++i) run_shard(i);
+  }
+
+  if (report != nullptr) {
+    report->shard_seconds = std::move(seconds);
+    report->shard_stats.clear();
+    report->shard_stats.reserve(n);
+    for (const core::SearchResult& p : partial) {
+      report->shard_stats.push_back(p.stats);
+    }
+  }
+
+  if (n == 1) return std::move(partial[0]);
+
+  // Gather: every global top-k entry ranks within the top-k of its own
+  // shard, so concatenating the shard lists and re-sorting under the
+  // global total order loses nothing; the (score desc, id asc) tie-break
+  // is exactly the searcher's own partition merge, which is what makes
+  // the result bit-identical to N=1.
+  KOIOS_TRACE_SPAN("shard.merge");
+  core::SearchResult result;
+  std::vector<core::ResultEntry> merged;
+  for (core::SearchResult& p : partial) {
+    merged.insert(merged.end(), p.topk.begin(), p.topk.end());
+    result.stats.Merge(p.stats);
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const core::ResultEntry& a, const core::ResultEntry& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.set < b.set;
+            });
+  if (merged.size() > params.k) merged.resize(params.k);
+  result.topk = std::move(merged);
+  return result;
+}
+
+}  // namespace koios::serve

@@ -1,0 +1,140 @@
+// ShardCoordinator — scatter-gather query execution over N ShardEngines
+// (ROADMAP item 4: the paper's §VI partition pruning lifted from
+// in-process partitions to corpus shards, behind the unchanged Submit
+// interface).
+//
+// Per query the coordinator:
+//  1. creates ONE query-global θlb and N per-shard SearchContexts (each
+//     carrying the query's deadline/cancel/trace); with θlb exchange on,
+//     every context is attached to the shared threshold, so a bound any
+//     shard's refinement proves immediately tightens every other shard's
+//     pruning and stream-stop similarity — the cross-shard feedback that
+//     makes N shards cheaper than N independent searches;
+//  2. fans out: shards 1..N-1 run on the dedicated shard pool, shard 0
+//     runs INLINE on the calling (query-worker) thread. Shard tasks are
+//     single-threaded searches that never wait on any pool, so a query
+//     worker blocking on shard futures can never deadlock — the shard
+//     pool only ever executes leaf work;
+//  3. gathers: joins every shard (even after a failure — the per-shard
+//     contexts live on this frame), then merges the per-shard top-k lists
+//     under the global total order (score desc, SetId asc) and truncates
+//     to k.
+//
+// Exactness of the merge: shard results carry exact scores
+// (verify_result_scores is forced on for N>1 — certified-lower-bound
+// scores would make the cross-shard order ill-defined), and any set in
+// the global top-k is by definition within the top-k OF ITS OWN SHARD, so
+// the union of shard top-k lists always contains the global top-k. θlb
+// exchange is sound for the same reason the in-process version is: a
+// shard's k-th lower bound never exceeds the global θk, and pruning
+// comparisons keep their ε slack, so ties survive. Results are therefore
+// bit-identical to the N=1 engine — the property bench_shard_scaling
+// gates hard.
+//
+// N=1 compiles down to today's behavior: no slicing (the one shard IS the
+// full collection), no shared θlb, no shard spans, no pool hop — the
+// query runs inline exactly as QueryEngine::Execute always has.
+#ifndef KOIOS_SERVE_SHARD_COORDINATOR_H_
+#define KOIOS_SERVE_SHARD_COORDINATOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "koios/core/search_types.h"
+#include "koios/core/searcher.h"
+#include "koios/index/set_collection.h"
+#include "koios/serve/shard_engine.h"
+#include "koios/sim/similarity.h"
+#include "koios/util/thread_pool.h"
+
+namespace koios::serve {
+
+struct ShardOptions {
+  /// Corpus shards. 1 = single-shard (today's engine, bit-for-bit).
+  size_t num_shards = 1;
+  /// Cross-shard θlb exchange (N>1 only). Off = every shard prunes
+  /// against only its own bounds — the independent-execution baseline the
+  /// scaling bench compares against; results are identical either way,
+  /// only the work differs.
+  bool theta_exchange = true;
+  /// Per-shard in-process partitioning (paper §VI), applied within each
+  /// shard's searcher.
+  core::SearcherOptions searcher;
+};
+
+class ShardCoordinator {
+ public:
+  /// Builds N shard engines over contiguous slices of `sets`, all probing
+  /// the shared `index` (replicated across shards). Both must outlive the
+  /// coordinator; slices borrow `sets`' token arena. num_shards is
+  /// clamped to [1, max(1, sets->size())].
+  ShardCoordinator(const index::SetCollection* sets,
+                   sim::SimilarityIndex* index, const ShardOptions& options);
+
+  ShardCoordinator(const ShardCoordinator&) = delete;
+  ShardCoordinator& operator=(const ShardCoordinator&) = delete;
+
+  size_t num_shards() const { return shards_.size(); }
+  const ShardEngine& shard(size_t i) const { return *shards_[i]; }
+  /// True when the shared index hands out per-query probe sessions;
+  /// without them shard execution (and whole queries) serialize behind an
+  /// internal mutex, exactly like the pre-shard engine did.
+  bool sessions_supported() const { return sessions_supported_; }
+
+  /// Per-query inputs threaded from the engine's admission machinery into
+  /// every shard's SearchContext.
+  struct QueryOptions {
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+    const std::atomic<bool>* cancel_flag = nullptr;
+    /// Ambient trace at the execute site; shard tasks adopt it so their
+    /// shard.execute spans parent under serve.execute.
+    uint64_t trace_id = 0;
+    uint64_t trace_parent = 0;
+  };
+
+  /// Per-shard observations of one executed query, for the engine's
+  /// per-shard latency/stats accumulation (indexed by shard).
+  struct QueryReport {
+    std::vector<double> shard_seconds;
+    std::vector<core::SearchStats> shard_stats;
+  };
+
+  /// Executes one query across all shards and merges (see file comment).
+  /// `shard_pool` carries shards 1..N-1 and is required when
+  /// num_shards() > 1 and sessions are supported; shard 0 always runs on
+  /// the calling thread. `report` (optional) receives per-shard timings
+  /// and stats. Throws SearchAborted on deadline/cancel — after every
+  /// in-flight shard has been joined.
+  core::SearchResult Execute(std::span<const TokenId> query,
+                             core::SearchParams params,
+                             const QueryOptions& qopts,
+                             util::ThreadPool* shard_pool,
+                             QueryReport* report) const;
+
+ private:
+  core::SearchResult ExecuteSharded(std::span<const TokenId> query,
+                                    const core::SearchParams& params,
+                                    const QueryOptions& qopts,
+                                    util::ThreadPool* shard_pool,
+                                    QueryReport* report) const;
+
+  ShardOptions options_;
+  sim::SimilarityIndex* index_;
+  bool sessions_supported_;
+  // unique_ptr for pointer stability: each engine's searcher points into
+  // the engine's own slice storage (see ShardEngine).
+  std::vector<std::unique_ptr<ShardEngine>> shards_;
+  // Serializes execution when the index cannot hand out sessions (shards
+  // would otherwise fight over the shared cursor positions). Mutable: the
+  // coordinator lives inside an immutable ServingState.
+  mutable std::mutex no_session_mutex_;
+};
+
+}  // namespace koios::serve
+
+#endif  // KOIOS_SERVE_SHARD_COORDINATOR_H_

@@ -51,6 +51,12 @@ int Usage(const char* argv0) {
       "  --bind ADDR            bind address (default 127.0.0.1)\n"
       "  --port-file PATH       also write the chosen port to this file\n"
       "  --threads N            query worker threads (default 4)\n"
+      "  --shards N             corpus shards per query (default 1): the "
+      "set\n"
+      "                         collection is partitioned N ways and every\n"
+      "                         query fans out with cross-shard θlb "
+      "exchange;\n"
+      "                         results are bit-identical at any N\n"
       "  --queue N              admission queue bound (default 256)\n"
       "  --deadline-ms N        default per-query deadline (default 0 = "
       "none)\n"
@@ -111,6 +117,8 @@ int main(int argc, char** argv) {
       server_options.port = static_cast<uint16_t>(v);
     } else if (arg == "--threads" && next(&v)) {
       watcher_options.engine.num_threads = static_cast<size_t>(v);
+    } else if (arg == "--shards" && next(&v)) {
+      watcher_options.engine.num_shards = static_cast<size_t>(v);
     } else if (arg == "--queue" && next(&v)) {
       watcher_options.engine.max_queue = static_cast<size_t>(v);
     } else if (arg == "--deadline-ms" && next(&v)) {

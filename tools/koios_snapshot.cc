@@ -7,16 +7,23 @@
 //   koios_snapshot convert <in> <out>         rewrite as v4 (in may be v1,
 //                                             v3 or v4)
 //   koios_snapshot convert --v3 <in> <out>    rewrite as v3
+//   koios_snapshot shard <file> <N>           partition plan for an N-way
+//                                             sharded open (per-shard set
+//                                             ranges, token counts, bytes;
+//                                             replicated dict/embedding
+//                                             footprint)
 //
 // Exit status: 0 ok, 1 usage, 2 operation failed.
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "koios/io/repository_v4.h"
 #include "koios/io/serialization.h"
+#include "koios/io/shard_slice.h"
 
 namespace {
 
@@ -170,11 +177,86 @@ int Convert(const std::string& in, const std::string& out, bool to_v3) {
   return 0;
 }
 
+// What a sharded open replicates vs partitions, for capacity planning
+// before anyone passes --shards to the daemon. Every shard shares the
+// dictionary, embeddings and neighbor index (for a v4 file those are
+// mmap'd read-only pages shared for free); each owns a contiguous slice
+// of the sets, whose only per-shard cost is the rebased offsets copy.
+int Shard(const std::string& path, size_t num_shards) {
+  if (num_shards < 1) {
+    std::fprintf(stderr, "error: shard count must be >= 1\n");
+    return 2;
+  }
+  auto version = PeekRepositoryVersion(path);
+  if (!version.ok()) {
+    std::fprintf(stderr, "error: %s\n", version.status().ToString().c_str());
+    return 2;
+  }
+
+  // Either path yields the same plan; v4 avoids materializing the sets.
+  auto report = [&](const koios::index::SetCollection& sets,
+                    size_t dict_bytes, size_t embed_bytes) {
+    const auto plans = koios::io::PlanShards(sets, num_shards);
+    std::printf("%s: %zu sets, %zu tokens -> %zu shard(s)\n", path.c_str(),
+                sets.size(), sets.TotalTokens(), plans.size());
+    if (plans.size() < num_shards) {
+      std::printf("  (requested %zu; clamped to the set count)\n", num_shards);
+    }
+    std::printf("  replicated per shard: dict %zu bytes, embeddings %zu "
+                "bytes (shared pages when mmap'd)\n",
+                dict_bytes, embed_bytes);
+    std::printf("  %-6s %12s %12s %12s %14s %14s\n", "shard", "first-set",
+                "sets", "tokens", "postings-B", "offsets-B");
+    for (size_t i = 0; i < plans.size(); ++i) {
+      const auto& p = plans[i];
+      std::printf("  %-6zu %12u %12zu %12zu %14zu %14zu\n", i, p.first_set,
+                  p.set_count, p.token_count, p.postings_bytes,
+                  p.offsets_bytes);
+    }
+    return 0;
+  };
+
+  if (version.value() == 4) {
+    auto view = MmapRepositoryView::Open(path);
+    if (!view.ok()) {
+      std::fprintf(stderr, "error: %s\n", view.status().ToString().c_str());
+      return 2;
+    }
+    auto sets = view.value()->BorrowSets();
+    if (!sets.ok()) {
+      std::fprintf(stderr, "error: %s\n", sets.status().ToString().c_str());
+      return 2;
+    }
+    auto dict = view.value()->BorrowDictionary();
+    if (!dict.ok()) {
+      std::fprintf(stderr, "error: %s\n", dict.status().ToString().c_str());
+      return 2;
+    }
+    size_t embed_bytes = 0;
+    if (view.value()->has_embeddings()) {
+      const auto& h = view.value()->header();
+      embed_bytes = static_cast<size_t>(h.embed_rows) *
+                    static_cast<size_t>(h.embed_dim) * sizeof(double);
+    }
+    return report(sets.value(), dict.value().MemoryUsageBytes(), embed_bytes);
+  }
+  auto repo = LoadRepository(path);
+  if (!repo.ok()) {
+    std::fprintf(stderr, "error: %s\n", repo.status().ToString().c_str());
+    return 2;
+  }
+  return report(repo.value().sets, repo.value().dict.MemoryUsageBytes(),
+                repo.value().has_embeddings
+                    ? repo.value().store.MemoryUsageBytes()
+                    : 0);
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: koios_snapshot inspect <file>\n"
                "       koios_snapshot verify <file>\n"
-               "       koios_snapshot convert [--v3] <in> <out>\n");
+               "       koios_snapshot convert [--v3] <in> <out>\n"
+               "       koios_snapshot shard <file> <num-shards>\n");
   return 1;
 }
 
@@ -185,6 +267,10 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (cmd == "inspect") return Inspect(argv[2]);
   if (cmd == "verify") return Verify(argv[2]);
+  if (cmd == "shard") {
+    if (argc != 4) return Usage();
+    return Shard(argv[2], static_cast<size_t>(std::atoll(argv[3])));
+  }
   if (cmd == "convert") {
     bool to_v3 = false;
     int arg = 2;
